@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the spatial compiler itself: netlist
+//! construction and the CSD transform (the "synthesis" cost a user pays
+//! once per fixed matrix).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smm_bitserial::multiplier::{FixedMatrixMultiplier, WeightEncoding};
+use smm_core::csd::{csd_split, ChainPolicy};
+use smm_core::generate::element_sparse_matrix;
+use smm_core::rng::seeded;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for &dim in &[64usize, 256, 512] {
+        let mut rng = seeded(3000 + dim as u64);
+        let m = element_sparse_matrix(dim, dim, 8, 0.9, true, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("pn", dim), &dim, |b, _| {
+            b.iter(|| {
+                FixedMatrixMultiplier::compile(black_box(&m), 8, WeightEncoding::Pn).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("csd", dim), &dim, |b, _| {
+            b.iter(|| {
+                FixedMatrixMultiplier::compile(
+                    black_box(&m),
+                    8,
+                    WeightEncoding::Csd {
+                        policy: ChainPolicy::CoinFlip,
+                        seed: 1,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_csd_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csd_transform");
+    for &dim in &[64usize, 512] {
+        let mut rng = seeded(4000 + dim as u64);
+        let m = element_sparse_matrix(dim, dim, 8, 0.6, true, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| {
+                let mut coin = seeded(5);
+                csd_split(black_box(&m), ChainPolicy::CoinFlip, &mut coin).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_compile, bench_csd_transform
+}
+criterion_main!(benches);

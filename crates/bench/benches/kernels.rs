@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the functional kernels: compiled spatial
+//! circuit simulation vs CSR SpMV vs dense gemv on the same matrices.
+//!
+//! These time the *simulator*, not hardware — the hardware latency numbers
+//! come from `reproduce` — but they keep the functional paths honest and
+//! show the simulation cost scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smm_bitserial::multiplier::{FixedMatrixMultiplier, WeightEncoding};
+use smm_core::generate::{element_sparse_matrix, random_vector};
+use smm_core::gemv::vecmat;
+use smm_core::rng::seeded;
+use smm_sparse::Csr;
+use std::hint::black_box;
+
+fn bench_vecmat_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vecmat");
+    for &dim in &[64usize, 128, 256] {
+        let mut rng = seeded(1000 + dim as u64);
+        let m = element_sparse_matrix(dim, dim, 8, 0.9, true, &mut rng).unwrap();
+        let a = random_vector(dim, 8, true, &mut rng).unwrap();
+        let csr = Csr::from_dense(&m);
+        let mul = FixedMatrixMultiplier::compile(&m, 8, WeightEncoding::Pn).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("dense_gemv", dim), &dim, |b, _| {
+            b.iter(|| vecmat(black_box(&a), black_box(&m)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("csr_spmv", dim), &dim, |b, _| {
+            b.iter(|| csr.vecmat(black_box(&a)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("circuit_sim", dim), &dim, |b, _| {
+            b.iter(|| mul.mul(black_box(&a)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparsity_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_sim_sparsity");
+    for &pct in &[50u32, 90, 98] {
+        let mut rng = seeded(2000 + u64::from(pct));
+        let m = element_sparse_matrix(128, 128, 8, f64::from(pct) / 100.0, true, &mut rng).unwrap();
+        let a = random_vector(128, 8, true, &mut rng).unwrap();
+        let mul = FixedMatrixMultiplier::compile(&m, 8, WeightEncoding::Pn).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, _| {
+            b.iter(|| mul.mul(black_box(&a)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_vecmat_kernels, bench_sparsity_scaling
+}
+criterion_main!(benches);

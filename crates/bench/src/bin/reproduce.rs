@@ -1,0 +1,80 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage: `reproduce [--quick] [--csv DIR] [ids...]`
+//!
+//! With no ids, every experiment runs (build with `--release`; the full
+//! Section VI and 4096-dimension sweeps compile multi-million-node
+//! netlists). `--quick` shrinks dimensions and sweep points for smoke runs.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut skip_next = false;
+    let ids: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--csv" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with('-')
+        })
+        .collect();
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: reproduce [--quick] [{}]", smm_bench::figures::ALL_IDS.join("|"));
+        return ExitCode::SUCCESS;
+    }
+
+    let figures = if ids.is_empty() {
+        eprintln!(
+            "running all experiments{} ...",
+            if quick { " (quick mode)" } else { "" }
+        );
+        smm_bench::figures::run_all(quick)
+    } else {
+        let mut out = Vec::new();
+        for id in &ids {
+            match smm_bench::figures::run_by_id(id, quick) {
+                Some(figs) => out.extend(figs),
+                None => {
+                    eprintln!(
+                        "unknown experiment '{id}'; known: {}",
+                        smm_bench::figures::ALL_IDS.join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        out
+    };
+
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for fig in figures {
+        println!("{}", fig.render());
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{}.csv", fig.id);
+            if let Err(e) = std::fs::write(&path, fig.to_csv()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

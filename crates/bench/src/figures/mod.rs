@@ -1,0 +1,93 @@
+//! One runner per paper table/figure. Each returns a [`crate::table::Figure`]
+//! whose rows are the series the paper plots.
+
+pub mod extensions;
+pub mod gpu_cmp;
+pub mod large_scale;
+pub mod sigma_cmp;
+pub mod synthesis;
+pub mod table1;
+
+use crate::table::Figure;
+
+/// All experiment identifiers, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig15", "fig17", "fig18", "fig19", "fig21", "fig23", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6",
+];
+
+/// Runs one experiment by identifier. Figure pairs that share an x-axis
+/// (13/14, 15/16, 19/20, 21/22) are produced by their first id.
+///
+/// Returns `None` for unknown identifiers.
+pub fn run_by_id(id: &str, quick: bool) -> Option<Vec<Figure>> {
+    match id {
+        "table1" => Some(vec![table1::run()]),
+        "fig5" => Some(vec![synthesis::fig5(quick)]),
+        "fig6" => Some(vec![synthesis::fig6(quick)]),
+        "fig7" => Some(vec![synthesis::fig7(quick)]),
+        "fig8" => Some(vec![synthesis::fig8(quick)]),
+        "fig9" => Some(vec![synthesis::fig9(quick)]),
+        "fig10" | "fig11" | "fig12" => {
+            let points = large_scale::sweep(quick);
+            Some(match id {
+                "fig10" => vec![large_scale::fig10(&points)],
+                "fig11" => vec![large_scale::fig11(&points)],
+                _ => vec![large_scale::fig12(&points)],
+            })
+        }
+        "fig13" | "fig14" => Some(vec![gpu_cmp::fig13_14(quick)]),
+        "fig15" | "fig16" => Some(vec![gpu_cmp::fig15_16(quick)]),
+        "fig17" => Some(vec![gpu_cmp::fig17(quick)]),
+        "fig18" => Some(vec![gpu_cmp::fig18(quick)]),
+        "fig19" | "fig20" => Some(vec![sigma_cmp::fig19_20(quick)]),
+        "fig21" | "fig22" => Some(vec![sigma_cmp::fig21_22(quick)]),
+        "fig23" => Some(vec![sigma_cmp::fig23(quick)]),
+        "ext1" => Some(vec![extensions::ext1(quick)]),
+        "ext2" => Some(vec![extensions::ext2(quick)]),
+        "ext3" => Some(vec![extensions::ext3(quick)]),
+        "ext4" => Some(vec![extensions::ext4(quick)]),
+        "ext5" => Some(vec![extensions::ext5(quick)]),
+        "ext6" => Some(vec![extensions::ext6(quick)]),
+        _ => None,
+    }
+}
+
+/// Runs every experiment, sharing the Section VI sweep across
+/// Figures 10–12.
+pub fn run_all(quick: bool) -> Vec<Figure> {
+    let mut out = Vec::new();
+    out.extend(run_by_id("table1", quick).unwrap());
+    for id in ["fig5", "fig6", "fig7", "fig8", "fig9"] {
+        out.extend(run_by_id(id, quick).unwrap());
+    }
+    let points = large_scale::sweep(quick);
+    out.push(large_scale::fig10(&points));
+    out.push(large_scale::fig11(&points));
+    out.push(large_scale::fig12(&points));
+    for id in [
+        "fig13", "fig15", "fig17", "fig18", "fig19", "fig21", "fig23", "ext1", "ext2", "ext3",
+        "ext4", "ext5", "ext6",
+    ] {
+        out.extend(run_by_id(id, quick).unwrap());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_by_id("fig99", true).is_none());
+    }
+
+    #[test]
+    fn paired_ids_resolve() {
+        assert!(run_by_id("fig14", true).is_some());
+        assert!(run_by_id("fig16", true).is_some());
+        assert!(run_by_id("fig20", true).is_some());
+        assert!(run_by_id("fig22", true).is_some());
+    }
+}

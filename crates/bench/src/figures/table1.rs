@@ -1,0 +1,49 @@
+//! Table I: the worked bit-serial addition example (3 + 7 = 10).
+
+use crate::table::Figure;
+use smm_bitserial::primitive::addition_trace;
+
+/// Reproduces Table I.
+pub fn run() -> Figure {
+    let mut fig = Figure::new(
+        "table1",
+        "Bit-serial addition example: 3 + 7 = 10",
+        &["Cycle", "Cin", "A", "B", "S", "Cout", "Result"],
+    );
+    let trace = addition_trace(3, 7, 4);
+    let mut result = ['0'; 4];
+    for row in &trace {
+        // The paper's result register: the newest sum bit shifts in on the
+        // left, pushing older (less significant) bits right, so the final
+        // row reads MSB-first.
+        result.rotate_right(1);
+        result[0] = if row.s { '1' } else { '0' };
+        let shown: String = result.iter().collect();
+        fig.row(vec![
+            row.cycle.to_string(),
+            u8::from(row.cin).to_string(),
+            u8::from(row.a).to_string(),
+            u8::from(row.b).to_string(),
+            u8::from(row.s).to_string(),
+            u8::from(row.cout).to_string(),
+            shown,
+        ]);
+    }
+    fig.note("matches the paper exactly: final result register reads 1010₂ = 10");
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_rows() {
+        let fig = run();
+        assert_eq!(fig.rows.len(), 4);
+        // Paper row 1: cycle 1, cin 0, A 1, B 1, S 0, cout 1, result 0000.
+        assert_eq!(fig.rows[0], vec!["1", "0", "1", "1", "0", "1", "0000"]);
+        // Paper row 4: cycle 4, cin 1, A 0, B 0, S 1, cout 0, result 1010.
+        assert_eq!(fig.rows[3], vec!["4", "1", "0", "0", "1", "0", "1010"]);
+    }
+}

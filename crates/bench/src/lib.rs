@@ -1,0 +1,20 @@
+//! # smm-bench
+//!
+//! The reproduction harness: one runner per table/figure of the paper's
+//! evaluation, printing the same rows/series the paper plots, plus the
+//! `reproduce` binary and Criterion micro-benchmarks.
+//!
+//! ```no_run
+//! // Reproduce Figure 5 at full scale and print it:
+//! for fig in smm_bench::figures::run_by_id("fig5", false).unwrap() {
+//!     print!("{}", fig.render());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod table;
+
+pub use table::Figure;

@@ -1,0 +1,163 @@
+//! Text-table output for figure reproductions.
+
+use std::fmt::Write as _;
+
+/// One reproduced table or figure: a title, column headers, and rows of
+/// pre-formatted cells.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Experiment identifier ("fig5", "table1", …).
+    pub id: &'static str,
+    /// Display title, matching the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (each the same length as `columns`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed after the table (calibration caveats,
+    /// paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: &'static str, title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the cell count mismatches the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+}
+
+impl Figure {
+    /// Renders as CSV (headers + rows; notes become trailing comments).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "# {note}");
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible number of digits for table cells.
+pub fn fmt_f(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 1000.0 {
+        format!("{value:.0}")
+    } else if value.abs() >= 10.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut f = Figure::new("figX", "demo", &["a", "long_header"]);
+        f.row(vec!["1".into(), "2".into()]);
+        f.row(vec!["100".into(), "20000".into()]);
+        f.note("a note");
+        let s = f.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("long_header"));
+        assert!(s.contains("note: a note"));
+        // All data lines have equal length (alignment check).
+        let lines: Vec<&str> = s.lines().skip(1).take(3).collect();
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut f = Figure::new("f", "t", &["a", "b"]);
+        f.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut f = Figure::new("figY", "demo", &["a", "b"]);
+        f.row(vec!["1".into(), "x,y".into()]);
+        f.note("hello");
+        let csv = f.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "a,b");
+        assert!(csv.contains("1,\"x,y\""));
+        assert!(csv.contains("# hello"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(3.17159), "3.17");
+        assert_eq!(fmt_f(42.345), "42.3");
+        assert_eq!(fmt_f(12345.6), "12346");
+    }
+}

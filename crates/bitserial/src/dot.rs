@@ -1,0 +1,94 @@
+//! Graphviz (DOT) export of netlists, for inspecting small circuits.
+
+use crate::netlist::{Netlist, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders the netlist as a Graphviz digraph (inputs at the top, outputs
+/// at the bottom; adders as trapezoids like the paper's figures).
+pub fn to_dot(net: &Netlist, graph_name: &str) -> String {
+    let mut d = String::new();
+    let _ = writeln!(d, "digraph {graph_name} {{");
+    let _ = writeln!(d, "  rankdir=TB;");
+    let _ = writeln!(d, "  node [fontname=\"monospace\"];");
+    for (i, node) in net.nodes().iter().enumerate() {
+        match *node {
+            NodeKind::Input { row } => {
+                let _ = writeln!(
+                    d,
+                    "  n{i} [label=\"a[{row}]\", shape=invhouse, style=filled, fillcolor=lightgreen];"
+                );
+            }
+            NodeKind::Zero => {
+                let _ = writeln!(d, "  n{i} [label=\"0\", shape=plaintext];");
+            }
+            NodeKind::Adder { a, b } => {
+                let _ = writeln!(
+                    d,
+                    "  n{i} [label=\"+\", shape=trapezium, style=filled, fillcolor=lightblue];"
+                );
+                let _ = writeln!(d, "  n{} -> n{i};", a.index());
+                let _ = writeln!(d, "  n{} -> n{i};", b.index());
+            }
+            NodeKind::Subtractor { a, b } => {
+                let _ = writeln!(
+                    d,
+                    "  n{i} [label=\"−\", shape=trapezium, style=filled, fillcolor=plum];"
+                );
+                let _ = writeln!(d, "  n{} -> n{i} [label=\"+\"];", a.index());
+                let _ = writeln!(d, "  n{} -> n{i} [label=\"−\"];", b.index());
+            }
+            NodeKind::Dff { d: input } => {
+                let _ = writeln!(d, "  n{i} [label=\"DFF\", shape=box];");
+                let _ = writeln!(d, "  n{} -> n{i};", input.index());
+            }
+        }
+    }
+    for (c, out) in net.outputs().iter().enumerate() {
+        if let Some(id) = out {
+            let _ = writeln!(
+                d,
+                "  o{c} [label=\"o[{c}]\", shape=house, style=filled, fillcolor=orange];"
+            );
+            let _ = writeln!(d, "  n{} -> o{c};", id.index());
+        }
+    }
+    let _ = writeln!(d, "}}");
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_circuit;
+    use smm_core::matrix::IntMatrix;
+    use smm_core::signsplit::split_pn;
+
+    #[test]
+    fn dot_structure() {
+        let m = IntMatrix::from_vec(2, 2, vec![1, -2, 3, 0]).unwrap();
+        let c = build_circuit(&split_pn(&m)).unwrap();
+        let dot = to_dot(&c.netlist, "g");
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Two input houses, one live-output house per non-constant column.
+        assert!(dot.contains("a[0]"));
+        assert!(dot.contains("a[1]"));
+        assert!(dot.contains("o[0]"));
+        assert!(dot.contains("o[1]"));
+        // Edge count: every adder/sub contributes 2, every dff 1.
+        let stats = c.netlist.stats();
+        let edges = dot.matches(" -> ").count();
+        let expected =
+            2 * stats.logic_elements() + stats.dffs + stats.live_outputs;
+        assert_eq!(edges, expected);
+    }
+
+    #[test]
+    fn constant_columns_have_no_output_node() {
+        let m = IntMatrix::from_vec(1, 2, vec![1, 0]).unwrap();
+        let c = build_circuit(&split_pn(&m)).unwrap();
+        let dot = to_dot(&c.netlist, "g");
+        assert!(dot.contains("o[0]"));
+        assert!(!dot.contains("o[1]"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Latency accounting (Equation 5 of the paper).
+
+/// Equation 5: cycles for one vector–matrix product with `input_bits`-wide
+/// inputs, `weight_bits`-wide weights and `rows` matrix rows:
+/// `BWi + BWw + ceil(log2 R) + 2`.
+///
+/// The widths here are the *nominal* operand widths of the design (the
+/// paper always charges the declared 8 bits even when a particular random
+/// matrix happens to need fewer).
+pub fn equation5(input_bits: u32, weight_bits: u32, rows: usize) -> u32 {
+    input_bits + weight_bits + crate::builder::ceil_log2(rows) + 2
+}
+
+/// Latency in nanoseconds at a clock of `mhz` megahertz.
+pub fn cycles_to_ns(cycles: u32, mhz: f64) -> f64 {
+    assert!(mhz > 0.0, "clock frequency must be positive");
+    f64::from(cycles) * 1000.0 / mhz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // 8-bit inputs and weights, 1024x1024: 8 + 8 + 10 + 2 = 28 cycles.
+        assert_eq!(equation5(8, 8, 1024), 28);
+    }
+
+    #[test]
+    fn scaling_with_rows_is_logarithmic() {
+        assert_eq!(equation5(8, 8, 64), 24);
+        assert_eq!(equation5(8, 8, 4096), 30);
+        // Doubling rows adds exactly one cycle.
+        for rows in [64usize, 128, 256, 512] {
+            assert_eq!(equation5(8, 8, rows * 2), equation5(8, 8, rows) + 1);
+        }
+    }
+
+    #[test]
+    fn ns_conversion() {
+        // 28 cycles at 237 MHz ≈ 118 ns (the paper's "< 120 ns" headline).
+        let ns = cycles_to_ns(28, 237.0);
+        assert!((ns - 118.14).abs() < 0.1, "got {ns}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clock_panics() {
+        cycles_to_ns(1, 0.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! The public top level: compile a fixed matrix once, multiply many times.
+
+use crate::builder::{build_circuit, BuiltCircuit};
+use crate::netlist::CircuitStats;
+use smm_core::csd::{csd_split, ChainPolicy};
+use smm_core::error::{Error, Result};
+use smm_core::matrix::IntMatrix;
+use smm_core::rng;
+use smm_core::signsplit::{split_pn, SignSplit};
+
+/// How the signed weight matrix is decomposed into unsigned halves before
+/// spatial compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum WeightEncoding {
+    /// Plain positive/negative magnitude split (the paper's "PN").
+    #[default]
+    Pn,
+    /// Canonical-signed-digit recoding (Section V), reducing set bits by
+    /// ~17 % on uniform weights at the cost of one extra bit plane.
+    Csd {
+        /// Length-2 chain handling (the paper flips a coin).
+        policy: ChainPolicy,
+        /// Seed for the coin flips, so compilation is reproducible.
+        seed: u64,
+    },
+}
+
+
+/// A fixed-matrix bit-serial multiplier: the compiled spatial circuit for
+/// one weight matrix `V`, computing `o = aᵀV` per invocation.
+///
+/// Compilation performs the paper's whole flow: sign split (or CSD), bit
+/// plane extraction with constant propagation, reduction tree construction
+/// with adder-to-DFF collapse, the bit-position combination chain, and the
+/// final PN subtractors.
+///
+/// ```
+/// use smm_bitserial::multiplier::{FixedMatrixMultiplier, WeightEncoding};
+/// use smm_core::matrix::IntMatrix;
+///
+/// let v = IntMatrix::from_vec(2, 2, vec![1, -2, 3, 4]).unwrap();
+/// let mul = FixedMatrixMultiplier::compile(&v, 8, WeightEncoding::Pn).unwrap();
+/// assert_eq!(mul.mul(&[5, 6]).unwrap(), vec![23, 14]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedMatrixMultiplier {
+    circuit: BuiltCircuit,
+    stats: CircuitStats,
+    rows: usize,
+    cols: usize,
+    input_bits: u32,
+    out_width: u32,
+    encoding: WeightEncoding,
+    ones: u64,
+}
+
+impl FixedMatrixMultiplier {
+    /// Compiles the spatial circuit for `matrix`, whose input vectors will
+    /// be signed `input_bits`-wide integers.
+    pub fn compile(
+        matrix: &IntMatrix,
+        input_bits: u32,
+        encoding: WeightEncoding,
+    ) -> Result<Self> {
+        if input_bits == 0 || input_bits > 31 {
+            return Err(Error::InvalidBitWidth { bits: input_bits });
+        }
+        let split = match encoding {
+            WeightEncoding::Pn => split_pn(matrix),
+            WeightEncoding::Csd { policy, seed } => {
+                let mut rng = rng::seeded(seed);
+                csd_split(matrix, policy, &mut rng)?.0
+            }
+        };
+        Self::compile_split(&split, input_bits, encoding)
+    }
+
+    /// Compiles from an already-prepared sign split (advanced use: custom
+    /// recodings, ablations).
+    pub fn compile_split(
+        split: &SignSplit,
+        input_bits: u32,
+        encoding: WeightEncoding,
+    ) -> Result<Self> {
+        if input_bits == 0 || input_bits > 31 {
+            return Err(Error::InvalidBitWidth { bits: input_bits });
+        }
+        let circuit = build_circuit(split)?;
+        let (rows, cols) = split.shape();
+        let out_width = crate::bits::result_width(input_bits, circuit.weight_bits, rows);
+        let stats = circuit.netlist.stats();
+        let ones = split.ones();
+        Ok(Self {
+            circuit,
+            stats,
+            rows,
+            cols,
+            input_bits,
+            out_width,
+            encoding,
+            ones,
+        })
+    }
+
+    /// Matrix rows (input vector length).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix columns (output vector length).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Nominal signed input operand width.
+    pub fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    /// Unsigned weight-plane width actually instantiated (one wider than
+    /// the raw magnitude width under CSD).
+    pub fn weight_bits(&self) -> u32 {
+        self.circuit.weight_bits
+    }
+
+    /// Two's-complement width of each decoded output.
+    pub fn output_bits(&self) -> u32 {
+        self.out_width
+    }
+
+    /// The weight encoding this circuit was compiled with.
+    pub fn encoding(&self) -> WeightEncoding {
+        self.encoding
+    }
+
+    /// Set bits in the compiled weight decomposition — the paper's
+    /// hardware cost driver ("number of ones").
+    pub fn ones(&self) -> u64 {
+        self.ones
+    }
+
+    /// Structural statistics of the compiled netlist.
+    pub fn stats(&self) -> &CircuitStats {
+        &self.stats
+    }
+
+    /// The underlying circuit (netlist + decode metadata).
+    pub fn circuit(&self) -> &BuiltCircuit {
+        &self.circuit
+    }
+
+    /// Latency in cycles by the paper's Equation 5:
+    /// `BWi + BWw + ceil(log2 R) + 2`.
+    pub fn paper_latency_cycles(&self) -> u32 {
+        self.input_bits + self.circuit.weight_bits + crate::builder::ceil_log2(self.rows) + 2
+    }
+
+    /// Exact cycles until the *full-precision* result has streamed out of
+    /// the simulated circuit: `output_anchor + output_bits`.
+    ///
+    /// This exceeds Equation 5 by about `ceil(log2 R) − 1` cycles because
+    /// the full dot-product result is `ceil(log2 R)` bits wider than
+    /// `BWi + BWw`; the paper's count charges the tree depth once but
+    /// streams only `BWi + BWw` output bits. See EXPERIMENTS.md.
+    pub fn exact_latency_cycles(&self) -> u32 {
+        self.circuit.output_anchor + self.out_width
+    }
+
+    /// Cycles between successive vectors when streaming a batch
+    /// back-to-back: a new vector can enter once the previous one's bits
+    /// (input width plus sign extension out to the output window) have
+    /// drained, i.e. every `output_bits` cycles.
+    pub fn batch_interval_cycles(&self) -> u32 {
+        self.out_width
+    }
+
+    /// Total cycles to stream a batch of `batch` vectors (the paper's
+    /// linear batching model: the pipeline refills per vector).
+    pub fn batch_latency_cycles(&self, batch: usize) -> u64 {
+        if batch == 0 {
+            return 0;
+        }
+        u64::from(self.exact_latency_cycles())
+            + (batch as u64 - 1) * u64::from(self.batch_interval_cycles())
+    }
+
+    /// Computes `o = aᵀV` through the cycle-accurate simulator.
+    pub fn mul(&self, a: &[i32]) -> Result<Vec<i64>> {
+        if a.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                context: format!("input length {} vs matrix rows {}", a.len(), self.rows),
+            });
+        }
+        let (lo, hi) = smm_core::matrix::signed_range(self.input_bits)?;
+        if let Some(&bad) = a.iter().find(|&&x| !(lo..=hi).contains(&x)) {
+            return Err(Error::ValueOutOfRange {
+                value: bad,
+                bits: self.input_bits,
+                signed: true,
+            });
+        }
+        Ok(crate::sim::run_vecmat(
+            &self.circuit,
+            a,
+            self.input_bits,
+            self.out_width,
+        ))
+    }
+
+    /// Computes a batch product: each row of `a` (shape `batch × R`) is one
+    /// input vector; returns one output row per input row.
+    ///
+    /// Each vector runs through a fresh simulation; see
+    /// [`FixedMatrixMultiplier::mul_batch_streamed`] for the pipelined
+    /// back-to-back mode the batching latency model assumes.
+    pub fn mul_batch(&self, a: &IntMatrix) -> Result<Vec<Vec<i64>>> {
+        (0..a.rows()).map(|b| self.mul(a.row(b))).collect()
+    }
+
+    /// Computes a batch product by streaming the vectors **back-to-back
+    /// through one continuous simulation**, one new vector every
+    /// [`FixedMatrixMultiplier::batch_interval_cycles`] cycles — the
+    /// hardware batching mode whose latency
+    /// [`FixedMatrixMultiplier::batch_latency_cycles`] models. Results are
+    /// identical to [`FixedMatrixMultiplier::mul_batch`]; the total cycle
+    /// count is what differs.
+    pub fn mul_batch_streamed(&self, a: &IntMatrix) -> Result<Vec<Vec<i64>>> {
+        if a.cols() != self.rows {
+            return Err(Error::DimensionMismatch {
+                context: format!("batch cols {} vs matrix rows {}", a.cols(), self.rows),
+            });
+        }
+        let (lo, hi) = smm_core::matrix::signed_range(self.input_bits)?;
+        if let Some(&bad) = a.as_slice().iter().find(|&&x| !(lo..=hi).contains(&x)) {
+            return Err(Error::ValueOutOfRange {
+                value: bad,
+                bits: self.input_bits,
+                signed: true,
+            });
+        }
+        let inputs: Vec<Vec<i32>> = (0..a.rows()).map(|b| a.row(b).to_vec()).collect();
+        Ok(crate::sim::run_stream(
+            &self.circuit,
+            &inputs,
+            self.input_bits,
+            self.out_width,
+            self.batch_interval_cycles(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_core::gemv::vecmat;
+    use smm_core::generate::{element_sparse_matrix, random_vector};
+    use smm_core::rng::seeded;
+
+    #[test]
+    fn matches_reference_on_random_matrices() {
+        let mut rng = seeded(100);
+        for (dim, sparsity) in [(8usize, 0.0), (16, 0.5), (32, 0.9), (17, 0.75)] {
+            let v = element_sparse_matrix(dim, dim, 8, sparsity, true, &mut rng).unwrap();
+            let a = random_vector(dim, 8, true, &mut rng).unwrap();
+            let expect = vecmat(&a, &v).unwrap();
+            for encoding in [
+                WeightEncoding::Pn,
+                WeightEncoding::Csd {
+                    policy: ChainPolicy::CoinFlip,
+                    seed: 9,
+                },
+            ] {
+                let mul = FixedMatrixMultiplier::compile(&v, 8, encoding).unwrap();
+                assert_eq!(mul.mul(&a).unwrap(), expect, "dim {dim} s {sparsity}");
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_matrices() {
+        let mut rng = seeded(101);
+        let v = element_sparse_matrix(24, 40, 6, 0.6, true, &mut rng).unwrap();
+        let a = random_vector(24, 5, true, &mut rng).unwrap();
+        let mul = FixedMatrixMultiplier::compile(&v, 5, WeightEncoding::Pn).unwrap();
+        assert_eq!(mul.mul(&a).unwrap(), vecmat(&a, &v).unwrap());
+        assert_eq!(mul.cols(), 40);
+        assert_eq!(mul.rows(), 24);
+    }
+
+    #[test]
+    fn paper_latency_formula_example() {
+        // The paper's worked example: 8-bit inputs and weights, 1024x1024,
+        // latency = 8 + 8 + 10 + 2 = 28 cycles. Use a smaller stand-in with
+        // the same formula.
+        let mut rng = seeded(102);
+        let v = element_sparse_matrix(64, 64, 8, 0.9, true, &mut rng).unwrap();
+        let mul = FixedMatrixMultiplier::compile(&v, 8, WeightEncoding::Pn).unwrap();
+        assert_eq!(mul.paper_latency_cycles(), 8 + 8 + 6 + 2);
+        assert!(mul.exact_latency_cycles() >= mul.paper_latency_cycles());
+    }
+
+    #[test]
+    fn batch_latency_is_linear() {
+        let mut rng = seeded(103);
+        let v = element_sparse_matrix(16, 16, 8, 0.5, true, &mut rng).unwrap();
+        let mul = FixedMatrixMultiplier::compile(&v, 8, WeightEncoding::Pn).unwrap();
+        let l1 = mul.batch_latency_cycles(1);
+        let l4 = mul.batch_latency_cycles(4);
+        assert_eq!(
+            l4 - l1,
+            3 * u64::from(mul.batch_interval_cycles())
+        );
+        assert_eq!(mul.batch_latency_cycles(0), 0);
+    }
+
+    #[test]
+    fn streamed_batch_matches_reference() {
+        // The pipelined back-to-back stream produces the same results as
+        // independent products — the claim behind the batching latency
+        // model (one vector per output-window interval).
+        let mut rng = seeded(106);
+        for (dim, sparsity) in [(8usize, 0.3), (16, 0.7), (21, 0.9)] {
+            let v = element_sparse_matrix(dim, dim, 8, sparsity, true, &mut rng).unwrap();
+            let a = element_sparse_matrix(5, dim, 8, 0.0, true, &mut rng).unwrap();
+            for encoding in [
+                WeightEncoding::Pn,
+                WeightEncoding::Csd {
+                    policy: ChainPolicy::CoinFlip,
+                    seed: 8,
+                },
+            ] {
+                let mul = FixedMatrixMultiplier::compile(&v, 8, encoding).unwrap();
+                let streamed = mul.mul_batch_streamed(&a).unwrap();
+                let expect = smm_core::gemv::matmat(&a, &v).unwrap();
+                assert_eq!(streamed, expect, "dim {dim} s {sparsity}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_batch_rejects_bad_input() {
+        let v = IntMatrix::identity(4).unwrap();
+        let mul = FixedMatrixMultiplier::compile(&v, 4, WeightEncoding::Pn).unwrap();
+        let wrong_shape = IntMatrix::zeros(2, 3).unwrap();
+        assert!(mul.mul_batch_streamed(&wrong_shape).is_err());
+        let out_of_range = IntMatrix::from_vec(1, 4, vec![0, 0, 0, 99]).unwrap();
+        assert!(mul.mul_batch_streamed(&out_of_range).is_err());
+    }
+
+    #[test]
+    fn mul_batch_matches_reference() {
+        let mut rng = seeded(104);
+        let v = element_sparse_matrix(12, 10, 8, 0.4, true, &mut rng).unwrap();
+        let a = element_sparse_matrix(3, 12, 8, 0.0, true, &mut rng).unwrap();
+        let mul = FixedMatrixMultiplier::compile(&v, 8, WeightEncoding::Pn).unwrap();
+        let got = mul.mul_batch(&a).unwrap();
+        let expect = smm_core::gemv::matmat(&a, &v).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let v = IntMatrix::identity(4).unwrap();
+        let mul = FixedMatrixMultiplier::compile(&v, 4, WeightEncoding::Pn).unwrap();
+        assert!(mul.mul(&[1, 2, 3]).is_err()); // wrong length
+        assert!(mul.mul(&[1, 2, 3, 100]).is_err()); // 100 exceeds 4-bit signed
+        assert!(FixedMatrixMultiplier::compile(&v, 0, WeightEncoding::Pn).is_err());
+        assert!(FixedMatrixMultiplier::compile(&v, 32, WeightEncoding::Pn).is_err());
+    }
+
+    #[test]
+    fn csd_uses_fewer_logic_elements_on_dense_weights() {
+        let mut rng = seeded(105);
+        // Dense uniform weights: CSD should cut set bits by ~17 %.
+        let v = element_sparse_matrix(32, 32, 8, 0.0, true, &mut rng).unwrap();
+        let pn = FixedMatrixMultiplier::compile(&v, 8, WeightEncoding::Pn).unwrap();
+        let csd = FixedMatrixMultiplier::compile(
+            &v,
+            8,
+            WeightEncoding::Csd {
+                policy: ChainPolicy::CoinFlip,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert!(
+            csd.stats().logic_elements() < pn.stats().logic_elements(),
+            "CSD {} vs PN {}",
+            csd.stats().logic_elements(),
+            pn.stats().logic_elements()
+        );
+    }
+}

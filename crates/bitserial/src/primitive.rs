@@ -1,0 +1,282 @@
+//! The hardware primitives of Figure 1: full adder, bit-serial
+//! adder/subtractor state machines, and shift registers.
+//!
+//! These standalone models document the microarchitecture and back the
+//! Table I reproduction; the netlist simulator in [`crate::sim`] re-derives
+//! the same next-state functions over whole circuits.
+
+/// Combinational full adder: returns `(sum, carry_out)`.
+#[inline]
+pub fn full_adder(a: bool, b: bool, cin: bool) -> (bool, bool) {
+    let sum = a ^ b ^ cin;
+    let cout = (a & b) | (a & cin) | (b & cin);
+    (sum, cout)
+}
+
+/// A bit-serial adder: one full adder plus a carry flip-flop.
+///
+/// Feed operand bits LSB-first, one pair per clock; the stream of returned
+/// sum bits is the LSB-first sum. On the FPGA this maps to a single 6-input
+/// LUT and two registers (sum capture + carry).
+#[derive(Debug, Clone, Default)]
+pub struct BitSerialAdder {
+    carry: bool,
+}
+
+impl BitSerialAdder {
+    /// A fresh adder with cleared carry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances one clock: consumes one bit of each operand, returns the sum
+    /// bit, and latches the carry for the next cycle.
+    pub fn step(&mut self, a: bool, b: bool) -> bool {
+        let (sum, cout) = full_adder(a, b, self.carry);
+        self.carry = cout;
+        sum
+    }
+
+    /// Current carry register value (exposed for trace reproduction).
+    pub fn carry(&self) -> bool {
+        self.carry
+    }
+
+    /// Clears the carry, ready for a new operand pair.
+    pub fn reset(&mut self) {
+        self.carry = false;
+    }
+}
+
+/// A bit-serial subtractor computing `a − b`: the carry initializes to 1 and
+/// `b` is inverted, i.e. two's-complement negation folded into the adder.
+#[derive(Debug, Clone)]
+pub struct BitSerialSubtractor {
+    carry: bool,
+}
+
+impl Default for BitSerialSubtractor {
+    fn default() -> Self {
+        Self { carry: true }
+    }
+}
+
+impl BitSerialSubtractor {
+    /// A fresh subtractor with the borrow-cancelling carry preset to 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances one clock, returning one bit of `a − b`.
+    pub fn step(&mut self, a: bool, b: bool) -> bool {
+        let (diff, cout) = full_adder(a, !b, self.carry);
+        self.carry = cout;
+        diff
+    }
+
+    /// Resets the carry to 1 for a new operand pair.
+    pub fn reset(&mut self) {
+        self.carry = true;
+    }
+}
+
+/// A serial-in, serial-out shift register of fixed depth (the LUTRAM/SRL
+/// resource on the target FPGA).
+#[derive(Debug, Clone)]
+pub struct ShiftRegister {
+    bits: Vec<bool>,
+    head: usize,
+}
+
+impl ShiftRegister {
+    /// A zero-initialized register of the given non-zero depth.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "shift register depth must be non-zero");
+        Self {
+            bits: vec![false; depth],
+            head: 0,
+        }
+    }
+
+    /// Shifts `input` in and returns the bit falling out the far end.
+    pub fn shift(&mut self, input: bool) -> bool {
+        let out = self.bits[self.head];
+        self.bits[self.head] = input;
+        self.head = (self.head + 1) % self.bits.len();
+        out
+    }
+
+    /// The register depth.
+    pub fn depth(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Contents oldest-first (the order they will shift out).
+    pub fn snapshot(&self) -> Vec<bool> {
+        let n = self.bits.len();
+        (0..n).map(|i| self.bits[(self.head + i) % n]).collect()
+    }
+}
+
+/// One row of the Table I trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdditionTraceRow {
+    /// Cycle number, starting at 1 as in the paper.
+    pub cycle: u32,
+    /// Carry input at the start of the cycle.
+    pub cin: bool,
+    /// Operand A bit consumed this cycle.
+    pub a: bool,
+    /// Operand B bit consumed this cycle.
+    pub b: bool,
+    /// Sum bit produced this cycle.
+    pub s: bool,
+    /// Carry out latched for the next cycle.
+    pub cout: bool,
+}
+
+/// Runs a bit-serial addition and records the per-cycle trace — the
+/// reproduction of Table I ("bit-serial addition example").
+pub fn addition_trace(a: i64, b: i64, cycles: u32) -> Vec<AdditionTraceRow> {
+    let mut adder = BitSerialAdder::new();
+    (0..cycles)
+        .map(|i| {
+            let cin = adder.carry();
+            let abit = crate::bits::stream_bit(a, cycles, i);
+            let bbit = crate::bits::stream_bit(b, cycles, i);
+            let s = adder.step(abit, bbit);
+            AdditionTraceRow {
+                cycle: i + 1,
+                cin,
+                a: abit,
+                b: bbit,
+                s,
+                cout: adder.carry(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::{from_bits_lsb, to_bits_lsb};
+
+    #[test]
+    fn full_adder_truth_table() {
+        // (a, b, cin) -> (sum, cout), all eight rows.
+        let cases = [
+            ((false, false, false), (false, false)),
+            ((true, false, false), (true, false)),
+            ((false, true, false), (true, false)),
+            ((true, true, false), (false, true)),
+            ((false, false, true), (true, false)),
+            ((true, false, true), (false, true)),
+            ((false, true, true), (false, true)),
+            ((true, true, true), (true, true)),
+        ];
+        for ((a, b, c), expected) in cases {
+            assert_eq!(full_adder(a, b, c), expected, "{a} {b} {c}");
+        }
+    }
+
+    #[test]
+    fn table_one_trace() {
+        // The paper's example: 3 + 7 = 10 over 4 cycles.
+        let trace = addition_trace(3, 7, 4);
+        let expect = [
+            // cycle, cin, a, b, s, cout
+            (1, false, true, true, false, true),
+            (2, true, true, true, true, true),
+            (3, true, false, true, false, true),
+            (4, true, false, false, true, false),
+        ];
+        for (row, &(cycle, cin, a, b, s, cout)) in trace.iter().zip(&expect) {
+            assert_eq!(
+                (row.cycle, row.cin, row.a, row.b, row.s, row.cout),
+                (cycle, cin, a, b, s, cout),
+                "cycle {cycle}"
+            );
+        }
+        // The result register reads 1010₂ = 10 (unsigned, as in the paper;
+        // pad a zero sign bit for the two's-complement decoder).
+        let mut sum_bits: Vec<bool> = trace.iter().map(|r| r.s).collect();
+        assert_eq!(sum_bits, vec![false, true, false, true]);
+        sum_bits.push(false);
+        assert_eq!(from_bits_lsb(&sum_bits), 10);
+    }
+
+    #[test]
+    fn serial_addition_exhaustive_6bit() {
+        for a in -32i64..32 {
+            for b in -32i64..32 {
+                let mut adder = BitSerialAdder::new();
+                let bits: Vec<bool> = (0..8)
+                    .map(|i| {
+                        adder.step(
+                            crate::bits::stream_bit(a, 8, i),
+                            crate::bits::stream_bit(b, 8, i),
+                        )
+                    })
+                    .collect();
+                assert_eq!(from_bits_lsb(&bits), a + b, "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_subtraction_exhaustive_6bit() {
+        for a in -32i64..32 {
+            for b in -32i64..32 {
+                let mut sub = BitSerialSubtractor::new();
+                let bits: Vec<bool> = (0..8)
+                    .map(|i| {
+                        sub.step(
+                            crate::bits::stream_bit(a, 8, i),
+                            crate::bits::stream_bit(b, 8, i),
+                        )
+                    })
+                    .collect();
+                assert_eq!(from_bits_lsb(&bits), a - b, "{a} - {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_reset_clears_state() {
+        let mut adder = BitSerialAdder::new();
+        adder.step(true, true); // sets carry
+        assert!(adder.carry());
+        adder.reset();
+        assert!(!adder.carry());
+    }
+
+    #[test]
+    fn shift_register_delays_by_depth() {
+        let mut sr = ShiftRegister::new(3);
+        let input = to_bits_lsb(0b10110, 5);
+        let mut out = Vec::new();
+        for &b in &input {
+            out.push(sr.shift(b));
+        }
+        // First three outputs are the zero initialization.
+        assert_eq!(out[..3], [false, false, false]);
+        assert_eq!(out[3..], input[..2]);
+        assert_eq!(sr.depth(), 3);
+    }
+
+    #[test]
+    fn shift_register_snapshot_order() {
+        let mut sr = ShiftRegister::new(4);
+        for &b in &[true, false, true, true] {
+            sr.shift(b);
+        }
+        assert_eq!(sr.snapshot(), vec![true, false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn zero_depth_shift_register_panics() {
+        ShiftRegister::new(0);
+    }
+}

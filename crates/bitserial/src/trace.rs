@@ -1,0 +1,170 @@
+//! VCD (Value Change Dump) waveform tracing of circuit simulations, for
+//! inspecting small circuits in GTKWave-style viewers and for debugging
+//! the builder's timing (anchors, chain shifts, frame masks).
+
+use crate::builder::BuiltCircuit;
+use crate::netlist::NodeKind;
+use crate::sim::Simulator;
+use std::fmt::Write as _;
+
+/// A VCD identifier code: printable ASCII `!`..`~`, extended to multiple
+/// characters for large circuits.
+fn vcd_id(mut index: usize) -> String {
+    const FIRST: u8 = b'!';
+    const RANGE: usize = 94; // '!' ..= '~'
+    let mut id = String::new();
+    loop {
+        id.push((FIRST + (index % RANGE) as u8) as char);
+        index /= RANGE;
+        if index == 0 {
+            break;
+        }
+        index -= 1;
+    }
+    id
+}
+
+/// Human-readable signal name for a node.
+fn signal_name(index: usize, kind: &NodeKind) -> String {
+    match kind {
+        NodeKind::Input { row } => format!("in_{row}"),
+        NodeKind::Zero => format!("zero_{index}"),
+        NodeKind::Adder { .. } => format!("add_{index}"),
+        NodeKind::Subtractor { .. } => format!("sub_{index}"),
+        NodeKind::Dff { .. } => format!("dff_{index}"),
+    }
+}
+
+/// Simulates one `o = aᵀV` product and records every node's waveform as a
+/// VCD document. Returns `(outputs, vcd)`.
+///
+/// Intended for small circuits (the dump is `O(nodes × cycles)` text).
+pub fn trace_vecmat(
+    circuit: &BuiltCircuit,
+    input: &[i32],
+    input_bits: u32,
+    out_width: u32,
+) -> (Vec<i64>, String) {
+    let net = &circuit.netlist;
+    let rows = net.num_rows();
+    assert_eq!(input.len(), rows, "one input element per matrix row");
+    let anchor = u64::from(circuit.output_anchor);
+    let total_cycles = anchor + u64::from(out_width);
+
+    let mut vcd = String::new();
+    let _ = writeln!(vcd, "$version spatial-smm bit-serial trace $end");
+    let _ = writeln!(vcd, "$timescale 1ns $end");
+    let _ = writeln!(vcd, "$scope module smm $end");
+    for (i, kind) in net.nodes().iter().enumerate() {
+        let _ = writeln!(
+            vcd,
+            "$var wire 1 {} {} $end",
+            vcd_id(i),
+            signal_name(i, kind)
+        );
+    }
+    let _ = writeln!(vcd, "$upscope $end");
+    let _ = writeln!(vcd, "$enddefinitions $end");
+
+    let mut sim = Simulator::new(net);
+    let mut last: Vec<Option<bool>> = vec![None; net.len()];
+    let mut bits = vec![false; rows];
+    let outputs = net.outputs();
+    let mut captured: Vec<Vec<bool>> = vec![Vec::new(); outputs.len()];
+
+    for t in 0..total_cycles {
+        for (r, &a) in input.iter().enumerate() {
+            bits[r] = crate::bits::stream_bit(i64::from(a), input_bits, t.min(u64::from(u32::MAX)) as u32);
+        }
+        sim.step(&bits);
+        let mut changes = String::new();
+        for (i, slot) in last.iter_mut().enumerate() {
+            let v = sim.value(net.node_id(i));
+            if *slot != Some(v) {
+                let _ = writeln!(changes, "{}{}", u8::from(v), vcd_id(i));
+                *slot = Some(v);
+            }
+        }
+        if !changes.is_empty() {
+            let _ = writeln!(vcd, "#{}", t + 1);
+            vcd.push_str(&changes);
+        }
+        let now = t + 1;
+        if now >= anchor && now < anchor + u64::from(out_width) {
+            for (col, out) in outputs.iter().enumerate() {
+                if let Some(id) = out {
+                    captured[col].push(sim.value(*id));
+                }
+            }
+        }
+    }
+
+    let decoded = captured
+        .into_iter()
+        .enumerate()
+        .map(|(col, bits)| {
+            if outputs[col].is_some() {
+                crate::bits::from_bits_lsb(&bits)
+            } else {
+                0
+            }
+        })
+        .collect();
+    (decoded, vcd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_circuit;
+    use smm_core::gemv::vecmat;
+    use smm_core::matrix::IntMatrix;
+    use smm_core::signsplit::split_pn;
+
+    #[test]
+    fn vcd_ids_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let id = vcd_id(i);
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)), "{id}");
+            assert!(seen.insert(id), "duplicate id at {i}");
+        }
+        assert_eq!(vcd_id(0), "!");
+        assert_eq!(vcd_id(93), "~");
+        assert_eq!(vcd_id(94).len(), 2);
+    }
+
+    #[test]
+    fn trace_decodes_same_as_plain_simulation() {
+        let m = IntMatrix::from_vec(3, 2, vec![2, -1, 0, 5, 3, 3]).unwrap();
+        let circuit = build_circuit(&split_pn(&m)).unwrap();
+        let a = [7, -3, 2];
+        let width = crate::bits::result_width(8, circuit.weight_bits, 3);
+        let (out, vcd) = trace_vecmat(&circuit, &a, 8, width);
+        assert_eq!(out, vecmat(&a, &m).unwrap());
+        // Structure: header, definitions, at least one timestamped change.
+        assert!(vcd.contains("$timescale"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("$var wire 1 ! in_0 $end"));
+        assert!(vcd.lines().any(|l| l.starts_with('#')));
+    }
+
+    #[test]
+    fn input_waveform_matches_the_streamed_bits() {
+        // Single weight-1 cell: in_0's VCD trace must follow the LSB-first
+        // bits of the input value.
+        let m = IntMatrix::from_vec(1, 1, vec![1]).unwrap();
+        let circuit = build_circuit(&split_pn(&m)).unwrap();
+        let (_, vcd) = trace_vecmat(&circuit, &[0b1010], 8, 8);
+        // Collect in_0 ('!') changes in order.
+        let mut transitions = Vec::new();
+        for line in vcd.lines() {
+            if line == "0!" || line == "1!" {
+                transitions.push(line.as_bytes()[0] == b'1');
+            }
+        }
+        // 0b1010 LSB-first: 0,1,0,1,0... starts low (initial None -> 0),
+        // then alternates until the zero tail.
+        assert_eq!(transitions[..4], [false, true, false, true]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Tiny dependency-free argument parser: `--key value` pairs and boolean
+//! `--flag`s after a subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional).
+    pub command: String,
+    /// `--key value` options.
+    options: BTreeMap<String, String>,
+    /// Bare `--flag`s.
+    flags: Vec<String>,
+}
+
+/// Parse failure, with a message suitable for the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Option keys that take a value; anything else starting with `--` is a
+/// boolean flag.
+const VALUED: &[&str] = &[
+    "seed", "dim", "rows", "cols", "sparsity", "bits", "input-bits", "input", "output",
+    "vector", "batch", "module", "policy",
+];
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    pub fn parse(raw: &[String]) -> Result<Args, ParseError> {
+        let mut args = Args::default();
+        let mut it = raw.iter().peekable();
+        match it.next() {
+            Some(cmd) if !cmd.starts_with('-') => args.command = cmd.clone(),
+            Some(other) => return Err(ParseError(format!("expected a subcommand, got {other}"))),
+            None => return Err(ParseError("missing subcommand".into())),
+        }
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(ParseError(format!("unexpected positional argument: {arg}")));
+            };
+            if VALUED.contains(&key) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError(format!("--{key} needs a value")))?;
+                if args.options.insert(key.to_string(), value.clone()).is_some() {
+                    return Err(ParseError(format!("--{key} given twice")));
+                }
+            } else {
+                args.flags.push(key.to_string());
+            }
+        }
+        Ok(args)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError(format!("invalid value for --{key}: {v}"))),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ParseError> {
+        let raw: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        Args::parse(&raw)
+    }
+
+    #[test]
+    fn parses_command_options_flags() {
+        let a = parse(&["synth", "--dim", "64", "--csd", "--sparsity", "0.9"]).unwrap();
+        assert_eq!(a.command, "synth");
+        assert_eq!(a.get("dim"), Some("64"));
+        assert_eq!(a.get_or("dim", 0usize).unwrap(), 64);
+        assert_eq!(a.get_or("seed", 42u64).unwrap(), 42);
+        assert!(a.flag("csd"));
+        assert!(!a.flag("quick"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--dim", "64"]).is_err());
+        assert!(parse(&["synth", "extra"]).is_err());
+        assert!(parse(&["synth", "--dim"]).is_err());
+        assert!(parse(&["synth", "--dim", "8", "--dim", "9"]).is_err());
+        let a = parse(&["synth", "--dim", "abc"]).unwrap();
+        assert!(a.get_or("dim", 0usize).is_err());
+    }
+}

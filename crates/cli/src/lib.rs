@@ -1,0 +1,107 @@
+//! # smm-cli
+//!
+//! The command-line face of the reproduction: synthesize a fixed sparse
+//! matrix, simulate products through it, export Verilog/DOT, and compare
+//! against the GPU/SIGMA baselines — all from one binary.
+//!
+//! ```text
+//! smm synth    [--dim N | --input F.mtx] [--sparsity P] [--bits B] [--seed S] [--csd]
+//! smm mul      [matrix opts] --vector "1 2 3 ..."       # simulate o = aᵀV
+//! smm verilog  [matrix opts] [--module NAME] [--output F.v]
+//! smm dot      [matrix opts] [--output F.dot]
+//! smm compare  [matrix opts] [--batch B]                # vs cuSPARSE/OptKernel/SIGMA
+//! smm cgra     [matrix opts]                            # Section VIII device estimate
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+pub mod matrix_source;
+
+use args::Args;
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: smm <command> [options]
+
+commands:
+  synth     synthesize: area / Fmax / power / latency report
+  mul       simulate o = a^T V through the bit-serial circuit
+  verilog   emit the synthesizable Verilog module
+  dot       emit a Graphviz rendering of the netlist
+  compare   latency vs cuSPARSE, optimized GPU kernel and SIGMA
+  stream    batched back-to-back streaming simulation (checked)
+  trace     VCD waveform dump of one product (small circuits)
+  system    memory-to-memory product through the SRAM wrapper
+  cgra      Section VIII CGRA estimate (density, swap time)
+
+matrix options (all commands):
+  --input FILE      MatrixMarket .mtx or dense text file
+  --dim N           square dimension for a generated matrix (default 64)
+  --rows N --cols N rectangular generation
+  --sparsity P      element sparsity in [0,1] (default 0.9)
+  --bits B          signed weight bits (default 8)
+  --seed S          generator seed (default 42)
+  --csd             compile with canonical-signed-digit weights
+  --input-bits B    signed input operand bits (default 8)
+
+command-specific:
+  mul:      --vector \"v0 v1 ...\"  (defaults to all ones)
+  verilog:  --module NAME  --output FILE
+  dot:      --output FILE
+  compare:  --batch B  (default 1)
+";
+
+/// Runs the CLI. Returns the process exit code; all normal output goes to
+/// `out`, errors to the returned message.
+pub fn run(raw_args: &[String], out: &mut impl std::io::Write) -> Result<(), String> {
+    let args = Args::parse(raw_args).map_err(|e| format!("{e}\n\n{USAGE}"))?;
+    match args.command.as_str() {
+        "synth" => commands::synth(&args, out),
+        "mul" => commands::mul(&args, out),
+        "verilog" => commands::verilog(&args, out),
+        "dot" => commands::dot(&args, out),
+        "compare" => commands::compare(&args, out),
+        "stream" => commands::stream(&args, out),
+        "trace" => commands::trace(&args, out),
+        "system" => commands::system(&args, out),
+        "cgra" => commands::cgra(&args, out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(words: &[&str]) -> Result<String, String> {
+        let raw: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&raw, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_str(&["help"]).unwrap();
+        assert!(text.contains("usage: smm"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let e = run_str(&["frobnicate"]).unwrap_err();
+        assert!(e.contains("unknown command"));
+    }
+
+    #[test]
+    fn missing_command_errors_with_usage() {
+        let e = run_str(&[]).unwrap_err();
+        assert!(e.contains("usage"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Reference integer vector–matrix products.
+//!
+//! The paper accelerates `o = aᵀV` (Equation 3): the input vector `a` has
+//! one entry per matrix *row*, and the output has one entry per *column* —
+//! each output element is the dot product of `a` with a column of `V`.
+//! These routines, accumulating in `i64`, are the functional ground truth
+//! that every circuit simulation and baseline kernel is checked against.
+
+use crate::error::{Error, Result};
+use crate::matrix::IntMatrix;
+
+/// Computes `o = aᵀV`: `o[j] = Σ_i a[i] · V[i][j]`.
+pub fn vecmat(a: &[i32], v: &IntMatrix) -> Result<Vec<i64>> {
+    if a.len() != v.rows() {
+        return Err(Error::DimensionMismatch {
+            context: format!("vector length {} vs matrix rows {}", a.len(), v.rows()),
+        });
+    }
+    let mut out = vec![0i64; v.cols()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let row = v.row(i);
+        let ai = i64::from(ai);
+        for (o, &w) in out.iter_mut().zip(row) {
+            *o += ai * i64::from(w);
+        }
+    }
+    Ok(out)
+}
+
+/// Computes the conventional `o = V·x`: `o[i] = Σ_j V[i][j] · x[j]`.
+pub fn matvec(v: &IntMatrix, x: &[i32]) -> Result<Vec<i64>> {
+    if x.len() != v.cols() {
+        return Err(Error::DimensionMismatch {
+            context: format!("matrix cols {} vs vector length {}", v.cols(), x.len()),
+        });
+    }
+    let out = (0..v.rows())
+        .map(|i| {
+            v.row(i)
+                .iter()
+                .zip(x)
+                .map(|(&w, &xj)| i64::from(w) * i64::from(xj))
+                .sum()
+        })
+        .collect();
+    Ok(out)
+}
+
+/// Batched `O = A·V` where each *row* of `A` is one input vector
+/// (`A: batch×R`, `V: R×C`, `O: batch×C`). This is the paper's
+/// "batching" workload, with the batch dimension borrowed from DNN
+/// terminology.
+pub fn matmat(a: &IntMatrix, v: &IntMatrix) -> Result<Vec<Vec<i64>>> {
+    if a.cols() != v.rows() {
+        return Err(Error::DimensionMismatch {
+            context: format!("A cols {} vs V rows {}", a.cols(), v.rows()),
+        });
+    }
+    (0..a.rows()).map(|b| vecmat(a.row(b), v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{element_sparse_matrix, random_vector};
+    use crate::rng::seeded;
+
+    #[test]
+    fn vecmat_small_known() {
+        // V = [[1, 2], [3, 4]], a = [5, 6]: aᵀV = [5+18, 10+24] = [23, 34].
+        let v = IntMatrix::from_vec(2, 2, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(vecmat(&[5, 6], &v).unwrap(), vec![23, 34]);
+    }
+
+    #[test]
+    fn matvec_small_known() {
+        let v = IntMatrix::from_vec(2, 2, vec![1, 2, 3, 4]).unwrap();
+        // V·x with x=[5,6]: [5+12, 15+24] = [17, 39].
+        assert_eq!(matvec(&v, &[5, 6]).unwrap(), vec![17, 39]);
+    }
+
+    #[test]
+    fn vecmat_is_matvec_of_transpose() {
+        let mut rng = seeded(31);
+        let v = element_sparse_matrix(20, 30, 8, 0.5, true, &mut rng).unwrap();
+        let a = random_vector(20, 8, true, &mut rng).unwrap();
+        assert_eq!(vecmat(&a, &v).unwrap(), matvec(&v.transpose(), &a).unwrap());
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let v = IntMatrix::zeros(3, 4).unwrap();
+        assert!(vecmat(&[1, 2], &v).is_err());
+        assert!(matvec(&v, &[1, 2, 3]).is_err());
+        let a = IntMatrix::zeros(2, 5).unwrap();
+        assert!(matmat(&a, &v).is_err());
+    }
+
+    #[test]
+    fn matmat_batches_rows() {
+        let mut rng = seeded(32);
+        let v = element_sparse_matrix(16, 8, 8, 0.4, true, &mut rng).unwrap();
+        let a = element_sparse_matrix(4, 16, 8, 0.0, true, &mut rng).unwrap();
+        let o = matmat(&a, &v).unwrap();
+        assert_eq!(o.len(), 4);
+        for (b, row) in o.iter().enumerate() {
+            assert_eq!(row, &vecmat(a.row(b), &v).unwrap());
+        }
+    }
+
+    #[test]
+    fn zero_vector_gives_zero() {
+        let v = IntMatrix::from_vec(2, 2, vec![9, 9, 9, 9]).unwrap();
+        assert_eq!(vecmat(&[0, 0], &v).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        // 8-bit extremes over a long vector stay well within i64.
+        let n = 4096;
+        let v = IntMatrix::from_fn(n, 1, |_, _| -128).unwrap();
+        let a = vec![-128i32; n];
+        let o = vecmat(&a, &v).unwrap();
+        assert_eq!(o[0], 128 * 128 * n as i64);
+    }
+}

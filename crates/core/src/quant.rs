@@ -1,0 +1,131 @@
+//! Symmetric integer quantization.
+//!
+//! The reservoir-computing application generates its weights as floats
+//! (scaled to a spectral radius) and quantizes them to small integers —
+//! Kleyko et al. showed 3–4 bits suffice for many tasks, and the paper's
+//! large-scale experiments use signed 8-bit weights. We use symmetric
+//! (zero-preserving) quantization so that element sparsity is exactly
+//! preserved: a zero weight quantizes to a zero integer, which the spatial
+//! multiplier then culls.
+
+use crate::error::{Error, Result};
+use crate::matrix::IntMatrix;
+
+/// A quantized matrix together with the scale that maps it back to reals:
+/// `float ≈ int * scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantized {
+    /// The integer matrix.
+    pub matrix: IntMatrix,
+    /// Dequantization scale (`float = int * scale`).
+    pub scale: f64,
+    /// The signed bit width the values fit in.
+    pub bits: u32,
+}
+
+impl Quantized {
+    /// Dequantizes element `(r, c)` back to a float.
+    pub fn dequantize(&self, r: usize, c: usize) -> f64 {
+        f64::from(self.matrix[(r, c)]) * self.scale
+    }
+}
+
+/// Quantizes a row-major float matrix symmetrically into `bits`-wide signed
+/// integers: the largest magnitude maps to `2^(bits−1) − 1`.
+///
+/// An all-zero input yields an all-zero matrix with scale 1.
+pub fn quantize_symmetric(
+    rows: usize,
+    cols: usize,
+    values: &[f64],
+    bits: u32,
+) -> Result<Quantized> {
+    if !(2..=31).contains(&bits) {
+        return Err(Error::InvalidBitWidth { bits });
+    }
+    if values.len() != rows * cols {
+        return Err(Error::DataLength {
+            expected: rows * cols,
+            actual: values.len(),
+        });
+    }
+    let max_abs = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let qmax = f64::from((1i32 << (bits - 1)) - 1);
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / qmax };
+    let data = values
+        .iter()
+        .map(|&v| (v / scale).round() as i32)
+        .collect();
+    Ok(Quantized {
+        matrix: IntMatrix::from_vec(rows, cols, data)?,
+        scale,
+        bits,
+    })
+}
+
+/// Quantizes a float vector with a *given* scale (used for activations that
+/// must share the matrix's fixed-point grid).
+pub fn quantize_vector(values: &[f64], scale: f64, bits: u32) -> Result<Vec<i32>> {
+    if !(2..=31).contains(&bits) {
+        return Err(Error::InvalidBitWidth { bits });
+    }
+    let qmax = (1i32 << (bits - 1)) - 1;
+    let qmin = -qmax - 1;
+    Ok(values
+        .iter()
+        .map(|&v| ((v / scale).round() as i64).clamp(i64::from(qmin), i64::from(qmax)) as i32)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_within_half_step() {
+        let vals = [0.5, -1.0, 0.25, 0.0, 0.9, -0.33];
+        let q = quantize_symmetric(2, 3, &vals, 8).unwrap();
+        assert!(q.matrix.fits_signed(8).unwrap());
+        for (i, &v) in vals.iter().enumerate() {
+            let deq = q.dequantize(i / 3, i % 3);
+            assert!((deq - v).abs() <= q.scale / 2.0 + 1e-12, "{v} -> {deq}");
+        }
+    }
+
+    #[test]
+    fn zero_preserving() {
+        let vals = [0.0, 0.7, 0.0, -0.7];
+        let q = quantize_symmetric(2, 2, &vals, 4).unwrap();
+        assert_eq!(q.matrix[(0, 0)], 0);
+        assert_eq!(q.matrix[(1, 0)], 0);
+        assert_eq!(q.matrix.nnz(), 2);
+    }
+
+    #[test]
+    fn max_magnitude_hits_qmax() {
+        let vals = [1.0, -1.0, 0.5];
+        let q = quantize_symmetric(1, 3, &vals, 8).unwrap();
+        assert_eq!(q.matrix[(0, 0)], 127);
+        assert_eq!(q.matrix[(0, 1)], -127);
+    }
+
+    #[test]
+    fn all_zero_input() {
+        let q = quantize_symmetric(1, 2, &[0.0, 0.0], 8).unwrap();
+        assert_eq!(q.scale, 1.0);
+        assert_eq!(q.matrix.nnz(), 0);
+    }
+
+    #[test]
+    fn vector_quantization_clamps() {
+        let v = quantize_vector(&[10.0, -10.0, 0.1], 0.01, 8).unwrap();
+        assert_eq!(v, vec![127, -128, 10]);
+    }
+
+    #[test]
+    fn rejects_bad_widths_and_lengths() {
+        assert!(quantize_symmetric(1, 1, &[1.0], 1).is_err());
+        assert!(quantize_symmetric(1, 2, &[1.0], 8).is_err());
+        assert!(quantize_vector(&[1.0], 1.0, 32).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Deterministic random-number streams.
+//!
+//! Every experiment in the paper starts from "randomly initialize a weight
+//! matrix". To make each figure reproducible bit-for-bit we use ChaCha8 with
+//! explicit seeds, and derive independent sub-streams for independent pieces
+//! of an experiment (matrix values, zero positions, CSD coin flips, input
+//! vectors) so that changing one sweep point never perturbs another.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG type used across the workspace.
+pub type Rng = ChaCha8Rng;
+
+/// A seeded deterministic RNG.
+pub fn seeded(seed: u64) -> Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Derives an independent stream from `(seed, stream)`.
+///
+/// Streams with the same `seed` but different `stream` indices are
+/// statistically independent; this is ChaCha's native stream mechanism.
+pub fn derived(seed: u64, stream: u64) -> Rng {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.set_stream(stream);
+    rng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn derived_streams_are_independent() {
+        let mut a = derived(7, 0);
+        let mut b = derived(7, 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+        // Same (seed, stream) reproduces.
+        let mut c = derived(7, 1);
+        let mut d = derived(7, 1);
+        assert_eq!(c.next_u64(), d.next_u64());
+    }
+}

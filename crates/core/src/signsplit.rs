@@ -1,0 +1,109 @@
+//! Positive/negative splitting of signed weight matrices.
+//!
+//! The bit-serial dot-product hardware handles *unsigned* weights: a set
+//! weight bit selects an input for the reduction tree. Signed weights are
+//! supported by separating the positive and negative terms into two unsigned
+//! matrices `P` and `N` with `V = P − N` and subtracting the two result
+//! streams with one final bit-serial subtractor per column (Section III.c).
+//!
+//! The number of ones is conserved by this transform, so it adds almost no
+//! area — just the final subtractor row — and a single cycle of latency.
+
+use crate::error::Result;
+use crate::matrix::IntMatrix;
+
+/// A signed matrix decomposed as `V = pos − neg` with both halves
+/// non-negative.
+///
+/// Produced either by [`split_pn`] (plain magnitude split) or by the CSD
+/// front end ([`crate::csd::csd_split`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignSplit {
+    /// The positive terms (non-negative matrix).
+    pub pos: IntMatrix,
+    /// The magnitudes of the negative terms (non-negative matrix).
+    pub neg: IntMatrix,
+}
+
+impl SignSplit {
+    /// Reconstructs the original signed matrix `pos − neg`.
+    pub fn reconstruct(&self) -> Result<IntMatrix> {
+        self.pos.sub(&self.neg)
+    }
+
+    /// Total set bits across both halves — the hardware cost driver.
+    pub fn ones(&self) -> u64 {
+        crate::sparsity::ones_in_signed_matrix(&self.pos)
+            + crate::sparsity::ones_in_signed_matrix(&self.neg)
+    }
+
+    /// Minimum unsigned bit width that represents every element of both
+    /// halves (the width of the bit-plane stack the circuit builder needs).
+    pub fn weight_bits(&self) -> u32 {
+        crate::matrix::unsigned_bits_for(self.pos.max_abs().max(self.neg.max_abs()))
+    }
+
+    /// Matrix shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.pos.rows(), self.pos.cols())
+    }
+}
+
+/// Splits a signed matrix into positive and negative magnitude halves
+/// (the paper's "PN" scheme).
+///
+/// `pos[i][j] = max(V[i][j], 0)`, `neg[i][j] = max(−V[i][j], 0)`.
+pub fn split_pn(matrix: &IntMatrix) -> SignSplit {
+    // i32::MIN would overflow negation; the library's 1..=31-bit weight
+    // domain never produces it, but widen defensively.
+    let pos = matrix.map(|v| v.max(0));
+    let neg = matrix.map(|v| i64::from(v).unsigned_abs().min(i32::MAX as u64) as i32 * i32::from(v < 0));
+    SignSplit { pos, neg }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::element_sparse_matrix;
+    use crate::rng::seeded;
+    use crate::sparsity::ones_in_signed_matrix;
+
+    #[test]
+    fn split_reconstructs() {
+        let m = IntMatrix::from_vec(2, 3, vec![-5, 0, 3, 7, -1, 0]).unwrap();
+        let s = split_pn(&m);
+        assert_eq!(s.reconstruct().unwrap(), m);
+        assert_eq!(s.pos.as_slice(), &[0, 0, 3, 7, 0, 0]);
+        assert_eq!(s.neg.as_slice(), &[5, 0, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn split_conserves_ones() {
+        let mut rng = seeded(11);
+        let m = element_sparse_matrix(32, 32, 8, 0.6, true, &mut rng).unwrap();
+        let s = split_pn(&m);
+        assert_eq!(s.ones(), ones_in_signed_matrix(&m));
+    }
+
+    #[test]
+    fn halves_are_nonnegative() {
+        let mut rng = seeded(12);
+        let m = element_sparse_matrix(16, 16, 8, 0.3, true, &mut rng).unwrap();
+        let s = split_pn(&m);
+        assert!(s.pos.as_slice().iter().all(|&v| v >= 0));
+        assert!(s.neg.as_slice().iter().all(|&v| v >= 0));
+    }
+
+    #[test]
+    fn weight_bits_covers_extremes() {
+        let m = IntMatrix::from_vec(1, 2, vec![-128, 127]).unwrap();
+        let s = split_pn(&m);
+        assert_eq!(s.weight_bits(), 8); // |−128| = 128 needs 8 unsigned bits
+    }
+
+    #[test]
+    fn shape_passthrough() {
+        let m = IntMatrix::zeros(3, 5).unwrap();
+        assert_eq!(split_pn(&m).shape(), (3, 5));
+    }
+}

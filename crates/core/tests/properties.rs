@@ -1,0 +1,106 @@
+//! Property-based tests for the smm-core invariants.
+
+use proptest::prelude::*;
+use smm_core::csd::{csd_digits, csd_split, ChainPolicy};
+use smm_core::generate::{bit_sparse_matrix, element_sparse_matrix};
+use smm_core::gemv::{matvec, vecmat};
+use smm_core::matrix::IntMatrix;
+use smm_core::rng::seeded;
+use smm_core::signsplit::split_pn;
+use smm_core::sparsity::{bit_sparsity_of, element_sparsity_of, ones_in_signed_matrix};
+
+proptest! {
+    /// CSD preserves the value and never increases the digit count, for any
+    /// value/width/policy.
+    #[test]
+    fn csd_value_preserved(value in 0u32..(1 << 16), seed in any::<u64>()) {
+        let bits = 16;
+        let mut rng = seeded(seed);
+        for policy in [ChainPolicy::CoinFlip, ChainPolicy::Always, ChainPolicy::Never] {
+            let d = csd_digits(value, bits, policy, &mut rng).unwrap();
+            prop_assert_eq!(d.value(), i64::from(value));
+            prop_assert!(d.ones() <= value.count_ones().max(1));
+            prop_assert_eq!(d.positive() & d.negative(), 0);
+        }
+    }
+
+    /// PN split reconstructs the original matrix and conserves set bits.
+    #[test]
+    fn pn_split_roundtrip(seed in any::<u64>(), sparsity in 0.0f64..1.0) {
+        let mut rng = seeded(seed);
+        let m = element_sparse_matrix(12, 9, 8, sparsity, true, &mut rng).unwrap();
+        let s = split_pn(&m);
+        prop_assert_eq!(s.reconstruct().unwrap(), m.clone());
+        prop_assert_eq!(s.ones(), ones_in_signed_matrix(&m));
+    }
+
+    /// CSD split reconstructs the original matrix and never costs more ones.
+    #[test]
+    fn csd_split_roundtrip(seed in any::<u64>(), sparsity in 0.0f64..1.0) {
+        let mut rng = seeded(seed);
+        let m = element_sparse_matrix(10, 10, 8, sparsity, true, &mut rng).unwrap();
+        let before = ones_in_signed_matrix(&m);
+        let (s, stats) = csd_split(&m, ChainPolicy::CoinFlip, &mut rng).unwrap();
+        prop_assert_eq!(s.reconstruct().unwrap(), m);
+        prop_assert!(s.ones() <= before);
+        prop_assert_eq!(s.ones(), stats.ones_after);
+    }
+
+    /// vecmat is linear: (a + b)ᵀV == aᵀV + bᵀV.
+    #[test]
+    fn vecmat_linearity(seed in any::<u64>()) {
+        let mut rng = seeded(seed);
+        let v = element_sparse_matrix(8, 11, 8, 0.5, true, &mut rng).unwrap();
+        let a = smm_core::generate::random_vector(8, 7, true, &mut rng).unwrap();
+        let b = smm_core::generate::random_vector(8, 7, true, &mut rng).unwrap();
+        let sum: Vec<i32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let oa = vecmat(&a, &v).unwrap();
+        let ob = vecmat(&b, &v).unwrap();
+        let os = vecmat(&sum, &v).unwrap();
+        for j in 0..v.cols() {
+            prop_assert_eq!(os[j], oa[j] + ob[j]);
+        }
+    }
+
+    /// vecmat against identity is the vector itself (widened).
+    #[test]
+    fn vecmat_identity(a in prop::collection::vec(-1000i32..1000, 1..20)) {
+        let n = a.len();
+        let id = IntMatrix::identity(n).unwrap();
+        let o = vecmat(&a, &id).unwrap();
+        for (x, y) in a.iter().zip(&o) {
+            prop_assert_eq!(i64::from(*x), *y);
+        }
+        // And matvec agrees on the identity too.
+        let o2 = matvec(&id, &a).unwrap();
+        prop_assert_eq!(o, o2);
+    }
+
+    /// Generated element sparsity is exactly the rounded target.
+    #[test]
+    fn element_sparsity_exact(seed in any::<u64>(), sparsity in 0.0f64..1.0) {
+        let mut rng = seeded(seed);
+        let m = element_sparse_matrix(16, 16, 8, sparsity, true, &mut rng).unwrap();
+        let target = (sparsity * 256.0).round() / 256.0;
+        prop_assert!((element_sparsity_of(&m) - target).abs() < 1e-12);
+    }
+
+    /// Bit-sparse generation tracks its target within statistical noise.
+    #[test]
+    fn bit_sparse_tracks_target(seed in any::<u64>(), sparsity in 0.0f64..=1.0) {
+        let mut rng = seeded(seed);
+        let m = bit_sparse_matrix(32, 32, 8, sparsity, &mut rng).unwrap();
+        let measured = bit_sparsity_of(&m, 8).unwrap();
+        // 8192 Bernoulli draws: 5 sigma is ~0.028 at p=0.5.
+        prop_assert!((measured - sparsity).abs() < 0.05, "target {sparsity} measured {measured}");
+    }
+
+    /// Transpose is an involution and preserves nnz.
+    #[test]
+    fn transpose_involution(seed in any::<u64>()) {
+        let mut rng = seeded(seed);
+        let m = element_sparse_matrix(7, 13, 8, 0.7, true, &mut rng).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        prop_assert_eq!(m.transpose().nnz(), m.nnz());
+    }
+}

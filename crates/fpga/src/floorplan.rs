@@ -1,0 +1,159 @@
+//! SLR floorplanning: how a design splits across the XCVU13P's four
+//! chiplets, and what that does to timing.
+//!
+//! The paper's Figure 11 attributes the frequency bands to two mechanisms:
+//! first-stage broadcast fanout and nets crossing SLR boundaries. This
+//! module makes the second mechanism inspectable: a greedy column-wise
+//! partition (columns are independent reduction cones, the natural
+//! placement unit), per-SLR occupancy, and the count of input-broadcast
+//! nets that must cross chiplet boundaries.
+
+use crate::device::Device;
+use smm_bitserial::multiplier::FixedMatrixMultiplier;
+
+/// One SLR's share of the design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlrRegion {
+    /// SLR index (0-based).
+    pub index: u32,
+    /// Output columns placed here (contiguous range).
+    pub columns: std::ops::Range<usize>,
+    /// LUTs placed here.
+    pub luts: u64,
+    /// Occupancy against the usable capacity.
+    pub occupancy: f64,
+}
+
+/// The whole-device floorplan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    /// Per-SLR placement, in order.
+    pub regions: Vec<SlrRegion>,
+    /// Input-broadcast nets that cross at least one SLR boundary: every
+    /// matrix row whose taps land in more than one region.
+    pub crossing_nets: usize,
+    /// Whether the partition fit within the device's SLR count.
+    pub fits: bool,
+}
+
+impl Floorplan {
+    /// Number of SLRs actually used.
+    pub fn slrs_used(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+/// Greedily packs output columns into SLRs in order, splitting when the
+/// usable capacity fills. Column LUT cost is apportioned from the
+/// compiled circuit's per-column structure.
+pub fn floorplan(multiplier: &FixedMatrixMultiplier, device: &Device) -> Floorplan {
+    let cols = multiplier.cols();
+    let total_logic = multiplier.stats().logic_elements() as u64;
+    // Columns are near-uniform in expectation; apportion logic evenly.
+    // (An exact per-column attribution would walk the netlist; the even
+    // split matches the random matrices this flow targets.)
+    let per_column = (total_logic as f64 / cols as f64).max(1.0);
+    let capacity = device.usable_slr_luts();
+
+    let mut regions = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0.0f64;
+    let mut index = 0u32;
+    for c in 0..cols {
+        acc += per_column;
+        let last = c + 1 == cols;
+        if acc >= capacity || last {
+            regions.push(SlrRegion {
+                index,
+                columns: start..c + 1,
+                luts: acc.round() as u64,
+                occupancy: acc / capacity,
+            });
+            start = c + 1;
+            acc = 0.0;
+            index += 1;
+        }
+    }
+    // Every input row broadcasts to (almost) every column in a random
+    // sparse matrix, so each row's net crosses into every extra region.
+    let crossing_nets = if regions.len() > 1 {
+        multiplier.stats().rows_used
+    } else {
+        0
+    };
+    let fits = regions.len() <= device.slrs as usize;
+    Floorplan {
+        regions,
+        crossing_nets,
+        fits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_bitserial::multiplier::WeightEncoding;
+    use smm_core::generate::element_sparse_matrix;
+    use smm_core::rng::seeded;
+
+    fn compile(dim: usize, sparsity: f64) -> FixedMatrixMultiplier {
+        let mut rng = seeded(111);
+        let m = element_sparse_matrix(dim, dim, 8, sparsity, true, &mut rng).unwrap();
+        FixedMatrixMultiplier::compile(&m, 8, WeightEncoding::Pn).unwrap()
+    }
+
+    #[test]
+    fn small_design_single_slr_no_crossings() {
+        let mul = compile(64, 0.9);
+        let plan = floorplan(&mul, &Device::xcvu13p());
+        assert_eq!(plan.slrs_used(), 1);
+        assert_eq!(plan.crossing_nets, 0);
+        assert!(plan.fits);
+        assert_eq!(plan.regions[0].columns, 0..64);
+        assert!(plan.regions[0].occupancy < 0.1);
+    }
+
+    #[test]
+    fn columns_partition_exactly() {
+        let mul = compile(48, 0.5);
+        let plan = floorplan(&mul, &Device::xcvu13p());
+        // Every column appears in exactly one region, in order.
+        let mut next = 0usize;
+        for r in &plan.regions {
+            assert_eq!(r.columns.start, next);
+            next = r.columns.end;
+        }
+        assert_eq!(next, 48);
+    }
+
+    #[test]
+    fn big_design_spans_and_crosses() {
+        // Shrink the device instead of compiling a huge matrix.
+        let mul = compile(96, 0.3);
+        let tiny = Device {
+            slr_luts: 20_000,
+            slrs: 4,
+            ..Device::xcvu13p()
+        };
+        let plan = floorplan(&mul, &tiny);
+        assert!(plan.slrs_used() >= 2, "used {}", plan.slrs_used());
+        assert_eq!(plan.crossing_nets, mul.stats().rows_used);
+        // Total placed LUTs ≈ total logic.
+        let placed: u64 = plan.regions.iter().map(|r| r.luts).sum();
+        let logic = mul.stats().logic_elements() as u64;
+        assert!((placed as i64 - logic as i64).unsigned_abs() <= plan.slrs_used() as u64 + 96);
+    }
+
+    #[test]
+    fn overflow_is_flagged() {
+        let mul = compile(96, 0.1);
+        let micro = Device {
+            slr_luts: 5_000,
+            slrs: 2,
+            ..Device::xcvu13p()
+        };
+        let plan = floorplan(&mul, &micro);
+        assert!(!plan.fits);
+        assert!(plan.slrs_used() > 2);
+    }
+}

@@ -1,0 +1,278 @@
+//! Warp-level executed SpMV: a cycle-approximate simulation of a
+//! row-per-warp CSR kernel that *computes the actual product* while it
+//! counts cycles — the executable counterpart of the analytic model in
+//! [`crate::model`].
+//!
+//! The machine abstraction (V100-like): `sms × warp_slots` concurrent
+//! warps of 32 lanes; each warp owns one output row of the CSR matrix,
+//! iterating its non-zeros 32 at a time with an amortized memory cost per
+//! chunk, then reducing across lanes in `log2(32)` steps. Rows are
+//! scheduled round-robin over the warp slots; the kernel ends at the
+//! longest slot (makespan). A fixed launch pipeline fronts everything —
+//! the microsecond floor the paper observes.
+
+use smm_core::error::Result;
+use smm_sparse::Csr;
+
+/// Machine parameters (defaults approximate a V100 at boost clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarpGpuConfig {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Resident warps per SM that can make progress concurrently.
+    pub warp_slots_per_sm: usize,
+    /// Lanes per warp.
+    pub warp_size: usize,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// Fixed launch/driver pipeline cycles (the latency floor).
+    pub launch_cycles: u64,
+    /// Cycles per 32-wide non-zero chunk (amortized gather + FMA).
+    pub cycles_per_chunk: u64,
+    /// Cycles for the intra-warp reduction and the result store.
+    pub reduce_cycles: u64,
+    /// DRAM bytes deliverable per cycle (HBM2 on the V100: ~900 GB/s at
+    /// 1.53 GHz ≈ 590 B/cycle). Bounds large kernels.
+    pub bytes_per_cycle: u64,
+    /// Bytes fetched per stored non-zero (FP16 value + 32-bit column
+    /// index, as the paper's FP16-proxy libraries lay out).
+    pub bytes_per_nnz: u64,
+}
+
+impl Default for WarpGpuConfig {
+    fn default() -> Self {
+        Self {
+            sms: 80,
+            warp_slots_per_sm: 8,
+            warp_size: 32,
+            clock_ghz: 1.53,
+            launch_cycles: 4200,
+            cycles_per_chunk: 40,
+            reduce_cycles: 12,
+            bytes_per_cycle: 590,
+            bytes_per_nnz: 6,
+        }
+    }
+}
+
+/// The result of one simulated kernel: the computed vector and its timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarpRun {
+    /// The product `o = aᵀV`, computed through the warp datapath.
+    pub output: Vec<i64>,
+    /// Total kernel cycles (launch + makespan).
+    pub cycles: u64,
+    /// Kernel time in nanoseconds at the configured clock.
+    pub ns: f64,
+    /// Warp-slot occupancy: busiest slot's work over mean work (1.0 =
+    /// perfectly balanced).
+    pub imbalance: f64,
+}
+
+/// Simulates a row-per-warp CSR kernel computing `o = aᵀV`.
+///
+/// `csr` must be the CSR of `Vᵀ` (each CSR row is an output element), the
+/// layout a GPU library would build once at matrix-load time.
+#[allow(clippy::needless_range_loop)] // `row` indexes csr rows and the output in lockstep
+pub fn run_spmv(csr: &Csr, a: &[i32], config: &WarpGpuConfig) -> Result<WarpRun> {
+    let slots = (config.sms * config.warp_slots_per_sm).max(1);
+    let mut slot_cycles = vec![0u64; slots];
+    let mut output = vec![0i64; csr.rows()];
+
+    for row in 0..csr.rows() {
+        // Functional: the warp's lanes gather and multiply; we fold the
+        // lane parallelism into per-chunk arithmetic.
+        let mut acc = 0i64;
+        let mut nnz_row = 0usize;
+        for (col, w) in csr.row(row) {
+            let ai = *a
+                .get(col)
+                .ok_or(smm_core::error::Error::DimensionMismatch {
+                    context: format!("vector length {} vs matrix cols {}", a.len(), csr.cols()),
+                })?;
+            acc += i64::from(w) * i64::from(ai);
+            nnz_row += 1;
+        }
+        output[row] = acc;
+        // Timing: chunked iteration + reduction, on the next slot.
+        let chunks = nnz_row.div_ceil(config.warp_size) as u64;
+        let cost = chunks * config.cycles_per_chunk + config.reduce_cycles;
+        slot_cycles[row % slots] += cost;
+    }
+
+    let compute_makespan = slot_cycles.iter().copied().max().unwrap_or(0);
+    // Large kernels are DRAM-bound: every stored non-zero crosses the
+    // memory bus once.
+    let bandwidth_cycles =
+        (csr.nnz() as u64 * config.bytes_per_nnz).div_ceil(config.bytes_per_cycle.max(1));
+    let makespan = compute_makespan.max(bandwidth_cycles);
+    let mean =
+        slot_cycles.iter().sum::<u64>() as f64 / slots.min(csr.rows().max(1)) as f64;
+    let cycles = config.launch_cycles + makespan;
+    Ok(WarpRun {
+        output,
+        cycles,
+        ns: cycles as f64 / config.clock_ghz,
+        imbalance: if mean > 0.0 {
+            compute_makespan as f64 / mean
+        } else {
+            1.0
+        },
+    })
+}
+
+/// Simulates a batched SpMM: `batch` input vectors against the stationary
+/// CSR matrix. The matrix's non-zeros cross the memory bus once (they are
+/// stationary in L2/SMEM across the batch); per-batch compute scales with
+/// utilization exactly as in [`run_spmv`].
+#[allow(clippy::needless_range_loop)] // `row` indexes csr rows and the output in lockstep
+pub fn run_spmm(
+    csr: &Csr,
+    inputs: &[Vec<i32>],
+    config: &WarpGpuConfig,
+) -> Result<(Vec<Vec<i64>>, u64)> {
+    assert!(!inputs.is_empty(), "need at least one input vector");
+    let slots = (config.sms * config.warp_slots_per_sm).max(1);
+    let mut slot_cycles = vec![0u64; slots];
+    let mut outputs = Vec::with_capacity(inputs.len());
+    let mut warp = 0usize;
+    for a in inputs {
+        let mut out = vec![0i64; csr.rows()];
+        for row in 0..csr.rows() {
+            let mut acc = 0i64;
+            let mut nnz_row = 0usize;
+            for (col, w) in csr.row(row) {
+                let ai = *a.get(col).ok_or(smm_core::error::Error::DimensionMismatch {
+                    context: format!(
+                        "vector length {} vs matrix cols {}",
+                        a.len(),
+                        csr.cols()
+                    ),
+                })?;
+                acc += i64::from(w) * i64::from(ai);
+                nnz_row += 1;
+            }
+            out[row] = acc;
+            let chunks = nnz_row.div_ceil(config.warp_size) as u64;
+            slot_cycles[warp % slots] += chunks * config.cycles_per_chunk + config.reduce_cycles;
+            warp += 1;
+        }
+        outputs.push(out);
+    }
+    let compute_makespan = slot_cycles.iter().copied().max().unwrap_or(0);
+    // Stationary matrix: one pass of non-zeros plus the batch's vectors.
+    let bytes = csr.nnz() as u64 * config.bytes_per_nnz
+        + inputs.len() as u64 * csr.cols() as u64 * 2;
+    let bandwidth_cycles = bytes.div_ceil(config.bytes_per_cycle.max(1));
+    let cycles = config.launch_cycles + compute_makespan.max(bandwidth_cycles);
+    Ok((outputs, cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_core::generate::{element_sparse_matrix, random_vector};
+    use smm_core::gemv::vecmat;
+    use smm_core::rng::seeded;
+
+    fn setup(dim: usize, sparsity: f64, seed: u64) -> (smm_core::IntMatrix, Csr, Vec<i32>) {
+        let mut rng = seeded(seed);
+        let m = element_sparse_matrix(dim, dim, 8, sparsity, true, &mut rng).unwrap();
+        let csr_t = Csr::from_dense(&m.transpose());
+        let a = random_vector(dim, 8, true, &mut rng).unwrap();
+        (m, csr_t, a)
+    }
+
+    #[test]
+    fn computes_the_right_product() {
+        for (dim, sparsity) in [(32usize, 0.5), (128, 0.9), (300, 0.97)] {
+            let (m, csr_t, a) = setup(dim, sparsity, 95);
+            let run = run_spmv(&csr_t, &a, &WarpGpuConfig::default()).unwrap();
+            assert_eq!(run.output, vecmat(&a, &m).unwrap(), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn never_breaks_the_microsecond_barrier() {
+        let config = WarpGpuConfig::default();
+        for dim in [64usize, 256, 1024] {
+            let (_, csr_t, a) = setup(dim, 0.98, 96);
+            let run = run_spmv(&csr_t, &a, &config).unwrap();
+            assert!(run.ns > 1000.0, "dim {dim}: {} ns", run.ns);
+        }
+    }
+
+    #[test]
+    fn latency_bound_then_throughput_bound() {
+        let config = WarpGpuConfig::default();
+        // Small sparse: launch dominates (latency-bound, flat).
+        let (_, small, a_small) = setup(64, 0.98, 97);
+        let r_small = run_spmv(&small, &a_small, &config).unwrap();
+        assert!(r_small.cycles < config.launch_cycles + 200);
+        // Large dense-ish: work dominates.
+        let (_, big, a_big) = setup(1024, 0.5, 97);
+        let r_big = run_spmv(&big, &a_big, &config).unwrap();
+        assert!(r_big.cycles > 2 * config.launch_cycles, "{}", r_big.cycles);
+    }
+
+    #[test]
+    fn agrees_with_the_analytic_model_in_shape() {
+        // The executed simulator and the analytic curve should rank
+        // configurations the same way (they model one machine).
+        use smm_sparse::SparsityProfile;
+        let config = WarpGpuConfig::default();
+        let analytic = crate::model::GpuKernelModel::cusparse();
+        let mut last_sim = 0.0f64;
+        let mut last_model = 0.0f64;
+        for sparsity in [0.95, 0.8, 0.6] {
+            let (m, csr_t, a) = setup(512, sparsity, 98);
+            let sim_ns = run_spmv(&csr_t, &a, &config).unwrap().ns;
+            let model_ns =
+                analytic.spmv_latency_ns(&SparsityProfile::of(&Csr::from_dense(&m)));
+            assert!(sim_ns > last_sim, "sim not increasing at {sparsity}");
+            assert!(model_ns > last_model, "model not increasing at {sparsity}");
+            last_sim = sim_ns;
+            last_model = model_ns;
+        }
+    }
+
+    #[test]
+    fn imbalance_reported_for_skewed_rows() {
+        // A matrix with one dense column (dense CSR-T row) is imbalanced.
+        let mut m = smm_core::IntMatrix::zeros(256, 256).unwrap();
+        for r in 0..256 {
+            m.set(r, 0, 1); // column 0 dense
+        }
+        m.set(0, 1, 1);
+        let csr_t = Csr::from_dense(&m.transpose());
+        let a = vec![1i32; 256];
+        let run = run_spmv(&csr_t, &a, &WarpGpuConfig::default()).unwrap();
+        assert!(run.imbalance > 1.5, "imbalance {}", run.imbalance);
+        assert_eq!(run.output[0], 256);
+    }
+
+    #[test]
+    fn spmm_matches_per_vector_products_and_amortizes() {
+        let config = WarpGpuConfig::default();
+        let (m, csr_t, _) = setup(128, 0.9, 100);
+        let mut rng = seeded(101);
+        let inputs: Vec<Vec<i32>> = (0..8)
+            .map(|_| random_vector(128, 8, true, &mut rng).unwrap())
+            .collect();
+        let (outs, cycles_b8) = run_spmm(&csr_t, &inputs, &config).unwrap();
+        for (a, o) in inputs.iter().zip(&outs) {
+            assert_eq!(o, &vecmat(a, &m).unwrap());
+        }
+        let (_, cycles_b1) = run_spmm(&csr_t, &inputs[..1], &config).unwrap();
+        // 8x the work costs much less than 8x the time (amortized launch,
+        // abundant warp slots).
+        assert!(cycles_b8 < 4 * cycles_b1, "{cycles_b1} -> {cycles_b8}");
+        assert!(cycles_b8 >= cycles_b1);
+    }
+
+    #[test]
+    fn wrong_vector_length_rejected() {
+        let (_, csr_t, _) = setup(16, 0.5, 99);
+        assert!(run_spmv(&csr_t, &[1, 2], &WarpGpuConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! Integer echo state networks (after Kleyko et al., the paper's
+//! reference [16]): reservoir weights and states quantized to small
+//! integers, with a clipping activation — exactly the arithmetic the
+//! spatial bit-serial multiplier accelerates.
+//!
+//! The recurrent product `W·x` can run on either compute engine:
+//!
+//! * [`EngineKind::Reference`] — plain integer gemv (ground truth);
+//! * [`EngineKind::Circuit`] — the compiled bit-serial netlist, simulated
+//!   cycle-accurately.
+//!
+//! The two are **bit-exact**: an integration test drives whole tasks
+//! through both and compares every state.
+
+use crate::esn::{Esn, EsnConfig};
+use crate::linalg::MatF64;
+use smm_bitserial::multiplier::{FixedMatrixMultiplier, WeightEncoding};
+use smm_core::error::{Error, Result};
+use smm_core::matrix::IntMatrix;
+
+/// Which engine executes the recurrent `W·x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Reference integer gemv.
+    #[default]
+    Reference,
+    /// The compiled bit-serial spatial circuit (cycle-accurate simulation).
+    Circuit,
+}
+
+/// Hyperparameters of an integer ESN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntEsnConfig {
+    /// The underlying float reservoir configuration.
+    pub esn: EsnConfig,
+    /// Signed bit width of the quantized weights (3–4 suffice per [16]).
+    pub weight_bits: u32,
+    /// Signed bit width of the state/activation fixed point.
+    pub state_bits: u32,
+}
+
+impl Default for IntEsnConfig {
+    fn default() -> Self {
+        Self {
+            esn: EsnConfig::default(),
+            weight_bits: 4,
+            state_bits: 8,
+        }
+    }
+}
+
+/// An integer echo state network.
+#[derive(Debug, Clone)]
+pub struct IntEsn {
+    config: IntEsnConfig,
+    /// Quantized reservoir, `N × N`, on the `2^−shift` grid.
+    w_q: IntMatrix,
+    /// Quantized input matrix, `N × K`, same grid.
+    w_in_q: IntMatrix,
+    /// Weight scale exponent: `w_float ≈ w_int · 2^−shift`.
+    shift: u32,
+    state: Vec<i32>,
+    engine: EngineKind,
+    circuit: Option<FixedMatrixMultiplier>,
+}
+
+impl IntEsn {
+    /// Builds a fresh integer ESN from hyperparameters (generates the float
+    /// reservoir, then quantizes it).
+    pub fn new(config: IntEsnConfig, engine: EngineKind) -> Result<Self> {
+        let float = Esn::new(config.esn.clone())?;
+        Self::from_float(&float, config.weight_bits, config.state_bits, engine)
+    }
+
+    /// Quantizes an existing float ESN.
+    ///
+    /// The weight scale is forced to a power of two so the activation
+    /// renormalization is an exact arithmetic shift — no gain drift between
+    /// the float and integer reservoirs beyond rounding.
+    pub fn from_float(
+        float: &Esn,
+        weight_bits: u32,
+        state_bits: u32,
+        engine: EngineKind,
+    ) -> Result<Self> {
+        if !(2..=8).contains(&weight_bits) {
+            return Err(Error::InvalidBitWidth { bits: weight_bits });
+        }
+        if !(2..=15).contains(&state_bits) {
+            return Err(Error::InvalidBitWidth { bits: state_bits });
+        }
+        let w = float.reservoir_matrix();
+        let w_in = float.input_matrix();
+        let qmax_w = f64::from((1i32 << (weight_bits - 1)) - 1);
+        let max_abs = w
+            .as_slice()
+            .iter()
+            .chain(w_in.as_slice())
+            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        if max_abs == 0.0 {
+            return Err(Error::EmptyDimension);
+        }
+        // Largest power-of-two gain that keeps every weight within range.
+        let shift = (qmax_w / max_abs).log2().floor().max(0.0) as u32;
+        let gain = f64::from(1u32 << shift);
+        let n = float.config().reservoir_size;
+        let k = float.config().input_dim;
+        let quantize = |m: &MatF64, rows: usize, cols: usize| -> Result<IntMatrix> {
+            IntMatrix::from_fn(rows, cols, |r, c| (m.get(r, c) * gain).round() as i32)
+        };
+        let w_q = quantize(w, n, n)?;
+        let w_in_q = quantize(w_in, n, k)?;
+        let circuit = match engine {
+            EngineKind::Reference => None,
+            EngineKind::Circuit => Some(FixedMatrixMultiplier::compile(
+                &w_q.transpose(),
+                state_bits,
+                WeightEncoding::Pn,
+            )?),
+        };
+        Ok(Self {
+            config: IntEsnConfig {
+                esn: float.config().clone(),
+                weight_bits,
+                state_bits,
+            },
+            w_q,
+            w_in_q,
+            shift,
+            state: vec![0; n],
+            engine,
+            circuit,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IntEsnConfig {
+        &self.config
+    }
+
+    /// The engine in use.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// The quantized reservoir matrix (e.g. for FPGA synthesis reports).
+    pub fn reservoir_matrix(&self) -> &IntMatrix {
+        &self.w_q
+    }
+
+    /// The compiled circuit, when the engine is [`EngineKind::Circuit`].
+    pub fn circuit(&self) -> Option<&FixedMatrixMultiplier> {
+        self.circuit.as_ref()
+    }
+
+    /// Fixed-point saturation bound of the state.
+    fn qmax_state(&self) -> i32 {
+        (1i32 << (self.config.state_bits - 1)) - 1
+    }
+
+    /// Current integer state.
+    pub fn state(&self) -> &[i32] {
+        &self.state
+    }
+
+    /// Current state dequantized to floats in `[−1, 1]`.
+    pub fn state_f64(&self) -> Vec<f64> {
+        let q = f64::from(self.qmax_state());
+        self.state.iter().map(|&v| f64::from(v) / q).collect()
+    }
+
+    /// Zeroes the state.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|v| *v = 0);
+    }
+
+    /// One recurrent update with a float input vector (quantized onto the
+    /// state grid internally). Returns the new integer state.
+    ///
+    /// `x' = clip(round((W_q·x + W_in_q·u_q) · 2^−shift))` — the clipping
+    /// activation of integer reservoirs.
+    pub fn update(&mut self, input: &[f64]) -> Result<&[i32]> {
+        if input.len() != self.config.esn.input_dim {
+            return Err(Error::DimensionMismatch {
+                context: format!(
+                    "input length {} vs input_dim {}",
+                    input.len(),
+                    self.config.esn.input_dim
+                ),
+            });
+        }
+        let qmax = self.qmax_state();
+        let u_q: Vec<i32> = input
+            .iter()
+            .map(|&u| ((u * f64::from(qmax)).round() as i64).clamp(-(qmax as i64) - 1, qmax as i64) as i32)
+            .collect();
+        let recur: Vec<i64> = match (&self.circuit, self.engine) {
+            (Some(circuit), EngineKind::Circuit) => circuit.mul(&self.state)?,
+            _ => smm_core::gemv::matvec(&self.w_q, &self.state)?,
+        };
+        let drive = smm_core::gemv::matvec(&self.w_in_q, &u_q)?;
+        let half = 1i64 << (self.shift.max(1) - 1);
+        for (i, x) in self.state.iter_mut().enumerate() {
+            let acc = recur[i] + drive[i];
+            // Rounding arithmetic shift, then the clip activation.
+            let scaled = if self.shift == 0 { acc } else { (acc + half) >> self.shift };
+            *x = scaled.clamp(i64::from(-qmax), i64::from(qmax)) as i32;
+        }
+        Ok(&self.state)
+    }
+
+    /// Runs a sequence and collects post-washout dequantized states
+    /// (`T−washout × N`), ready for readout training.
+    pub fn harvest_states(&mut self, inputs: &[Vec<f64>], washout: usize) -> Result<MatF64> {
+        if inputs.len() <= washout {
+            return Err(Error::DimensionMismatch {
+                context: format!(
+                    "sequence length {} must exceed washout {washout}",
+                    inputs.len()
+                ),
+            });
+        }
+        let n = self.state.len();
+        let mut states = MatF64::zeros(inputs.len() - washout, n);
+        for (t, u) in inputs.iter().enumerate() {
+            self.update(u)?;
+            if t >= washout {
+                let q = f64::from(self.qmax_state());
+                for (c, &v) in self.state.iter().enumerate() {
+                    states.set(t - washout, c, f64::from(v) / q);
+                }
+            }
+        }
+        Ok(states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> IntEsnConfig {
+        IntEsnConfig {
+            esn: EsnConfig {
+                reservoir_size: 40,
+                element_sparsity: 0.85,
+                seed: 11,
+                ..EsnConfig::default()
+            },
+            weight_bits: 4,
+            state_bits: 8,
+        }
+    }
+
+    #[test]
+    fn weights_fit_declared_bits() {
+        let esn = IntEsn::new(small(), EngineKind::Reference).unwrap();
+        assert!(esn.reservoir_matrix().fits_signed(4).unwrap());
+    }
+
+    #[test]
+    fn quantization_preserves_sparsity_pattern_zeroes() {
+        let float = Esn::new(small().esn).unwrap();
+        let int = IntEsn::from_float(&float, 4, 8, EngineKind::Reference).unwrap();
+        // Every zero float weight stays exactly zero.
+        for (r, c, v) in int.reservoir_matrix().iter() {
+            if float.reservoir_matrix().get(r, c) == 0.0 {
+                assert_eq!(v, 0, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn state_saturates_not_overflows() {
+        let mut esn = IntEsn::new(small(), EngineKind::Reference).unwrap();
+        for _ in 0..100 {
+            esn.update(&[1.0]).unwrap();
+        }
+        let qmax = 127;
+        assert!(esn.state().iter().all(|&v| v.abs() <= qmax));
+        assert!(esn.state().iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn circuit_and_reference_are_bit_exact() {
+        let cfg = IntEsnConfig {
+            esn: EsnConfig {
+                reservoir_size: 24,
+                element_sparsity: 0.8,
+                seed: 12,
+                ..EsnConfig::default()
+            },
+            weight_bits: 3,
+            state_bits: 6,
+        };
+        let mut reference = IntEsn::new(cfg.clone(), EngineKind::Reference).unwrap();
+        let mut circuit = IntEsn::new(cfg, EngineKind::Circuit).unwrap();
+        assert!(circuit.circuit().is_some());
+        for t in 0..25 {
+            let u = vec![(t as f64 * 0.37).sin() * 0.4];
+            let a = reference.update(&u).unwrap().to_vec();
+            let b = circuit.update(&u).unwrap().to_vec();
+            assert_eq!(a, b, "step {t}");
+        }
+    }
+
+    #[test]
+    fn dequantized_state_in_unit_range() {
+        let mut esn = IntEsn::new(small(), EngineKind::Reference).unwrap();
+        for t in 0..50 {
+            esn.update(&[(t as f64 * 0.2).cos() * 0.5]).unwrap();
+        }
+        assert!(esn.state_f64().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn harvest_shapes() {
+        let mut esn = IntEsn::new(small(), EngineKind::Reference).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..30).map(|t| vec![f64::from(t % 4) * 0.1]).collect();
+        let states = esn.harvest_states(&inputs, 5).unwrap();
+        assert_eq!(states.rows(), 25);
+        assert_eq!(states.cols(), 40);
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        let float = Esn::new(small().esn).unwrap();
+        assert!(IntEsn::from_float(&float, 1, 8, EngineKind::Reference).is_err());
+        assert!(IntEsn::from_float(&float, 4, 16, EngineKind::Reference).is_err());
+    }
+
+    #[test]
+    fn integer_tracks_float_dynamics() {
+        // The integer reservoir's state trajectory correlates with the
+        // float one (quantization is lossy but not destructive).
+        let float_cfg = small().esn;
+        let mut float = Esn::new(float_cfg.clone()).unwrap();
+        let mut int = IntEsn::new(small(), EngineKind::Reference).unwrap();
+        let mut dots = 0.0;
+        let mut nf = 0.0;
+        let mut ni = 0.0;
+        for t in 0..200 {
+            let u = vec![(t as f64 * 0.17).sin() * 0.3];
+            float.update(&u).unwrap();
+            int.update(&u).unwrap();
+            if t >= 50 {
+                let fi = int.state_f64();
+                for (a, b) in float.state().iter().zip(&fi) {
+                    dots += a * b;
+                    nf += a * a;
+                    ni += b * b;
+                }
+            }
+        }
+        let cosine = dots / (nf.sqrt() * ni.sqrt());
+        assert!(cosine > 0.7, "cosine similarity {cosine}");
+    }
+}

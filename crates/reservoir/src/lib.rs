@@ -1,0 +1,44 @@
+//! # smm-reservoir
+//!
+//! The motivating application of the paper: echo state networks with large,
+//! sparse, *fixed* random reservoirs — float and integer-quantized — with
+//! ridge-regression readouts and the classic reservoir benchmark tasks
+//! (NARMA-10, Mackey–Glass, channel equalization, delayed memory).
+//!
+//! The integer reservoir can execute its recurrent `W·x` directly on the
+//! compiled bit-serial spatial circuit of `smm-bitserial`, closing the loop
+//! from the paper's motivation to its hardware.
+//!
+//! ```
+//! use smm_reservoir::esn::{Esn, EsnConfig};
+//!
+//! let mut esn = Esn::new(EsnConfig {
+//!     reservoir_size: 64,
+//!     seed: 3,
+//!     ..EsnConfig::default()
+//! })
+//! .unwrap();
+//! esn.update(&[0.5]).unwrap();
+//! assert_eq!(esn.state().len(), 64);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod capacity;
+pub mod classify;
+pub mod esn;
+pub mod generation;
+pub mod int_esn;
+pub mod linalg;
+pub mod metrics;
+pub mod online;
+pub mod readout;
+pub mod tasks;
+pub mod tuning;
+
+pub use esn::{Esn, EsnConfig};
+pub use int_esn::{EngineKind, IntEsn, IntEsnConfig};
+pub use capacity::{memory_capacity, MemoryCapacity};
+pub use online::RlsReadout;
+pub use readout::Readout;

@@ -1,0 +1,199 @@
+//! Online learning with recursive least squares (RLS) — the setting of the
+//! paper's reference [3] (Antonik et al.): an FPGA reservoir whose readout
+//! trains *online*, sample by sample, which is ideal when known patterns
+//! arrive periodically (channel equalization with pilot sequences).
+//!
+//! RLS maintains the inverse input-correlation matrix `P` and updates the
+//! weight vector in `O(N²)` per sample, with an optional forgetting factor
+//! for non-stationary channels.
+
+use crate::linalg::MatF64;
+
+/// A single-target recursive-least-squares readout.
+#[derive(Debug, Clone)]
+pub struct RlsReadout {
+    weights: Vec<f64>,
+    /// Inverse correlation matrix estimate.
+    p: MatF64,
+    /// Forgetting factor λ ∈ (0, 1]; 1 = infinite memory.
+    forgetting: f64,
+}
+
+impl RlsReadout {
+    /// A fresh readout for `features` inputs. `delta` initializes
+    /// `P = I/delta` (small `delta` ⇒ fast initial adaptation);
+    /// `forgetting` is λ.
+    pub fn new(features: usize, delta: f64, forgetting: f64) -> Self {
+        assert!(features > 0, "need at least one feature");
+        assert!(delta > 0.0, "delta must be positive");
+        assert!(
+            forgetting > 0.0 && forgetting <= 1.0,
+            "forgetting factor must be in (0, 1]"
+        );
+        let mut p = MatF64::zeros(features, features);
+        for i in 0..features {
+            p.set(i, i, 1.0 / delta);
+        }
+        Self {
+            weights: vec![0.0; features],
+            p,
+            forgetting,
+        }
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Current weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Prediction for one feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature length mismatch");
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum()
+    }
+
+    /// One RLS step: predicts, then adapts toward `target`. Returns the
+    /// *a-priori* error (before the weight update).
+    pub fn update(&mut self, x: &[f64], target: f64) -> f64 {
+        let n = self.weights.len();
+        assert_eq!(x.len(), n, "feature length mismatch");
+        // px = P·x
+        let px = self.p.matvec(x);
+        let denom: f64 =
+            self.forgetting + x.iter().zip(&px).map(|(a, b)| a * b).sum::<f64>();
+        let gain: Vec<f64> = px.iter().map(|v| v / denom).collect();
+        let error = target - self.predict(x);
+        for (w, k) in self.weights.iter_mut().zip(&gain) {
+            *w += k * error;
+        }
+        // P = (P − k·(xᵀP)) / λ ; xᵀP = px (P symmetric).
+        #[allow(clippy::needless_range_loop)] // dense rank-1 update
+        for i in 0..n {
+            for j in 0..n {
+                let v = (self.p.get(i, j) - gain[i] * px[j]) / self.forgetting;
+                self.p.set(i, j, v);
+            }
+        }
+        error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use smm_core::rng;
+
+    #[test]
+    fn converges_to_exact_linear_map() {
+        // Tiny delta ⇒ negligible initial regularization bias.
+        let mut rls = RlsReadout::new(4, 1e-6, 1.0);
+        let w_true = [2.0, -1.0, 0.5, 3.0];
+        let mut r = rng::seeded(61);
+        for _ in 0..500 {
+            let x: Vec<f64> = (0..4).map(|_| r.gen_range(-1.0..1.0)).collect();
+            let d: f64 = w_true.iter().zip(&x).map(|(w, v)| w * v).sum();
+            rls.update(&x, d);
+        }
+        for (got, want) in rls.weights().iter().zip(&w_true) {
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn error_decreases_over_time() {
+        let mut rls = RlsReadout::new(6, 0.1, 1.0);
+        let mut r = rng::seeded(62);
+        let w_true: Vec<f64> = (0..6).map(|_| r.gen_range(-2.0..2.0)).collect();
+        let mut early = 0.0;
+        let mut late = 0.0;
+        for t in 0..300 {
+            let x: Vec<f64> = (0..6).map(|_| r.gen_range(-1.0..1.0)).collect();
+            let d: f64 = w_true.iter().zip(&x).map(|(w, v)| w * v).sum::<f64>()
+                + r.gen_range(-0.01..0.01);
+            let e = rls.update(&x, d).abs();
+            if t < 20 {
+                early += e;
+            } else if t >= 280 {
+                late += e;
+            }
+        }
+        assert!(late < early / 5.0, "early {early} late {late}");
+    }
+
+    #[test]
+    fn forgetting_tracks_drifting_weights() {
+        // The target map flips sign halfway; λ < 1 re-converges, λ = 1
+        // averages the two regimes and stays biased.
+        let run = |forgetting: f64| -> f64 {
+            let mut rls = RlsReadout::new(3, 0.1, forgetting);
+            let mut r = rng::seeded(63);
+            let mut final_err = 0.0;
+            for t in 0..600 {
+                let sign = if t < 300 { 1.0 } else { -1.0 };
+                let x: Vec<f64> = (0..3).map(|_| r.gen_range(-1.0..1.0)).collect();
+                let d = sign * (x[0] - 2.0 * x[1] + 0.5 * x[2]);
+                let e = rls.update(&x, d).abs();
+                if t >= 580 {
+                    final_err += e;
+                }
+            }
+            final_err
+        };
+        let adaptive = run(0.97);
+        let frozen = run(1.0);
+        assert!(adaptive < frozen, "adaptive {adaptive} vs frozen {frozen}");
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let r = std::panic::catch_unwind(|| RlsReadout::new(0, 0.1, 1.0));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| RlsReadout::new(2, 0.0, 1.0));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| RlsReadout::new(2, 0.1, 1.5));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn online_channel_equalization_end_to_end() {
+        use crate::esn::{Esn, EsnConfig};
+        use crate::tasks::{channel_equalization, nearest_symbol};
+
+        let mut esn = Esn::new(EsnConfig {
+            reservoir_size: 100,
+            element_sparsity: 0.9,
+            spectral_radius: 0.8,
+            input_scaling: 0.25,
+            seed: 64,
+            ..EsnConfig::default()
+        })
+        .unwrap();
+        let task = channel_equalization(2500, 0.02, 65);
+        let mut rls = RlsReadout::new(101, 0.05, 1.0); // states + bias
+        let mut errors_late = 0usize;
+        let mut count_late = 0usize;
+        for (t, (u, d)) in task.inputs.iter().zip(&task.targets).enumerate() {
+            esn.update(u).unwrap();
+            let mut x = esn.state().to_vec();
+            x.push(1.0);
+            let prediction = rls.predict(&x);
+            // Online supervision: the pilot symbol is revealed after the
+            // decision (as in [3]'s periodic training pattern).
+            rls.update(&x, d[0]);
+            if t >= 2000 {
+                count_late += 1;
+                if nearest_symbol(prediction) != d[0] {
+                    errors_late += 1;
+                }
+            }
+        }
+        let ser = errors_late as f64 / count_late as f64;
+        assert!(ser < 0.05, "late-window symbol error rate {ser}");
+    }
+}

@@ -1,0 +1,337 @@
+//! Benchmark tasks from the reservoir-computing literature the paper builds
+//! on: NARMA-10, Mackey–Glass, the Lorenz attractor, nonlinear channel
+//! equalization (the task of the paper's reference [3]), delayed-memory
+//! reconstruction, and sine prediction.
+
+use rand::Rng;
+use smm_core::rng;
+
+/// A supervised sequence task: per-step inputs and targets.
+#[derive(Debug, Clone)]
+pub struct SequenceTask {
+    /// One input vector per time step.
+    pub inputs: Vec<Vec<f64>>,
+    /// One target vector per time step.
+    pub targets: Vec<Vec<f64>>,
+    /// Human-readable task name.
+    pub name: &'static str,
+}
+
+impl SequenceTask {
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// `true` if the task has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Splits into (train, test) at `at`.
+    pub fn split(&self, at: usize) -> (SequenceTask, SequenceTask) {
+        assert!(at < self.len(), "split point beyond task length");
+        (
+            SequenceTask {
+                inputs: self.inputs[..at].to_vec(),
+                targets: self.targets[..at].to_vec(),
+                name: self.name,
+            },
+            SequenceTask {
+                inputs: self.inputs[at..].to_vec(),
+                targets: self.targets[at..].to_vec(),
+                name: self.name,
+            },
+        )
+    }
+}
+
+/// NARMA-10: the classic nonlinear autoregressive moving-average benchmark.
+///
+/// `y(t+1) = 0.3·y(t) + 0.05·y(t)·Σ_{i=0}^{9} y(t−i) + 1.5·u(t−9)·u(t) + 0.1`
+/// with `u ~ U[0, 0.5]`. The target at step `t` is `y(t)`.
+pub fn narma10(len: usize, seed: u64) -> SequenceTask {
+    let mut r = rng::derived(seed, 10);
+    let u: Vec<f64> = (0..len).map(|_| r.gen_range(0.0..0.5)).collect();
+    let mut y = vec![0.0f64; len];
+    for t in 9..len.saturating_sub(1) {
+        let window: f64 = y[t - 9..=t].iter().sum();
+        y[t + 1] =
+            (0.3 * y[t] + 0.05 * y[t] * window + 1.5 * u[t - 9] * u[t] + 0.1).clamp(-10.0, 10.0);
+    }
+    SequenceTask {
+        inputs: u.iter().map(|&v| vec![v]).collect(),
+        targets: y.iter().map(|&v| vec![v]).collect(),
+        name: "narma10",
+    }
+}
+
+/// Mackey–Glass chaotic time series (delay differential equation
+/// `ẋ = β·x(t−τ)/(1 + x(t−τ)^n) − γ·x`), integrated with RK4 at `dt` and
+/// emitted every `subsample` steps. The task is one-step-ahead prediction.
+pub fn mackey_glass(len: usize, tau: f64, seed: u64) -> SequenceTask {
+    let dt = 0.1;
+    let subsample = 10; // emit at Δt = 1.0
+    let (beta, gamma, n) = (0.2, 0.1, 10.0);
+    let delay_steps = (tau / dt).round() as usize;
+    let total = (len + 1) * subsample + delay_steps;
+    let mut r = rng::derived(seed, 11);
+    let mut x = Vec::with_capacity(total);
+    // History initialized near the attractor with small jitter.
+    for _ in 0..=delay_steps {
+        x.push(1.2 + r.gen_range(-0.05..0.05));
+    }
+    let f = |x_now: f64, x_del: f64| beta * x_del / (1.0 + x_del.powf(n)) - gamma * x_now;
+    while x.len() < total {
+        let t = x.len();
+        let x_now = x[t - 1];
+        let x_del = x[t - 1 - delay_steps];
+        // RK4 with the delayed term held over the step (standard practice
+        // for dt ≪ τ).
+        let k1 = f(x_now, x_del);
+        let k2 = f(x_now + 0.5 * dt * k1, x_del);
+        let k3 = f(x_now + 0.5 * dt * k2, x_del);
+        let k4 = f(x_now + dt * k3, x_del);
+        x.push(x_now + dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4));
+    }
+    let series: Vec<f64> = x[delay_steps..]
+        .iter()
+        .step_by(subsample)
+        .copied()
+        .take(len + 1)
+        .collect();
+    SequenceTask {
+        inputs: series[..len].iter().map(|&v| vec![v - 1.0]).collect(),
+        targets: series[1..=len].iter().map(|&v| vec![v - 1.0]).collect(),
+        name: "mackey_glass",
+    }
+}
+
+/// Nonlinear channel equalization (Jaeger; the paper's reference [3] runs
+/// it on an FPGA reservoir): a 4-ary symbol sequence `d(n) ∈ {−3,−1,1,3}`
+/// passes through a linear inter-symbol-interference channel, a memoryless
+/// nonlinearity and additive noise; the task is recovering `d(n−2)` from
+/// the received signal.
+pub fn channel_equalization(len: usize, noise_amplitude: f64, seed: u64) -> SequenceTask {
+    let mut r = rng::derived(seed, 12);
+    let symbols = [-3.0, -1.0, 1.0, 3.0];
+    let pad = 9;
+    let d: Vec<f64> = (0..len + pad)
+        .map(|_| symbols[r.gen_range(0..4)])
+        .collect();
+    // Jaeger's channel: q(n) = 0.08 d(n+2) − 0.12 d(n+1) + d(n) + 0.18 d(n−1)
+    //                         − 0.1 d(n−2) + 0.09 d(n−3) − 0.05 d(n−4) + 0.04 d(n−5)
+    //                         + 0.03 d(n−6) + 0.01 d(n−7)
+    // then u(n) = q(n) + 0.036 q(n)² − 0.011 q(n)³ + noise.
+    let taps: [(i64, f64); 10] = [
+        (2, 0.08),
+        (1, -0.12),
+        (0, 1.0),
+        (-1, 0.18),
+        (-2, -0.1),
+        (-3, 0.09),
+        (-4, -0.05),
+        (-5, 0.04),
+        (-6, 0.03),
+        (-7, 0.01),
+    ];
+    let mut inputs = Vec::with_capacity(len);
+    let mut targets = Vec::with_capacity(len);
+    for n in 7..(len + 7) {
+        let q: f64 = taps
+            .iter()
+            .map(|&(off, w)| {
+                let idx = n as i64 + off;
+                w * d[idx as usize]
+            })
+            .sum();
+        let u = q + 0.036 * q * q - 0.011 * q * q * q + r.gen_range(-noise_amplitude..=noise_amplitude);
+        inputs.push(vec![u]);
+        targets.push(vec![d[n - 2]]);
+    }
+    SequenceTask {
+        inputs,
+        targets,
+        name: "channel_equalization",
+    }
+}
+
+/// Delayed-memory task: reconstruct `u(n−delay)` from the white-noise input
+/// `u ~ U[−0.8, 0.8]` — the building block of the memory-capacity measure.
+pub fn delayed_memory(len: usize, delay: usize, seed: u64) -> SequenceTask {
+    let mut r = rng::derived(seed, 13);
+    let u: Vec<f64> = (0..len + delay).map(|_| r.gen_range(-0.8..=0.8)).collect();
+    SequenceTask {
+        inputs: u[delay..].iter().map(|&v| vec![v]).collect(),
+        targets: u[..len].iter().map(|&v| vec![v]).collect(),
+        name: "delayed_memory",
+    }
+}
+
+/// Sine prediction: predict `sin(ω(t+1))` from `sin(ωt)` — the smoke-test
+/// task.
+pub fn sine_prediction(len: usize, omega: f64) -> SequenceTask {
+    let series: Vec<f64> = (0..=len).map(|t| (omega * t as f64).sin()).collect();
+    SequenceTask {
+        inputs: series[..len].iter().map(|&v| vec![v]).collect(),
+        targets: series[1..=len].iter().map(|&v| vec![v]).collect(),
+        name: "sine_prediction",
+    }
+}
+
+/// Lorenz attractor one-step prediction: the chaotic system
+/// `ẋ = σ(y−x), ẏ = x(ρ−z) − y, ż = xy − βz` integrated with RK4 at `dt`,
+/// normalized to roughly unit scale. Inputs are the 3-channel state,
+/// targets the next state — the multivariate companion to Mackey–Glass.
+pub fn lorenz(len: usize, dt: f64, seed: u64) -> SequenceTask {
+    let (sigma, rho, beta) = (10.0, 28.0, 8.0 / 3.0);
+    let mut r = rng::derived(seed, 14);
+    let mut state = [
+        1.0 + r.gen_range(-0.1..0.1),
+        1.0 + r.gen_range(-0.1..0.1),
+        20.0 + r.gen_range(-0.1..0.1),
+    ];
+    let f = |s: [f64; 3]| {
+        [
+            sigma * (s[1] - s[0]),
+            s[0] * (rho - s[2]) - s[1],
+            s[0] * s[1] - beta * s[2],
+        ]
+    };
+    let step = |s: [f64; 3]| {
+        let k1 = f(s);
+        let k2 = f([s[0] + 0.5 * dt * k1[0], s[1] + 0.5 * dt * k1[1], s[2] + 0.5 * dt * k1[2]]);
+        let k3 = f([s[0] + 0.5 * dt * k2[0], s[1] + 0.5 * dt * k2[1], s[2] + 0.5 * dt * k2[2]]);
+        let k4 = f([s[0] + dt * k3[0], s[1] + dt * k3[1], s[2] + dt * k3[2]]);
+        [
+            s[0] + dt / 6.0 * (k1[0] + 2.0 * k2[0] + 2.0 * k3[0] + k4[0]),
+            s[1] + dt / 6.0 * (k1[1] + 2.0 * k2[1] + 2.0 * k3[1] + k4[1]),
+            s[2] + dt / 6.0 * (k1[2] + 2.0 * k2[2] + 2.0 * k3[2] + k4[2]),
+        ]
+    };
+    // Burn in onto the attractor.
+    for _ in 0..1000 {
+        state = step(state);
+    }
+    let normalize = |s: [f64; 3]| vec![s[0] / 20.0, s[1] / 25.0, (s[2] - 25.0) / 20.0];
+    let mut inputs = Vec::with_capacity(len);
+    let mut targets = Vec::with_capacity(len);
+    for _ in 0..len {
+        inputs.push(normalize(state));
+        state = step(state);
+        targets.push(normalize(state));
+    }
+    SequenceTask {
+        inputs,
+        targets,
+        name: "lorenz",
+    }
+}
+
+/// Maps equalizer outputs back to the nearest 4-ary symbol.
+pub fn nearest_symbol(y: f64) -> f64 {
+    [-3.0, -1.0, 1.0, 3.0]
+        .into_iter()
+        .min_by(|a, b| (a - y).abs().partial_cmp(&(b - y).abs()).unwrap())
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narma_shapes_and_determinism() {
+        let a = narma10(500, 1);
+        let b = narma10(500, 1);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a.targets, b.targets);
+        // Inputs in [0, 0.5); targets bounded and non-trivial.
+        assert!(a.inputs.iter().all(|u| (0.0..0.5).contains(&u[0])));
+        assert!(a.targets.iter().any(|y| y[0].abs() > 0.01));
+        assert!(a.targets.iter().all(|y| y[0].abs() <= 10.0));
+    }
+
+    #[test]
+    fn mackey_glass_is_bounded_oscillation() {
+        let t = mackey_glass(400, 17.0, 2);
+        assert_eq!(t.len(), 400);
+        let vals: Vec<f64> = t.inputs.iter().map(|v| v[0]).collect();
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max < 1.0 && min > -1.0, "range [{min}, {max}]");
+        assert!(max - min > 0.3, "no oscillation: [{min}, {max}]");
+        // Target is input shifted by one step.
+        assert_eq!(t.inputs[1][0], t.targets[0][0]);
+    }
+
+    #[test]
+    fn channel_symbols_and_interference() {
+        let t = channel_equalization(300, 0.01, 3);
+        assert_eq!(t.len(), 300);
+        assert!(t
+            .targets
+            .iter()
+            .all(|d| [-3.0, -1.0, 1.0, 3.0].contains(&d[0])));
+        // Received signal is distorted: not equal to any clean symbol.
+        let distorted = t
+            .inputs
+            .iter()
+            .filter(|u| [-3.0, -1.0, 1.0, 3.0].iter().all(|s| (u[0] - s).abs() > 1e-9))
+            .count();
+        assert!(distorted > 250);
+    }
+
+    #[test]
+    fn delayed_memory_alignment() {
+        let t = delayed_memory(100, 5, 4);
+        // target(n) = input(n - 5): check via the generating series.
+        assert_eq!(t.len(), 100);
+        for n in 5..100 {
+            assert_eq!(t.targets[n][0], t.inputs[n - 5][0]);
+        }
+    }
+
+    #[test]
+    fn sine_prediction_alignment() {
+        let t = sine_prediction(50, 0.3);
+        assert!((t.targets[0][0] - (0.3f64).sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_preserves_order() {
+        let t = narma10(100, 5);
+        let (train, test) = t.split(80);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        assert_eq!(test.inputs[0], t.inputs[80]);
+    }
+
+    #[test]
+    fn lorenz_is_bounded_chaos() {
+        let t = lorenz(800, 0.02, 7);
+        assert_eq!(t.len(), 800);
+        assert_eq!(t.inputs[0].len(), 3);
+        // Normalized channels stay within a few units.
+        for u in &t.inputs {
+            assert!(u.iter().all(|v| v.abs() < 3.0), "{u:?}");
+        }
+        // The x channel oscillates between lobes (sign changes).
+        let signs = t
+            .inputs
+            .windows(2)
+            .filter(|w| w[0][0].signum() != w[1][0].signum())
+            .count();
+        assert!(signs > 5, "only {signs} lobe switches");
+        // Target is the next input state.
+        assert_eq!(t.targets[0], t.inputs[1]);
+    }
+
+    #[test]
+    fn nearest_symbol_rounds() {
+        assert_eq!(nearest_symbol(2.7), 3.0);
+        assert_eq!(nearest_symbol(-0.2), -1.0);
+        assert_eq!(nearest_symbol(0.2), 1.0);
+        assert_eq!(nearest_symbol(-9.0), -3.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Compressed sparse row (CSR) format — the layout cuSPARSE-style SpMV
+//! kernels operate on, and the source of the indexing overhead the paper's
+//! spatial approach eliminates.
+
+use crate::coo::Coo;
+use smm_core::error::{Error, Result};
+use smm_core::matrix::IntMatrix;
+
+/// A CSR sparse matrix: `row_ptr` (length `rows + 1`), column indices and
+/// values sorted within each row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<i32>,
+}
+
+impl Csr {
+    /// Converts from COO (already sorted and deduplicated).
+    pub fn from_coo(coo: &Coo) -> Self {
+        let mut row_ptr = vec![0usize; coo.rows() + 1];
+        let mut col_idx = Vec::with_capacity(coo.nnz());
+        let mut values = Vec::with_capacity(coo.nnz());
+        for &(r, c, v) in coo.entries() {
+            row_ptr[r + 1] += 1;
+            col_idx.push(c);
+            values.push(v);
+        }
+        for i in 0..coo.rows() {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Self {
+            rows: coo.rows(),
+            cols: coo.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Converts the non-zeros of a dense matrix.
+    pub fn from_dense(dense: &IntMatrix) -> Self {
+        Self::from_coo(&Coo::from_dense(dense))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row-pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index and value pairs of one row.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, i32)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Converts back to dense.
+    pub fn to_dense(&self) -> Result<IntMatrix> {
+        let mut m = IntMatrix::zeros(self.rows, self.cols)?;
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                m.set(r, c, v);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Length of the longest row (drives load balance in row-parallel
+    /// GPU kernels).
+    pub fn max_row_len(&self) -> usize {
+        (0..self.rows)
+            .map(|r| self.row_ptr[r + 1] - self.row_ptr[r])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `o = aᵀV` through the CSR structure (row-major traversal scales each
+    /// row by `a[r]` — the natural access pattern for CSR with a transposed
+    /// product).
+    pub fn vecmat(&self, a: &[i32]) -> Result<Vec<i64>> {
+        if a.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                context: format!("vector length {} vs rows {}", a.len(), self.rows),
+            });
+        }
+        let mut out = vec![0i64; self.cols];
+        for (r, &ar) in a.iter().enumerate() {
+            if ar == 0 {
+                continue;
+            }
+            for (c, v) in self.row(r) {
+                out[c] += i64::from(ar) * i64::from(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Conventional `o = V·x` SpMV.
+    pub fn matvec(&self, x: &[i32]) -> Result<Vec<i64>> {
+        if x.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                context: format!("cols {} vs vector length {}", self.cols, x.len()),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .map(|(c, v)| i64::from(v) * i64::from(x[c]))
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Batched `O = A·V` where each row of `A` is an input vector
+    /// (SpMM with the sparse operand stationary).
+    pub fn spmm(&self, a: &IntMatrix) -> Result<Vec<Vec<i64>>> {
+        if a.cols() != self.rows {
+            return Err(Error::DimensionMismatch {
+                context: format!("A cols {} vs V rows {}", a.cols(), self.rows),
+            });
+        }
+        (0..a.rows()).map(|b| self.vecmat(a.row(b))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_core::gemv::{matvec, vecmat};
+    use smm_core::generate::{element_sparse_matrix, random_vector};
+    use smm_core::rng::seeded;
+
+    #[test]
+    fn csr_structure_small() {
+        let d = IntMatrix::from_vec(3, 3, vec![1, 0, 2, 0, 0, 0, 3, 4, 0]).unwrap();
+        let csr = Csr::from_dense(&d);
+        assert_eq!(csr.row_ptr(), &[0, 2, 2, 4]);
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.max_row_len(), 2);
+        assert_eq!(csr.to_dense().unwrap(), d);
+    }
+
+    #[test]
+    fn kernels_match_reference() {
+        let mut rng = seeded(41);
+        let d = element_sparse_matrix(30, 25, 8, 0.8, true, &mut rng).unwrap();
+        let csr = Csr::from_dense(&d);
+        let a = random_vector(30, 8, true, &mut rng).unwrap();
+        let x = random_vector(25, 8, true, &mut rng).unwrap();
+        assert_eq!(csr.vecmat(&a).unwrap(), vecmat(&a, &d).unwrap());
+        assert_eq!(csr.matvec(&x).unwrap(), matvec(&d, &x).unwrap());
+    }
+
+    #[test]
+    fn spmm_matches_reference() {
+        let mut rng = seeded(42);
+        let d = element_sparse_matrix(16, 12, 8, 0.7, true, &mut rng).unwrap();
+        let a = element_sparse_matrix(5, 16, 8, 0.0, true, &mut rng).unwrap();
+        let csr = Csr::from_dense(&d);
+        assert_eq!(csr.spmm(&a).unwrap(), smm_core::gemv::matmat(&a, &d).unwrap());
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let d = IntMatrix::zeros(3, 4).unwrap();
+        let csr = Csr::from_dense(&d);
+        assert!(csr.vecmat(&[1, 2]).is_err());
+        assert!(csr.matvec(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let d = IntMatrix::zeros(4, 4).unwrap();
+        let csr = Csr::from_dense(&d);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.max_row_len(), 0);
+        assert_eq!(csr.vecmat(&[1, 1, 1, 1]).unwrap(), vec![0; 4]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # smm-sparse
+//!
+//! Sparse matrix formats (COO, CSR) with executed SpMV/SpMM kernels.
+//!
+//! This is the *functional* content of the GPU sparse libraries the paper
+//! benchmarks against (cuSPARSE and the optimized Sputnik-style kernel):
+//! the same indexing structures and traversal order, minus the GPU. The
+//! performance side of those baselines is modelled in `smm-gpu`; this crate
+//! provides the math and the structural statistics that model consumes.
+//!
+//! ```
+//! use smm_core::matrix::IntMatrix;
+//! use smm_sparse::csr::Csr;
+//!
+//! let dense = IntMatrix::from_vec(2, 2, vec![0, 3, -1, 0]).unwrap();
+//! let csr = Csr::from_dense(&dense);
+//! assert_eq!(csr.nnz(), 2);
+//! assert_eq!(csr.vecmat(&[10, 100]).unwrap(), vec![-100, 30]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coo;
+pub mod csr;
+pub mod stats;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use stats::SparsityProfile;

@@ -1,0 +1,90 @@
+//! Sparse-structure statistics consumed by the baseline performance models.
+
+use crate::csr::Csr;
+
+/// Shape/statistics summary of a sparse matrix, the inputs to the GPU and
+/// SIGMA latency models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityProfile {
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// Fraction of zero elements.
+    pub element_sparsity: f64,
+    /// Mean non-zeros per row.
+    pub mean_row_len: f64,
+    /// Longest row (load-imbalance driver).
+    pub max_row_len: usize,
+    /// Coefficient of variation of row lengths (0 = perfectly balanced).
+    pub row_len_cv: f64,
+}
+
+impl SparsityProfile {
+    /// Profiles a CSR matrix.
+    pub fn of(csr: &Csr) -> Self {
+        let rows = csr.rows();
+        let lens: Vec<usize> = (0..rows)
+            .map(|r| csr.row_ptr()[r + 1] - csr.row_ptr()[r])
+            .collect();
+        let nnz = csr.nnz();
+        let mean = nnz as f64 / rows as f64;
+        let var = lens
+            .iter()
+            .map(|&l| {
+                let d = l as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / rows as f64;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        Self {
+            rows,
+            cols: csr.cols(),
+            nnz,
+            element_sparsity: 1.0 - nnz as f64 / (rows * csr.cols()) as f64,
+            mean_row_len: mean,
+            max_row_len: csr.max_row_len(),
+            row_len_cv: cv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_core::generate::element_sparse_matrix;
+    use smm_core::matrix::IntMatrix;
+    use smm_core::rng::seeded;
+
+    #[test]
+    fn profile_small() {
+        let d = IntMatrix::from_vec(2, 4, vec![1, 2, 3, 4, 0, 0, 0, 5]).unwrap();
+        let p = SparsityProfile::of(&Csr::from_dense(&d));
+        assert_eq!(p.nnz, 5);
+        assert_eq!(p.max_row_len, 4);
+        assert!((p.element_sparsity - 3.0 / 8.0).abs() < 1e-12);
+        assert!((p.mean_row_len - 2.5).abs() < 1e-12);
+        assert!(p.row_len_cv > 0.0);
+    }
+
+    #[test]
+    fn uniform_rows_have_low_cv() {
+        let mut rng = seeded(51);
+        let d = element_sparse_matrix(64, 64, 8, 0.9, true, &mut rng).unwrap();
+        let p = SparsityProfile::of(&Csr::from_dense(&d));
+        assert_eq!(p.nnz, d.nnz());
+        assert!(p.row_len_cv < 1.5);
+    }
+
+    #[test]
+    fn empty_matrix_profile() {
+        let d = IntMatrix::zeros(4, 4).unwrap();
+        let p = SparsityProfile::of(&Csr::from_dense(&d));
+        assert_eq!(p.nnz, 0);
+        assert_eq!(p.element_sparsity, 1.0);
+        assert_eq!(p.row_len_cv, 0.0);
+    }
+}

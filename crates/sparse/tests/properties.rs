@@ -1,0 +1,48 @@
+//! Property tests for the sparse formats and kernels.
+
+use proptest::prelude::*;
+use smm_core::generate::{element_sparse_matrix, random_vector};
+use smm_core::gemv::{matvec, vecmat};
+use smm_core::rng::seeded;
+use smm_sparse::{Coo, Csr, SparsityProfile};
+
+proptest! {
+    /// Dense -> COO -> CSR -> dense round-trips exactly.
+    #[test]
+    fn format_round_trip(seed in any::<u64>(), sparsity in 0.0f64..1.0,
+                         rows in 1usize..24, cols in 1usize..24) {
+        let mut rng = seeded(seed);
+        let m = element_sparse_matrix(rows, cols, 8, sparsity, true, &mut rng).unwrap();
+        let coo = Coo::from_dense(&m);
+        let csr = Csr::from_coo(&coo);
+        prop_assert_eq!(coo.to_dense().unwrap(), m.clone());
+        prop_assert_eq!(csr.to_dense().unwrap(), m.clone());
+        prop_assert_eq!(coo.nnz(), m.nnz());
+        prop_assert_eq!(csr.nnz(), m.nnz());
+    }
+
+    /// CSR kernels match the dense reference on both orientations.
+    #[test]
+    fn kernels_match_reference(seed in any::<u64>(), sparsity in 0.0f64..1.0) {
+        let mut rng = seeded(seed);
+        let m = element_sparse_matrix(17, 23, 8, sparsity, true, &mut rng).unwrap();
+        let csr = Csr::from_dense(&m);
+        let a = random_vector(17, 8, true, &mut rng).unwrap();
+        let x = random_vector(23, 8, true, &mut rng).unwrap();
+        prop_assert_eq!(csr.vecmat(&a).unwrap(), vecmat(&a, &m).unwrap());
+        prop_assert_eq!(csr.matvec(&x).unwrap(), matvec(&m, &x).unwrap());
+    }
+
+    /// The profile's invariants: nnz consistent, sparsity in [0,1],
+    /// max row length at least the mean.
+    #[test]
+    fn profile_invariants(seed in any::<u64>(), sparsity in 0.0f64..1.0) {
+        let mut rng = seeded(seed);
+        let m = element_sparse_matrix(20, 20, 8, sparsity, true, &mut rng).unwrap();
+        let p = SparsityProfile::of(&Csr::from_dense(&m));
+        prop_assert_eq!(p.nnz, m.nnz());
+        prop_assert!((0.0..=1.0).contains(&p.element_sparsity));
+        prop_assert!(p.max_row_len as f64 >= p.mean_row_len - 1e-12);
+        prop_assert!(p.row_len_cv >= 0.0);
+    }
+}

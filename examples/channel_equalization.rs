@@ -1,0 +1,50 @@
+//! Nonlinear channel equalization — the classic online reservoir task (the
+//! paper's reference [3] ran it on an FPGA reservoir): recover 4-ary
+//! symbols from a distorted, noisy channel.
+//!
+//! Run with: `cargo run --release --example channel_equalization`
+
+use spatial_smm::reservoir::esn::{Esn, EsnConfig};
+use spatial_smm::reservoir::linalg::MatF64;
+use spatial_smm::reservoir::metrics::symbol_error_rate;
+use spatial_smm::reservoir::readout::Readout;
+use spatial_smm::reservoir::tasks::{self, nearest_symbol};
+
+fn main() {
+    let mut esn = Esn::new(EsnConfig {
+        reservoir_size: 200,
+        element_sparsity: 0.9,
+        spectral_radius: 0.8,
+        input_scaling: 0.25,
+        seed: 44,
+        ..EsnConfig::default()
+    })
+    .unwrap();
+
+    for noise in [0.005, 0.02, 0.08] {
+        let task = tasks::channel_equalization(3000, noise, 9);
+        let (train, test) = task.split(2400);
+        let washout = 100;
+
+        esn.reset();
+        let train_states = esn.harvest_states(&train.inputs, washout).unwrap();
+        let train_targets = MatF64::from_fn(train.targets.len() - washout, 1, |r, _| {
+            train.targets[r + washout][0]
+        });
+        let readout = Readout::train(&train_states, &train_targets, 1e-4, true).unwrap();
+
+        let test_states = esn.harvest_states(&test.inputs, 0).unwrap();
+        let pred = readout.predict_batch(&test_states);
+        let decided: Vec<f64> = (0..pred.rows())
+            .map(|r| nearest_symbol(pred.get(r, 0)))
+            .collect();
+        let actual: Vec<f64> = test.targets.iter().map(|t| t[0]).collect();
+        println!(
+            "noise ±{noise:<5}: symbol error rate {:.4}  ({} test symbols; chance = 0.75)",
+            symbol_error_rate(&decided, &actual),
+            actual.len()
+        );
+    }
+    println!("\nthe reservoir equalizes the nonlinear channel far below chance error;");
+    println!("per-symbol latency on the spatial multiplier is tens of nanoseconds (fig13).");
+}

@@ -1,0 +1,58 @@
+//! Section VIII, quantified: could the spatial approach handle *dynamic*
+//! sparse matrices? On the FPGA, no — reconfiguration costs ~200 ms. On
+//! the proposed CGRA with pipeline reconfiguration, matrix swaps become
+//! sub-microsecond waves, and the answer flips.
+//!
+//! Run with: `cargo run --release --example dynamic_matrices`
+
+use spatial_smm::cgra::{estimate_compiled, run_dynamic, CgraOptions, DynamicJob, ReconfigModel};
+use spatial_smm::core::generate::element_sparse_matrix;
+use spatial_smm::core::rng::seeded;
+use spatial_smm::fpga::flow::{synthesize, FlowOptions};
+
+fn main() {
+    // One representative fixed matrix, to size the hardware.
+    let mut rng = seeded(99);
+    let v = element_sparse_matrix(512, 512, 8, 0.9, true, &mut rng).unwrap();
+    let (mul, fpga) = synthesize(&v, &FlowOptions::default()).unwrap();
+    let cgra = estimate_compiled(&mul, &CgraOptions::default());
+
+    println!("one 512x512, 90%-sparse matrix on both fabrics:");
+    println!(
+        "  FPGA: {} LUT @ {:.0} MHz, {:.1} ns/product, swap = 200 ms (full reconfig)",
+        fpga.resources.lut, fpga.fmax_mhz, fpga.latency_ns
+    );
+    println!(
+        "  CGRA: {} FA cells ({:.1}x denser), {:.1} ns/product, swap = {:.0} ns (pipeline wave)",
+        cgra.cells,
+        cgra.fabric.density_gain(),
+        cgra.latency_ns,
+        cgra.swap.cgra_ns
+    );
+
+    // A dynamic workload: a stream of fresh sparse matrices, each used for
+    // only a handful of products (e.g. per-sample pruned inference).
+    let model = ReconfigModel::default();
+    println!("\ndynamic workloads (100 fresh matrices each):");
+    println!("{:>16}  {:>14}  {:>14}  {:>10}", "products/matrix", "FPGA_total", "CGRA_total", "speedup");
+    for products in [1u64, 10, 1_000, 100_000, 10_000_000] {
+        let jobs: Vec<DynamicJob> = (0..100)
+            .map(|_| DynamicJob {
+                cells: cgra.cells,
+                depth: 12,
+                latency_cycles: cgra.latency_cycles,
+                products,
+            })
+            .collect();
+        let outcome = run_dynamic(&model, &jobs, fpga.fmax_mhz);
+        println!(
+            "{:>16}  {:>12.2}ms  {:>12.2}ms  {:>9.1}x",
+            products,
+            outcome.fpga_ns / 1e6,
+            outcome.cgra_ns / 1e6,
+            outcome.speedup()
+        );
+    }
+    println!("\nat low reuse the FPGA drowns in reconfiguration; pipeline reconfiguration");
+    println!("keeps the CGRA's swap cost below one product's latency — dynamic sparsity works.");
+}

@@ -1,0 +1,47 @@
+//! Latency comparison sweep: the spatial FPGA multiplier versus the V100
+//! sparse libraries and the SIGMA accelerator, across matrix dimensions —
+//! a compact run of the paper's Figures 13/14 and 19/20.
+//!
+//! Run with: `cargo run --release --example latency_sweep`
+
+use spatial_smm::core::generate::element_sparse_matrix;
+use spatial_smm::core::rng::seeded;
+use spatial_smm::fpga::flow::{synthesize, FlowOptions};
+use spatial_smm::gpu::GpuKernelModel;
+use spatial_smm::sigma::Sigma;
+use spatial_smm::sparse::{Csr, SparsityProfile};
+
+fn main() {
+    let sparsity = 0.98;
+    let cusparse = GpuKernelModel::cusparse();
+    let optimized = GpuKernelModel::optimized_kernel();
+    let sigma = Sigma::default();
+
+    println!("98% element-sparse, signed 8-bit matrices, o = aᵀV latency:\n");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>10}  {:>10}  {:>9}  {:>9}",
+        "dim", "cuSPARSE_ns", "OptKern_ns", "SIGMA_ns", "FPGA_ns", "vs_GPU", "vs_SIGMA"
+    );
+    for dim in [64usize, 128, 256, 512, 1024, 2048] {
+        let mut rng = seeded(7000 + dim as u64);
+        let v = element_sparse_matrix(dim, dim, 8, sparsity, true, &mut rng).unwrap();
+        let profile = SparsityProfile::of(&Csr::from_dense(&v));
+        let (_, report) = synthesize(&v, &FlowOptions::default()).unwrap();
+
+        let cu = cusparse.spmv_latency_ns(&profile);
+        let opt = optimized.spmv_latency_ns(&profile);
+        let sg = sigma.gemv_latency_ns(&profile);
+        println!(
+            "{:>6}  {:>12.0}  {:>12.0}  {:>10.0}  {:>10.1}  {:>8.1}x  {:>8.1}x",
+            dim,
+            cu,
+            opt,
+            sg,
+            report.latency_ns,
+            cu / report.latency_ns,
+            sg / report.latency_ns,
+        );
+    }
+    println!("\nthe GPU never breaks the microsecond barrier; the spatial design stays");
+    println!("in nanoseconds because the fixed matrix is wired directly into logic.");
+}

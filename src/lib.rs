@@ -1,0 +1,27 @@
+//! # spatial-smm
+//!
+//! Umbrella crate for the reproduction of *Direct Spatial Implementation of
+//! Sparse Matrix Multipliers for Reservoir Computing* (Denton & Schmit,
+//! HPCA 2022): re-exports the workspace crates so examples and downstream
+//! users need a single dependency.
+//!
+//! * [`core`] — integer matrices, sparsity generators, CSD, reference gemv
+//! * [`sparse`] — COO/CSR formats and executed SpMV kernels
+//! * [`bitserial`] — the spatial bit-serial multiplier (netlist + simulator)
+//! * [`fpga`] — area/frequency/power models and the synthesis flow
+//! * [`gpu`] — calibrated V100 sparse-library latency models
+//! * [`sigma`] — the SIGMA accelerator baseline model
+//! * [`reservoir`] — echo state networks (float and integer)
+//! * [`cgra`] — Section VIII's proposed custom device, modelled
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use smm_bitserial as bitserial;
+pub use smm_cgra as cgra;
+pub use smm_core as core;
+pub use smm_fpga as fpga;
+pub use smm_gpu as gpu;
+pub use smm_reservoir as reservoir;
+pub use smm_sigma as sigma;
+pub use smm_sparse as sparse;
