@@ -1,0 +1,67 @@
+//! Benchmarks of the serving runtime: backend × thread-count throughput
+//! on one fixed matrix, and the compiled-multiplier cache against cold
+//! recompilation (the amortization the runtime exists for — the cached
+//! path must be orders of magnitude cheaper than compiling per batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smm_bitserial::multiplier::{FixedMatrixMultiplier, WeightEncoding};
+use smm_core::generate::{element_sparse_matrix, random_vector};
+use smm_core::rng::seeded;
+use smm_runtime::{
+    BitSerial, DenseRef, Dispatcher, DispatcherConfig, GemvBackend, MultiplierCache, SparseCsr,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_backend_dispatch(c: &mut Criterion) {
+    let mut rng = seeded(6001);
+    let dim = 96usize;
+    let v = element_sparse_matrix(dim, dim, 8, 0.9, true, &mut rng).unwrap();
+    let mul = Arc::new(FixedMatrixMultiplier::compile(&v, 8, WeightEncoding::Pn).unwrap());
+    let batch: Arc<Vec<Vec<i32>>> = Arc::new(
+        (0..64)
+            .map(|_| random_vector(dim, 8, true, &mut rng).unwrap())
+            .collect(),
+    );
+
+    let backends: Vec<Arc<dyn GemvBackend>> = vec![
+        Arc::new(DenseRef::new(v.clone())),
+        Arc::new(SparseCsr::new(&v)),
+        Arc::new(BitSerial::new(mul)),
+    ];
+    let mut group = c.benchmark_group("runtime_dispatch");
+    for backend in &backends {
+        for threads in [1usize, 2, 4] {
+            let pool = Dispatcher::new(Arc::clone(backend), DispatcherConfig { threads }).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), threads),
+                &threads,
+                |b, _| b.iter(|| pool.dispatch(black_box(Arc::clone(&batch))).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cache_vs_recompile(c: &mut Criterion) {
+    let mut rng = seeded(6002);
+    let v = element_sparse_matrix(96, 96, 8, 0.9, true, &mut rng).unwrap();
+    let cache = MultiplierCache::new();
+    cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap(); // warm
+
+    let mut group = c.benchmark_group("compile_cache");
+    group.bench_function("cold_compile", |b| {
+        b.iter(|| FixedMatrixMultiplier::compile(black_box(&v), 8, WeightEncoding::Pn).unwrap())
+    });
+    group.bench_function("cached_fetch", |b| {
+        b.iter(|| cache.get_or_compile(black_box(&v), 8, WeightEncoding::Pn).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_backend_dispatch, bench_cache_vs_recompile
+}
+criterion_main!(benches);

@@ -231,6 +231,8 @@ impl FixedMatrixMultiplier {
                 context: format!("batch cols {} vs matrix rows {}", a.cols(), self.rows),
             });
         }
+        // Range-check before copying the batch into rows so a bad element
+        // errors without cloning anything.
         let (lo, hi) = smm_core::matrix::signed_range(self.input_bits)?;
         if let Some(&bad) = a.as_slice().iter().find(|&&x| !(lo..=hi).contains(&x)) {
             return Err(Error::ValueOutOfRange {
@@ -240,13 +242,48 @@ impl FixedMatrixMultiplier {
             });
         }
         let inputs: Vec<Vec<i32>> = (0..a.rows()).map(|b| a.row(b).to_vec()).collect();
-        Ok(crate::sim::run_stream(
+        let mut out = Vec::new();
+        self.run_frames(&inputs, &mut out)?;
+        Ok(out)
+    }
+
+    /// The buffer-reusing form of [`FixedMatrixMultiplier::mul_batch_streamed`]:
+    /// streams `inputs` back-to-back through one continuous framed
+    /// simulation, decoding each result directly into `out`.
+    ///
+    /// `out` is resized to `inputs.len()` rows of `cols()` elements;
+    /// row allocations from previous calls are reused, so a serving loop
+    /// that drives many batches through one compiled circuit performs no
+    /// per-vector allocation in steady state. An empty batch is valid and
+    /// clears `out`.
+    ///
+    /// Results are bit-identical to calling
+    /// [`FixedMatrixMultiplier::mul`] per vector.
+    pub fn run_frames(&self, inputs: &[Vec<i32>], out: &mut Vec<Vec<i64>>) -> Result<()> {
+        let (lo, hi) = smm_core::matrix::signed_range(self.input_bits)?;
+        for v in inputs {
+            if v.len() != self.rows {
+                return Err(Error::DimensionMismatch {
+                    context: format!("input length {} vs matrix rows {}", v.len(), self.rows),
+                });
+            }
+            if let Some(&bad) = v.iter().find(|&&x| !(lo..=hi).contains(&x)) {
+                return Err(Error::ValueOutOfRange {
+                    value: bad,
+                    bits: self.input_bits,
+                    signed: true,
+                });
+            }
+        }
+        crate::sim::run_stream_into(
             &self.circuit,
-            &inputs,
+            inputs,
             self.input_bits,
             self.out_width,
             self.batch_interval_cycles(),
-        ))
+            out,
+        );
+        Ok(())
     }
 }
 
@@ -294,7 +331,10 @@ mod tests {
         // latency = 8 + 8 + 10 + 2 = 28 cycles. Use a smaller stand-in with
         // the same formula.
         let mut rng = seeded(102);
-        let v = element_sparse_matrix(64, 64, 8, 0.9, true, &mut rng).unwrap();
+        let mut v = element_sparse_matrix(64, 64, 8, 0.9, true, &mut rng).unwrap();
+        // Pin one full-magnitude weight so the unsigned halves need all
+        // 8 bits regardless of what the generator drew.
+        v.set(0, 0, -128);
         let mul = FixedMatrixMultiplier::compile(&v, 8, WeightEncoding::Pn).unwrap();
         assert_eq!(mul.paper_latency_cycles(), 8 + 8 + 6 + 2);
         assert!(mul.exact_latency_cycles() >= mul.paper_latency_cycles());
@@ -346,6 +386,48 @@ mod tests {
         assert!(mul.mul_batch_streamed(&wrong_shape).is_err());
         let out_of_range = IntMatrix::from_vec(1, 4, vec![0, 0, 0, 99]).unwrap();
         assert!(mul.mul_batch_streamed(&out_of_range).is_err());
+    }
+
+    #[test]
+    fn run_frames_matches_single_shot_and_reuses_buffers() {
+        let mut rng = seeded(107);
+        for (dim, sparsity) in [(9usize, 0.4), (18, 0.8)] {
+            let v = element_sparse_matrix(dim, dim, 8, sparsity, true, &mut rng).unwrap();
+            for encoding in [
+                WeightEncoding::Pn,
+                WeightEncoding::Csd {
+                    policy: ChainPolicy::CoinFlip,
+                    seed: 21,
+                },
+            ] {
+                let mul = FixedMatrixMultiplier::compile(&v, 8, encoding).unwrap();
+                let mut out = Vec::new();
+                // Drive three batches of different sizes through the same
+                // buffer; every result must equal the single-shot path.
+                for batch in [4usize, 1, 3] {
+                    let inputs: Vec<Vec<i32>> = (0..batch)
+                        .map(|_| random_vector(dim, 8, true, &mut rng).unwrap())
+                        .collect();
+                    mul.run_frames(&inputs, &mut out).unwrap();
+                    assert_eq!(out.len(), batch);
+                    for (a, got) in inputs.iter().zip(&out) {
+                        assert_eq!(got, &mul.mul(a).unwrap(), "dim {dim}");
+                    }
+                }
+                // Empty batches are legal and clear the buffer.
+                mul.run_frames(&[], &mut out).unwrap();
+                assert!(out.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn run_frames_rejects_bad_input() {
+        let v = IntMatrix::identity(4).unwrap();
+        let mul = FixedMatrixMultiplier::compile(&v, 4, WeightEncoding::Pn).unwrap();
+        let mut out = Vec::new();
+        assert!(mul.run_frames(&[vec![1, 2, 3]], &mut out).is_err());
+        assert!(mul.run_frames(&[vec![0, 0, 0, 99]], &mut out).is_err());
     }
 
     #[test]

@@ -216,6 +216,29 @@ pub fn run_stream(
     interval: u32,
 ) -> Vec<Vec<i64>> {
     assert!(!inputs.is_empty(), "need at least one input vector");
+    let mut out = Vec::new();
+    run_stream_into(circuit, inputs, input_bits, out_width, interval, &mut out);
+    out
+}
+
+/// [`run_stream`], but decoding into a caller-provided buffer.
+///
+/// Output words accumulate *in place* as the bits stream past the capture
+/// window (two's-complement, LSB first, the final bit weighted negatively)
+/// — no per-vector bit buffers are allocated, and `out`'s rows are reused
+/// across calls, so a long-lived server driving many batches through one
+/// compiled circuit reaches a steady state with no per-vector allocation.
+///
+/// `out` is resized to one row of `circuit` outputs per input vector;
+/// existing capacity is kept. An empty `inputs` clears `out` and returns.
+pub fn run_stream_into(
+    circuit: &crate::builder::BuiltCircuit,
+    inputs: &[Vec<i32>],
+    input_bits: u32,
+    out_width: u32,
+    interval: u32,
+    out: &mut Vec<Vec<i64>>,
+) {
     assert!(
         interval >= out_width,
         "interval {interval} shorter than output window {out_width}"
@@ -225,15 +248,23 @@ pub fn run_stream(
     for v in inputs {
         assert_eq!(v.len(), rows, "one input element per matrix row");
     }
+    let outputs = net.outputs();
+    out.truncate(inputs.len());
+    for row in out.iter_mut() {
+        row.clear();
+        row.resize(outputs.len(), 0);
+    }
+    out.resize_with(inputs.len(), || vec![0; outputs.len()]);
+    if inputs.is_empty() {
+        return;
+    }
+
     let anchor = u64::from(circuit.output_anchor);
     let interval = u64::from(interval);
     let batch = inputs.len() as u64;
     let total_cycles = (batch - 1) * interval + anchor + u64::from(out_width);
     let mut sim = Simulator::new(net);
     let mut bits = vec![false; rows];
-    let outputs = net.outputs();
-    let mut captured: Vec<Vec<Vec<bool>>> =
-        vec![vec![Vec::with_capacity(out_width as usize); outputs.len()]; inputs.len()];
 
     for t in 0..total_cycles {
         // Which vector's bits are entering, and which bit index.
@@ -253,31 +284,25 @@ pub fn run_stream(
             let v = (now - anchor) / interval;
             let k = (now - anchor) % interval;
             if v < batch && k < u64::from(out_width) {
-                for (col, out) in outputs.iter().enumerate() {
-                    if let Some(id) = out {
-                        captured[v as usize][col].push(sim.value(*id));
+                let row = &mut out[v as usize];
+                // Bit k of the two's-complement result: the final bit is
+                // the sign bit, so it carries weight −2^k (equivalently,
+                // sign extension to 64 bits).
+                let weight = if k == u64::from(out_width) - 1 {
+                    (!0i64) << k
+                } else {
+                    1i64 << k
+                };
+                for (col, o) in outputs.iter().enumerate() {
+                    if let Some(id) = o {
+                        if sim.value(*id) {
+                            row[col] |= weight;
+                        }
                     }
                 }
             }
         }
     }
-
-    captured
-        .into_iter()
-        .map(|frame| {
-            frame
-                .into_iter()
-                .enumerate()
-                .map(|(col, bits)| {
-                    if outputs[col].is_some() {
-                        crate::bits::from_bits_lsb(&bits)
-                    } else {
-                        0
-                    }
-                })
-                .collect()
-        })
-        .collect()
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ impl std::error::Error for ParseError {}
 /// boolean flag.
 const VALUED: &[&str] = &[
     "seed", "dim", "rows", "cols", "sparsity", "bits", "input-bits", "input", "output",
-    "vector", "batch", "module", "policy",
+    "vector", "batch", "module", "policy", "backend", "threads", "repeat",
 ];
 
 impl Args {

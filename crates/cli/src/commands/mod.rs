@@ -216,6 +216,135 @@ pub fn stream(args: &Args, out: &mut impl Write) -> CmdResult {
     Ok(())
 }
 
+/// `smm throughput` — serve a request batch through the runtime's worker
+/// pool and report vectors/sec per backend.
+pub fn throughput(args: &Args, out: &mut impl Write) -> CmdResult {
+    use smm_runtime::{
+        BitSerial, DenseRef, Dispatcher, DispatcherConfig, GemvBackend, MultiplierCache,
+        SparseCsr,
+    };
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let matrix = resolve(args)?;
+    let input_bits: u32 = args.get_or("input-bits", 8).map_err(|e| e.0)?;
+    let batch: usize = args.get_or("batch", 64).map_err(|e| e.0)?;
+    let threads: usize = args.get_or("threads", 0).map_err(|e| e.0)?;
+    let repeat: usize = args.get_or("repeat", 3).map_err(|e| e.0)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    if repeat == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
+
+    let backend_name = args.get("backend").unwrap_or("bitserial");
+    let cache = MultiplierCache::new();
+    let setup = Instant::now();
+    // For the bit-serial backend, also measure what a *repeat* request
+    // against the same weights would pay: a timed cached refetch versus
+    // the cold compile.
+    let mut cache_report = None;
+    let backend: Arc<dyn GemvBackend> = match backend_name {
+        "dense" => Arc::new(DenseRef::new(matrix.clone())),
+        "csr" | "sparse" => Arc::new(SparseCsr::new(&matrix)),
+        "bitserial" => {
+            let encoding = encoding_of(args)?;
+            let t = Instant::now();
+            let circuit = cache
+                .get_or_compile(&matrix, input_bits, encoding)
+                .map_err(|e| format!("compiling circuit: {e}"))?;
+            let cold = t.elapsed();
+            let t = Instant::now();
+            let _ = cache
+                .get_or_compile(&matrix, input_bits, encoding)
+                .map_err(|e| format!("refetching circuit: {e}"))?;
+            cache_report = Some((cold, t.elapsed()));
+            Arc::new(BitSerial::new(circuit))
+        }
+        other => return Err(format!("unknown backend '{other}' (dense|csr|bitserial)")),
+    };
+    let setup_time = setup.elapsed();
+
+    let pool = Dispatcher::new(Arc::clone(&backend), DispatcherConfig { threads })
+        .map_err(|e| format!("starting worker pool: {e}"))?;
+
+    // Deterministic request batch derived from the generator seed.
+    let seed: u64 = args.get_or("seed", 42u64).map_err(|e| e.0)?;
+    let mut rng = smm_core::rng::derived(seed, 2);
+    let requests: Arc<Vec<Vec<i32>>> = Arc::new(
+        (0..batch)
+            .map(|_| {
+                smm_core::generate::random_vector(matrix.rows(), input_bits, true, &mut rng)
+                    .map_err(|e| format!("generating requests: {e}"))
+            })
+            .collect::<Result<_, _>>()?,
+    );
+
+    writeln!(
+        out,
+        "serving {batch} vectors x {repeat} batches through '{}' on {} worker thread(s)",
+        backend.name(),
+        pool.threads()
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "matrix: {}x{}, nnz {}; setup {:.1} ms",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz(),
+        setup_time.as_secs_f64() * 1e3,
+    )
+    .map_err(|e| e.to_string())?;
+    if let Some((cold, warm)) = cache_report {
+        writeln!(
+            out,
+            "compile: {:.2} ms cold; a repeat request pays {:.1} µs (cached)",
+            cold.as_secs_f64() * 1e3,
+            warm.as_secs_f64() * 1e6,
+        )
+        .map_err(|e| e.to_string())?;
+    }
+
+    let mut best = 0.0f64;
+    let mut last_outputs = Vec::new();
+    for round in 0..repeat {
+        let served = pool
+            .dispatch(Arc::clone(&requests))
+            .map_err(|e| format!("dispatching: {e}"))?;
+        let rate = served.stats.vectors_per_sec();
+        best = best.max(rate);
+        writeln!(
+            out,
+            "  batch {round}: {} vectors in {:.2} ms over {} shard(s) = {rate:.0} vectors/sec",
+            served.stats.batch,
+            served.stats.elapsed.as_secs_f64() * 1e3,
+            served.stats.shards,
+        )
+        .map_err(|e| e.to_string())?;
+        last_outputs = served.outputs;
+    }
+
+    // Keep the serving path honest: the last timed round must match the
+    // dense reference exactly (all backends are bit-identical).
+    let reference: Result<Vec<Vec<i64>>, String> = requests
+        .iter()
+        .map(|a| smm_core::gemv::vecmat(a, &matrix).map_err(|e| format!("reference: {e}")))
+        .collect();
+    let verdict = if last_outputs == reference? {
+        "MATCHES"
+    } else {
+        "MISMATCH"
+    };
+    writeln!(out, "best: {best:.0} vectors/sec; dense reference {verdict}")
+        .map_err(|e| e.to_string())?;
+    if verdict != "MATCHES" {
+        return Err("served results diverged from reference".into());
+    }
+    Ok(())
+}
+
 /// `smm trace` — VCD waveform dump of one product.
 pub fn trace(args: &Args, out: &mut impl Write) -> CmdResult {
     let (matrix, mul) = compile(args)?;
@@ -316,6 +445,7 @@ mod tests {
         match args.command.as_str() {
             "synth" => synth(&args, &mut out)?,
             "stream" => stream(&args, &mut out)?,
+            "throughput" => throughput(&args, &mut out)?,
             "system" => system(&args, &mut out)?,
             "trace" => trace(&args, &mut out)?,
             "mul" => mul(&args, &mut out)?,
@@ -399,6 +529,44 @@ mod tests {
         let text = run_cmd(&["stream", "--dim", "12", "--batch", "3"]).unwrap();
         assert!(text.contains("MATCHES"));
         assert!(run_cmd(&["stream", "--dim", "4", "--batch", "0"]).is_err());
+    }
+
+    #[test]
+    fn throughput_serves_each_backend() {
+        for backend in ["dense", "csr", "bitserial"] {
+            let text = run_cmd(&[
+                "throughput", "--dim", "12", "--backend", backend, "--threads", "2", "--batch",
+                "9", "--repeat", "1",
+            ])
+            .unwrap();
+            assert!(text.contains("9 vectors"), "{backend}: {text}");
+            assert!(text.contains("vectors/sec"), "{backend}: {text}");
+            assert!(text.contains("MATCHES"), "{backend}: {text}");
+        }
+    }
+
+    #[test]
+    fn throughput_reports_cache_reuse() {
+        let text = run_cmd(&[
+            "throughput", "--dim", "8", "--backend", "bitserial", "--threads", "1", "--batch",
+            "2", "--repeat", "1",
+        ])
+        .unwrap();
+        assert!(text.contains("cold"), "{text}");
+        assert!(text.contains("(cached)"), "{text}");
+        // Non-circuit backends have no compile step to report.
+        let dense = run_cmd(&[
+            "throughput", "--dim", "8", "--backend", "dense", "--repeat", "1",
+        ])
+        .unwrap();
+        assert!(!dense.contains("cached"), "{dense}");
+    }
+
+    #[test]
+    fn throughput_rejects_bad_flags() {
+        assert!(run_cmd(&["throughput", "--dim", "4", "--backend", "tpu"]).is_err());
+        assert!(run_cmd(&["throughput", "--dim", "4", "--batch", "0"]).is_err());
+        assert!(run_cmd(&["throughput", "--dim", "4", "--repeat", "0"]).is_err());
     }
 
     #[test]

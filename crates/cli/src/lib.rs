@@ -11,6 +11,7 @@
 //! smm dot      [matrix opts] [--output F.dot]
 //! smm compare  [matrix opts] [--batch B]                # vs cuSPARSE/OptKernel/SIGMA
 //! smm cgra     [matrix opts]                            # Section VIII device estimate
+//! smm throughput [matrix opts] [--backend B] [--threads N] [--batch B]
 //! ```
 
 #![warn(missing_docs)]
@@ -36,6 +37,7 @@ commands:
   trace     VCD waveform dump of one product (small circuits)
   system    memory-to-memory product through the SRAM wrapper
   cgra      Section VIII CGRA estimate (density, swap time)
+  throughput  serve batches via the runtime worker pool (checked)
 
 matrix options (all commands):
   --input FILE      MatrixMarket .mtx or dense text file
@@ -52,6 +54,9 @@ command-specific:
   verilog:  --module NAME  --output FILE
   dot:      --output FILE
   compare:  --batch B  (default 1)
+  throughput: --backend dense|csr|bitserial  (default bitserial)
+              --threads N  (default 0 = all cores)
+              --batch B    (default 64)   --repeat R  (default 3)
 ";
 
 /// Runs the CLI. Returns the process exit code; all normal output goes to
@@ -65,6 +70,7 @@ pub fn run(raw_args: &[String], out: &mut impl std::io::Write) -> Result<(), Str
         "dot" => commands::dot(&args, out),
         "compare" => commands::compare(&args, out),
         "stream" => commands::stream(&args, out),
+        "throughput" => commands::throughput(&args, out),
         "trace" => commands::trace(&args, out),
         "system" => commands::system(&args, out),
         "cgra" => commands::cgra(&args, out),

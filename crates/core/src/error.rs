@@ -39,6 +39,12 @@ pub enum Error {
     },
     /// A matrix dimension of zero was requested where it is not meaningful.
     EmptyDimension,
+    /// A serving-runtime failure (worker pool shut down, backend
+    /// misconfigured, ...).
+    Runtime {
+        /// Human-readable description of the failure.
+        context: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -66,6 +72,7 @@ impl fmt::Display for Error {
                 write!(f, "probability/sparsity {value} is outside [0, 1]")
             }
             Error::EmptyDimension => write!(f, "matrix dimensions must be non-zero"),
+            Error::Runtime { context } => write!(f, "runtime failure: {context}"),
         }
     }
 }

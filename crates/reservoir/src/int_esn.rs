@@ -11,12 +11,22 @@
 //!
 //! The two are **bit-exact**: an integration test drives whole tasks
 //! through both and compares every state.
+//!
+//! Additionally, [`IntEsn::attach_backend`] routes the recurrence through
+//! any [`smm_runtime::GemvBackend`] — e.g. a cached compiled circuit or a
+//! CSR kernel served by the runtime — overriding the built-in engines.
+//! Because every backend is bit-identical to reference arithmetic, the
+//! state trajectory is unchanged.
 
 use crate::esn::{Esn, EsnConfig};
 use crate::linalg::MatF64;
+use rand::Rng;
 use smm_bitserial::multiplier::{FixedMatrixMultiplier, WeightEncoding};
 use smm_core::error::{Error, Result};
 use smm_core::matrix::IntMatrix;
+use smm_runtime::GemvBackend;
+use std::fmt;
+use std::sync::Arc;
 
 /// Which engine executes the recurrent `W·x`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,7 +60,7 @@ impl Default for IntEsnConfig {
 }
 
 /// An integer echo state network.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct IntEsn {
     config: IntEsnConfig,
     /// Quantized reservoir, `N × N`, on the `2^−shift` grid.
@@ -62,6 +72,19 @@ pub struct IntEsn {
     state: Vec<i32>,
     engine: EngineKind,
     circuit: Option<FixedMatrixMultiplier>,
+    /// When set, overrides `engine` for the recurrent product.
+    backend: Option<Arc<dyn GemvBackend>>,
+}
+
+impl fmt::Debug for IntEsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IntEsn")
+            .field("config", &self.config)
+            .field("shift", &self.shift)
+            .field("engine", &self.engine)
+            .field("backend", &self.backend.as_ref().map(|b| b.name()))
+            .finish_non_exhaustive()
+    }
 }
 
 impl IntEsn {
@@ -130,7 +153,72 @@ impl IntEsn {
             state: vec![0; n],
             engine,
             circuit,
+            backend: None,
         })
+    }
+
+    /// Routes the recurrent product through a serving-runtime backend,
+    /// overriding the built-in engine.
+    ///
+    /// A [`GemvBackend`] computes `o = aᵀV`, so the backend must be built
+    /// over the **transposed** reservoir — exactly what
+    /// [`IntEsn::recurrence_matrix`] returns — such that
+    /// `backend.gemv(x) = W_q·x`. Shape is validated, and one probe
+    /// vector is pushed through the backend and compared against
+    /// reference arithmetic — the reservoir is square, so an
+    /// untransposed backend passes any shape check and would otherwise
+    /// produce silently wrong trajectories. Operand-range limits remain
+    /// engine-specific (a bit-serial circuit compiled for fewer than
+    /// `state_bits` input bits will reject out-of-range states at
+    /// [`IntEsn::update`] time), so compile bit-serial backends with
+    /// `input_bits >= state_bits`.
+    pub fn attach_backend(&mut self, backend: Arc<dyn GemvBackend>) -> Result<()> {
+        let n = self.state.len();
+        if backend.rows() != n || backend.cols() != n {
+            return Err(Error::DimensionMismatch {
+                context: format!(
+                    "backend {}x{} vs reservoir {n}x{n} (build it over recurrence_matrix())",
+                    backend.rows(),
+                    backend.cols()
+                ),
+            });
+        }
+        // Three seeded random ±1 probes (±1 fits every signed operand
+        // width ≥ 2, and state_bits is validated to be ≥ 2). A single
+        // fixed probe could land in the null space of the skew part
+        // `W_q − W_qᵀ` and miss a wrongly-oriented backend; three
+        // independent sign patterns make that astronomically unlikely.
+        let mut rng = smm_core::rng::seeded(self.w_q.digest());
+        for _ in 0..3 {
+            let probe: Vec<i32> =
+                (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect();
+            if backend.gemv(&probe)? != smm_core::gemv::matvec(&self.w_q, &probe)? {
+                return Err(Error::Runtime {
+                    context: "backend disagrees with W_q·x on a probe vector — it must be \
+                              built over recurrence_matrix() (the transposed reservoir)"
+                        .into(),
+                });
+            }
+        }
+        self.backend = Some(backend);
+        Ok(())
+    }
+
+    /// Removes an attached backend, returning to the built-in engine.
+    pub fn detach_backend(&mut self) -> Option<Arc<dyn GemvBackend>> {
+        self.backend.take()
+    }
+
+    /// The attached backend's name, if any.
+    pub fn backend_name(&self) -> Option<&'static str> {
+        self.backend.as_ref().map(|b| b.name())
+    }
+
+    /// The matrix a [`GemvBackend`] for this reservoir must be built
+    /// over: `W_qᵀ`, so that the backend's `aᵀV` convention realizes the
+    /// recurrence `W_q·x`.
+    pub fn recurrence_matrix(&self) -> IntMatrix {
+        self.w_q.transpose()
     }
 
     /// The configuration.
@@ -194,9 +282,13 @@ impl IntEsn {
             .iter()
             .map(|&u| ((u * f64::from(qmax)).round() as i64).clamp(-(qmax as i64) - 1, qmax as i64) as i32)
             .collect();
-        let recur: Vec<i64> = match (&self.circuit, self.engine) {
-            (Some(circuit), EngineKind::Circuit) => circuit.mul(&self.state)?,
-            _ => smm_core::gemv::matvec(&self.w_q, &self.state)?,
+        let recur: Vec<i64> = if let Some(backend) = &self.backend {
+            backend.gemv(&self.state)?
+        } else {
+            match (&self.circuit, self.engine) {
+                (Some(circuit), EngineKind::Circuit) => circuit.mul(&self.state)?,
+                _ => smm_core::gemv::matvec(&self.w_q, &self.state)?,
+            }
         };
         let drive = smm_core::gemv::matvec(&self.w_in_q, &u_q)?;
         let half = 1i64 << (self.shift.max(1) - 1);
@@ -302,6 +394,77 @@ mod tests {
             let b = circuit.update(&u).unwrap().to_vec();
             assert_eq!(a, b, "step {t}");
         }
+    }
+
+    #[test]
+    fn runtime_backends_are_bit_exact_with_reference() {
+        use smm_runtime::{BitSerial, DenseRef, MultiplierCache, SparseCsr};
+
+        let cfg = IntEsnConfig {
+            esn: EsnConfig {
+                reservoir_size: 20,
+                element_sparsity: 0.8,
+                seed: 13,
+                ..EsnConfig::default()
+            },
+            weight_bits: 3,
+            state_bits: 6,
+        };
+        let mut reference = IntEsn::new(cfg.clone(), EngineKind::Reference).unwrap();
+        let wt = reference.recurrence_matrix();
+        let cache = MultiplierCache::new();
+        let circuit = cache
+            .get_or_compile(&wt, cfg.state_bits, WeightEncoding::Pn)
+            .unwrap();
+        let backends: Vec<Arc<dyn GemvBackend>> = vec![
+            Arc::new(DenseRef::new(wt.clone())),
+            Arc::new(SparseCsr::new(&wt)),
+            Arc::new(BitSerial::new(circuit)),
+        ];
+        for backend in backends {
+            let name = backend.name();
+            let mut routed = IntEsn::new(cfg.clone(), EngineKind::Reference).unwrap();
+            routed.attach_backend(backend).unwrap();
+            assert_eq!(routed.backend_name(), Some(name));
+            reference.reset();
+            for t in 0..20 {
+                let u = vec![(t as f64 * 0.29).sin() * 0.4];
+                assert_eq!(
+                    reference.update(&u).unwrap(),
+                    routed.update(&u).unwrap(),
+                    "{name} step {t}"
+                );
+            }
+            assert!(routed.detach_backend().is_some());
+            assert_eq!(routed.backend_name(), None);
+        }
+    }
+
+    #[test]
+    fn attach_backend_validates_shape() {
+        use smm_runtime::DenseRef;
+
+        let mut esn = IntEsn::new(small(), EngineKind::Reference).unwrap();
+        let wrong = IntMatrix::identity(7).unwrap();
+        assert!(esn
+            .attach_backend(Arc::new(DenseRef::new(wrong)))
+            .is_err());
+    }
+
+    #[test]
+    fn attach_backend_rejects_untransposed_matrix() {
+        use smm_runtime::DenseRef;
+
+        let mut esn = IntEsn::new(small(), EngineKind::Reference).unwrap();
+        // Same (square) shape, but built over W_q instead of W_qᵀ: the
+        // probe check must catch what the shape check cannot.
+        let untransposed = esn.reservoir_matrix().clone();
+        assert!(esn
+            .attach_backend(Arc::new(DenseRef::new(untransposed)))
+            .is_err());
+        // The correct orientation attaches fine.
+        let correct = esn.recurrence_matrix();
+        assert!(esn.attach_backend(Arc::new(DenseRef::new(correct))).is_ok());
     }
 
     #[test]

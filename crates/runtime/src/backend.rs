@@ -1,0 +1,230 @@
+//! The pluggable compute engines behind the serving runtime.
+//!
+//! A [`GemvBackend`] computes the paper's `o = aᵀV` product for one fixed
+//! matrix `V`. Three implementations cover the repo's three functional
+//! layers:
+//!
+//! * [`DenseRef`] — the dense reference kernel ([`smm_core::gemv::vecmat`]);
+//! * [`SparseCsr`] — the executed CSR SpMV kernel ([`smm_sparse::Csr`]);
+//! * [`BitSerial`] — the compiled spatial circuit, driven in framed
+//!   back-to-back streaming mode so a whole batch pipelines through one
+//!   continuous cycle-accurate simulation.
+//!
+//! All three are bit-identical on every valid input; which one to serve
+//! with is purely a throughput/fidelity trade (the bit-serial engine is a
+//! *simulation* of the hardware and therefore the slowest and the most
+//! faithful).
+
+use smm_bitserial::multiplier::FixedMatrixMultiplier;
+use smm_core::error::Result;
+use smm_core::gemv::vecmat;
+use smm_core::matrix::IntMatrix;
+use smm_sparse::Csr;
+use std::sync::Arc;
+
+/// A fixed-matrix `o = aᵀV` compute engine, shareable across worker
+/// threads.
+pub trait GemvBackend: Send + Sync {
+    /// Short stable name for reports (`"dense"`, `"csr"`, `"bitserial"`).
+    fn name(&self) -> &'static str;
+
+    /// Matrix rows — the required input-vector length.
+    fn rows(&self) -> usize;
+
+    /// Matrix columns — the produced output-vector length.
+    fn cols(&self) -> usize;
+
+    /// Computes one product `o = aᵀV`.
+    fn gemv(&self, a: &[i32]) -> Result<Vec<i64>>;
+
+    /// Computes a batch of products, one output row per input vector, in
+    /// input order. The default maps [`GemvBackend::gemv`] over the batch;
+    /// engines with a cheaper batched mode override it.
+    fn gemv_batch(&self, batch: &[Vec<i32>]) -> Result<Vec<Vec<i64>>> {
+        batch.iter().map(|a| self.gemv(a)).collect()
+    }
+}
+
+/// The dense reference kernel.
+#[derive(Debug, Clone)]
+pub struct DenseRef {
+    matrix: IntMatrix,
+}
+
+impl DenseRef {
+    /// Wraps a dense matrix.
+    pub fn new(matrix: IntMatrix) -> Self {
+        Self { matrix }
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &IntMatrix {
+        &self.matrix
+    }
+}
+
+impl GemvBackend for DenseRef {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    fn gemv(&self, a: &[i32]) -> Result<Vec<i64>> {
+        vecmat(a, &self.matrix)
+    }
+}
+
+/// The executed CSR SpMV kernel.
+#[derive(Debug, Clone)]
+pub struct SparseCsr {
+    csr: Csr,
+}
+
+impl SparseCsr {
+    /// Converts a dense matrix to CSR once, up front.
+    pub fn new(matrix: &IntMatrix) -> Self {
+        Self {
+            csr: Csr::from_dense(matrix),
+        }
+    }
+
+    /// Wraps an existing CSR matrix.
+    pub fn from_csr(csr: Csr) -> Self {
+        Self { csr }
+    }
+}
+
+impl GemvBackend for SparseCsr {
+    fn name(&self) -> &'static str {
+        "csr"
+    }
+
+    fn rows(&self) -> usize {
+        self.csr.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.csr.cols()
+    }
+
+    fn gemv(&self, a: &[i32]) -> Result<Vec<i64>> {
+        self.csr.vecmat(a)
+    }
+}
+
+/// The compiled bit-serial spatial circuit, simulated cycle-accurately.
+///
+/// Batches stream through the circuit back-to-back (one new vector every
+/// [`FixedMatrixMultiplier::batch_interval_cycles`] cycles) in a single
+/// continuous simulation — the hardware's batching mode — via the
+/// buffer-reusing [`FixedMatrixMultiplier::run_frames`] drive path.
+#[derive(Debug, Clone)]
+pub struct BitSerial {
+    mul: Arc<FixedMatrixMultiplier>,
+}
+
+impl BitSerial {
+    /// Wraps a compiled multiplier (typically obtained from the
+    /// [`crate::MultiplierCache`]).
+    pub fn new(mul: Arc<FixedMatrixMultiplier>) -> Self {
+        Self { mul }
+    }
+
+    /// The compiled multiplier.
+    pub fn multiplier(&self) -> &Arc<FixedMatrixMultiplier> {
+        &self.mul
+    }
+}
+
+impl GemvBackend for BitSerial {
+    fn name(&self) -> &'static str {
+        "bitserial"
+    }
+
+    fn rows(&self) -> usize {
+        self.mul.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.mul.cols()
+    }
+
+    fn gemv(&self, a: &[i32]) -> Result<Vec<i64>> {
+        self.mul.mul(a)
+    }
+
+    /// One continuous framed simulation for the whole shard: compared to
+    /// per-vector [`FixedMatrixMultiplier::mul`] calls this pays the
+    /// simulator construction and pipeline fill once per batch and skips
+    /// the per-vector bit-capture buffers. The returned rows themselves
+    /// are necessarily freshly allocated — ownership transfers to the
+    /// caller; serving loops that want full steady-state buffer reuse
+    /// should call [`FixedMatrixMultiplier::run_frames`] directly with a
+    /// long-lived output buffer.
+    fn gemv_batch(&self, batch: &[Vec<i32>]) -> Result<Vec<Vec<i64>>> {
+        let mut out = Vec::new();
+        self.mul.run_frames(batch, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_bitserial::multiplier::WeightEncoding;
+    use smm_core::generate::{element_sparse_matrix, random_vector};
+    use smm_core::rng::seeded;
+
+    fn backends(v: &IntMatrix) -> Vec<Box<dyn GemvBackend>> {
+        let mul = FixedMatrixMultiplier::compile(v, 8, WeightEncoding::Pn).unwrap();
+        vec![
+            Box::new(DenseRef::new(v.clone())),
+            Box::new(SparseCsr::new(v)),
+            Box::new(BitSerial::new(Arc::new(mul))),
+        ]
+    }
+
+    #[test]
+    fn all_backends_agree_with_reference() {
+        let mut rng = seeded(2100);
+        let v = element_sparse_matrix(20, 14, 8, 0.6, true, &mut rng).unwrap();
+        let a = random_vector(20, 8, true, &mut rng).unwrap();
+        let expect = vecmat(&a, &v).unwrap();
+        for b in backends(&v) {
+            assert_eq!(b.gemv(&a).unwrap(), expect, "{}", b.name());
+            assert_eq!(b.rows(), 20);
+            assert_eq!(b.cols(), 14);
+        }
+    }
+
+    #[test]
+    fn batched_paths_agree_including_empty() {
+        let mut rng = seeded(2101);
+        let v = element_sparse_matrix(12, 12, 8, 0.5, true, &mut rng).unwrap();
+        let batch: Vec<Vec<i32>> = (0..5)
+            .map(|_| random_vector(12, 8, true, &mut rng).unwrap())
+            .collect();
+        let expect: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
+        for b in backends(&v) {
+            assert_eq!(b.gemv_batch(&batch).unwrap(), expect, "{}", b.name());
+            assert!(b.gemv_batch(&[]).unwrap().is_empty(), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn dimension_errors_propagate() {
+        let mut rng = seeded(2102);
+        let v = element_sparse_matrix(6, 6, 8, 0.5, true, &mut rng).unwrap();
+        for b in backends(&v) {
+            assert!(b.gemv(&[1, 2, 3]).is_err(), "{}", b.name());
+            assert!(b.gemv_batch(&[vec![0; 6], vec![1, 2]]).is_err(), "{}", b.name());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The compiled-multiplier cache.
+//!
+//! Spatial compilation (sign split / CSD, constant propagation, reduction
+//! tree construction) costs orders of magnitude more than a cache lookup,
+//! and reservoir serving hits the *same* weight matrix for every request.
+//! [`MultiplierCache`] memoizes [`FixedMatrixMultiplier::compile`] keyed
+//! by a stable content digest of the matrix plus the compilation
+//! parameters, so repeated requests reuse the compiled netlist.
+
+use smm_bitserial::multiplier::{FixedMatrixMultiplier, WeightEncoding};
+use smm_core::csd::ChainPolicy;
+use smm_core::error::Result;
+use smm_core::matrix::IntMatrix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The full compilation identity: matrix content + operand width +
+/// weight encoding. Two requests with equal keys are guaranteed to want
+/// byte-identical circuits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    digest: u64,
+    rows: usize,
+    cols: usize,
+    input_bits: u32,
+    encoding: EncodingKey,
+}
+
+/// A hashable projection of [`WeightEncoding`] (which itself derives
+/// neither `Hash` nor `Ord` upstream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum EncodingKey {
+    Pn,
+    Csd { policy: u8, seed: u64 },
+}
+
+fn encoding_key(encoding: WeightEncoding) -> EncodingKey {
+    match encoding {
+        WeightEncoding::Pn => EncodingKey::Pn,
+        WeightEncoding::Csd { policy, seed } => EncodingKey::Csd {
+            policy: match policy {
+                ChainPolicy::CoinFlip => 0,
+                ChainPolicy::Always => 1,
+                ChainPolicy::Never => 2,
+            },
+            seed,
+        },
+    }
+}
+
+/// Hit/miss counters of a [`MultiplierCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Compiled circuits currently held.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe memo table from matrix content to compiled circuits.
+///
+/// Entries are shared as [`Arc`]s: a cached circuit stays alive for as
+/// long as any backend uses it, even across an eviction.
+///
+/// ```
+/// use smm_core::matrix::IntMatrix;
+/// use smm_bitserial::multiplier::WeightEncoding;
+/// use smm_runtime::MultiplierCache;
+///
+/// let cache = MultiplierCache::new();
+/// let v = IntMatrix::from_vec(2, 2, vec![1, -2, 3, 4]).unwrap();
+/// let first = cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap();
+/// let second = cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&first, &second));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct MultiplierCache {
+    /// Each entry keeps the matrix it was compiled from so a hit can be
+    /// verified by content, not just by 64-bit digest — a digest
+    /// collision must never serve a circuit compiled for different
+    /// weights.
+    entries: Mutex<HashMap<CacheKey, (IntMatrix, Arc<FixedMatrixMultiplier>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MultiplierCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the compiled circuit for `(matrix, input_bits, encoding)`,
+    /// compiling at most once per distinct key.
+    ///
+    /// A hit is confirmed by comparing the full matrix content, so a
+    /// 64-bit digest collision degrades to a (counted) miss and a
+    /// correct uncached compile rather than silently serving the wrong
+    /// circuit. Compilation runs *outside* the table lock, so a slow
+    /// compile never blocks hits on other matrices; if two threads race
+    /// to compile the same key, the loser's circuit is dropped and the
+    /// winner's is returned to both.
+    pub fn get_or_compile(
+        &self,
+        matrix: &IntMatrix,
+        input_bits: u32,
+        encoding: WeightEncoding,
+    ) -> Result<Arc<FixedMatrixMultiplier>> {
+        let key = CacheKey {
+            digest: matrix.digest(),
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            input_bits,
+            encoding: encoding_key(encoding),
+        };
+        let mut collided = false;
+        if let Some((cached_matrix, hit)) =
+            self.entries.lock().expect("cache poisoned").get(&key)
+        {
+            if cached_matrix == matrix {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(hit));
+            }
+            collided = true;
+        }
+        let compiled = Arc::new(FixedMatrixMultiplier::compile(matrix, input_bits, encoding)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if collided {
+            // Astronomically rare: equal digests, different content. The
+            // first occupant keeps the slot; this circuit is correct but
+            // uncached.
+            return Ok(compiled);
+        }
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        // First inserter wins so every caller observes one circuit — but
+        // only when the occupant was compiled from the same content.
+        match entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(existing) => {
+                if existing.get().0 == *matrix {
+                    Ok(Arc::clone(&existing.get().1))
+                } else {
+                    Ok(compiled)
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert((matrix.clone(), Arc::clone(&compiled)));
+                Ok(compiled)
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache poisoned").len(),
+        }
+    }
+
+    /// Drops every cached circuit (outstanding `Arc`s stay valid) and
+    /// zeroes the counters.
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_core::generate::element_sparse_matrix;
+    use smm_core::rng::seeded;
+    use std::time::Instant;
+
+    #[test]
+    fn identical_content_shares_one_compile() {
+        let cache = MultiplierCache::new();
+        let mut rng = seeded(2200);
+        let v = element_sparse_matrix(16, 16, 8, 0.5, true, &mut rng).unwrap();
+        let copy = v.clone();
+        let a = cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap();
+        let b = cache.get_or_compile(&copy, 8, WeightEncoding::Pn).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_parameters_compile_separately() {
+        let cache = MultiplierCache::new();
+        let mut rng = seeded(2201);
+        let v = element_sparse_matrix(10, 10, 8, 0.5, true, &mut rng).unwrap();
+        let w = element_sparse_matrix(10, 10, 8, 0.5, true, &mut rng).unwrap();
+        let base = cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap();
+        // Different matrix, different input width, different encoding —
+        // all distinct entries.
+        let other = cache.get_or_compile(&w, 8, WeightEncoding::Pn).unwrap();
+        let wide = cache.get_or_compile(&v, 12, WeightEncoding::Pn).unwrap();
+        let csd = cache
+            .get_or_compile(
+                &v,
+                8,
+                WeightEncoding::Csd {
+                    policy: ChainPolicy::CoinFlip,
+                    seed: 5,
+                },
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&base, &other));
+        assert!(!Arc::ptr_eq(&base, &wide));
+        assert!(!Arc::ptr_eq(&base, &csd));
+        assert_eq!(cache.stats().entries, 4);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_outstanding_arcs() {
+        let cache = MultiplierCache::new();
+        let v = IntMatrix::identity(4).unwrap();
+        let kept = cache.get_or_compile(&v, 4, WeightEncoding::Pn).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+        // The circuit is still usable.
+        assert_eq!(kept.mul(&[1, 2, 3, 4]).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = MultiplierCache::new();
+        let v = IntMatrix::identity(4).unwrap();
+        assert!(cache.get_or_compile(&v, 0, WeightEncoding::Pn).is_err());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn cached_fetch_is_at_least_10x_faster_than_recompiling() {
+        // The acceptance bar for the serving runtime: amortized setup.
+        // Compare the *minimum* of several timed recompiles against the
+        // minimum of several timed cache hits on a realistic matrix —
+        // min-of-N is robust to descheduling noise on oversubscribed CI
+        // runners (every sample would have to be inflated to flake).
+        // The compile_cache criterion bench measures the same property
+        // with proper statistics.
+        let cache = MultiplierCache::new();
+        let mut rng = seeded(2202);
+        let v = element_sparse_matrix(64, 64, 8, 0.9, true, &mut rng).unwrap();
+        cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap(); // warm
+
+        let time = |f: &mut dyn FnMut()| -> f64 {
+            (0..5)
+                .map(|_| {
+                    let t = Instant::now();
+                    f();
+                    t.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let compile = time(&mut || {
+            std::hint::black_box(
+                FixedMatrixMultiplier::compile(&v, 8, WeightEncoding::Pn).unwrap(),
+            );
+        });
+        let cached = time(&mut || {
+            std::hint::black_box(cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap());
+        });
+        assert!(
+            compile > 10.0 * cached,
+            "compile {compile:.2e}s vs cached {cached:.2e}s"
+        );
+    }
+}

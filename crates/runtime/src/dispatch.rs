@@ -1,0 +1,426 @@
+//! The batch dispatcher: shards request batches across a worker pool.
+//!
+//! A [`Dispatcher`] owns a set of long-lived worker threads, each holding
+//! a shared handle to one [`GemvBackend`]. A call to
+//! [`Dispatcher::dispatch`] splits the batch into contiguous shards, fans
+//! them out over a channel, and reassembles the results **in submission
+//! order**, returning per-batch latency and throughput statistics.
+//!
+//! Plain `std` threads and channels, no unsafe; workers park on the job
+//! channel between batches, so an idle dispatcher costs nothing but
+//! memory.
+
+use crate::backend::GemvBackend;
+use smm_core::error::{Error, Result};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A shard's reply: its `(start, end)` range plus the computed rows.
+type ShardReply = (usize, usize, Result<Vec<Vec<i64>>>);
+
+/// One shard of a dispatched batch.
+struct Job {
+    /// The whole batch (shared, immutable).
+    vectors: Arc<Vec<Vec<i32>>>,
+    /// This shard's half-open range of batch indices.
+    start: usize,
+    end: usize,
+    /// Where to deliver the reply.
+    reply: Sender<ShardReply>,
+}
+
+/// Worker-pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatcherConfig {
+    /// Worker threads. `0` (the default) selects the machine's available
+    /// parallelism.
+    pub threads: usize,
+}
+
+impl DispatcherConfig {
+    /// The resolved thread count (>= 1).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Timing of one dispatched batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStats {
+    /// Vectors in the batch.
+    pub batch: usize,
+    /// Shards the batch was split into (= busy workers).
+    pub shards: usize,
+    /// Wall-clock time from submission to full reassembly.
+    pub elapsed: Duration,
+}
+
+impl BatchStats {
+    /// Served vectors per wall-clock second (0 for an empty batch).
+    pub fn vectors_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 || self.batch == 0 {
+            0.0
+        } else {
+            self.batch as f64 / secs
+        }
+    }
+
+    /// Mean per-vector latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.batch == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.batch as u32
+        }
+    }
+}
+
+/// A completed batch: outputs in submission order plus timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// One output vector per input vector, in input order.
+    pub outputs: Vec<Vec<i64>>,
+    /// Timing of this batch.
+    pub stats: BatchStats,
+}
+
+/// A multi-threaded, order-preserving batch executor over one backend.
+///
+/// ```
+/// use smm_core::matrix::IntMatrix;
+/// use smm_runtime::{DenseRef, Dispatcher, DispatcherConfig};
+/// use std::sync::Arc;
+///
+/// let v = IntMatrix::identity(3).unwrap();
+/// let d = Dispatcher::new(Arc::new(DenseRef::new(v)), DispatcherConfig { threads: 2 }).unwrap();
+/// let out = d.dispatch(vec![vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
+/// assert_eq!(out.outputs, vec![vec![1, 2, 3], vec![4, 5, 6]]);
+/// ```
+pub struct Dispatcher {
+    backend: Arc<dyn GemvBackend>,
+    job_tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Dispatcher {
+    /// Spawns the worker pool.
+    ///
+    /// Fails with [`Error::Runtime`] if the OS refuses a worker thread
+    /// (e.g. an absurd thread count against a process limit); any
+    /// already-spawned workers shut down cleanly when the job channel
+    /// drops.
+    pub fn new(backend: Arc<dyn GemvBackend>, config: DispatcherConfig) -> Result<Self> {
+        let threads = config.resolved_threads();
+        let (job_tx, job_rx) = channel::<Job>();
+        // std's Receiver is single-consumer; share it behind a mutex so
+        // idle workers race for the next shard (work stealing by proxy).
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&job_rx);
+                let backend = Arc::clone(&backend);
+                std::thread::Builder::new()
+                    .name(format!("smm-runtime-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, backend.as_ref()))
+                    .map_err(|e| Error::Runtime {
+                        context: format!("spawning worker thread {i} of {threads}: {e}"),
+                    })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            backend,
+            job_tx: Some(job_tx),
+            workers,
+        })
+    }
+
+    /// The backend this pool serves.
+    pub fn backend(&self) -> &Arc<dyn GemvBackend> {
+        &self.backend
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Executes one batch, returning outputs in submission order.
+    ///
+    /// Accepts a `Vec` or an `Arc<Vec<..>>` — callers that re-dispatch
+    /// the same batch (benchmarks, repeated serving rounds) should pass
+    /// `Arc::clone(&batch)` so no request data is copied per call.
+    ///
+    /// The batch is split into one contiguous shard per worker (fewer for
+    /// small batches). The first shard error, if any, is returned after
+    /// all shards settle; an empty batch is valid and returns empty
+    /// outputs.
+    pub fn dispatch(&self, batch: impl Into<Arc<Vec<Vec<i32>>>>) -> Result<BatchResult> {
+        let start = Instant::now();
+        let vectors: Arc<Vec<Vec<i32>>> = batch.into();
+        let n = vectors.len();
+        if n == 0 {
+            return Ok(BatchResult {
+                outputs: Vec::new(),
+                stats: BatchStats {
+                    batch: 0,
+                    shards: 0,
+                    elapsed: start.elapsed(),
+                },
+            });
+        }
+        let shards = self.workers.len().min(n);
+        let (reply_tx, reply_rx) = channel();
+        let job_tx = self
+            .job_tx
+            .as_ref()
+            .expect("job channel open while dispatcher is alive");
+        // Balanced contiguous shards: the first `n % shards` get one
+        // extra vector.
+        let base = n / shards;
+        let extra = n % shards;
+        let mut cursor = 0usize;
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            let job = Job {
+                vectors: Arc::clone(&vectors),
+                start: cursor,
+                end: cursor + len,
+                reply: reply_tx.clone(),
+            };
+            cursor += len;
+            job_tx
+                .send(job)
+                .map_err(|_| pool_gone())?;
+        }
+        drop(reply_tx);
+
+        let mut outputs: Vec<Option<Vec<i64>>> = vec![None; n];
+        let mut first_error: Option<Error> = None;
+        for _ in 0..shards {
+            let (shard_start, shard_end, result) =
+                reply_rx.recv().map_err(|_| pool_gone())?;
+            match result {
+                // `GemvBackend` is a public trait: hold third-party
+                // implementations to the one-row-per-vector contract
+                // rather than panicking on a miscounted shard.
+                Ok(rows) if rows.len() == shard_end - shard_start => {
+                    for (offset, row) in rows.into_iter().enumerate() {
+                        outputs[shard_start + offset] = Some(row);
+                    }
+                }
+                Ok(rows) => {
+                    first_error = first_error.or(Some(Error::Runtime {
+                        context: format!(
+                            "backend returned {} rows for a {}-vector shard",
+                            rows.len(),
+                            shard_end - shard_start
+                        ),
+                    }));
+                }
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let outputs: Vec<Vec<i64>> = outputs
+            .into_iter()
+            .map(|row| row.expect("every shard reported"))
+            .collect();
+        Ok(BatchResult {
+            outputs,
+            stats: BatchStats {
+                batch: n,
+                shards,
+                elapsed: start.elapsed(),
+            },
+        })
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        // Closing the channel wakes every worker with `Err(Disconnected)`.
+        self.job_tx = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, backend: &dyn GemvBackend) {
+    loop {
+        // Hold the lock only while *receiving*; compute unlocked.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        let result = backend.gemv_batch(&job.vectors[job.start..job.end]);
+        // A send failure means the dispatcher gave up on this batch;
+        // keep serving later batches.
+        let _ = job.reply.send((job.start, job.end, result));
+    }
+}
+
+fn pool_gone() -> Error {
+    Error::Runtime {
+        context: "dispatcher worker pool shut down".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BitSerial, DenseRef, SparseCsr};
+    use smm_bitserial::multiplier::{FixedMatrixMultiplier, WeightEncoding};
+    use smm_core::generate::{element_sparse_matrix, random_vector};
+    use smm_core::gemv::vecmat;
+    use smm_core::matrix::IntMatrix;
+    use smm_core::rng::seeded;
+
+    fn random_batch(n: usize, dim: usize, seed: u64) -> Vec<Vec<i32>> {
+        let mut rng = seeded(seed);
+        (0..n)
+            .map(|_| random_vector(dim, 8, true, &mut rng).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn preserves_submission_order_across_threads() {
+        // An identity matrix echoes inputs, making order mistakes visible.
+        let v = IntMatrix::identity(8).unwrap();
+        let d = Dispatcher::new(
+            Arc::new(DenseRef::new(v)),
+            DispatcherConfig { threads: 4 },
+        )
+        .unwrap();
+        let batch: Vec<Vec<i32>> = (0..97i32)
+            .map(|i| (0..8).map(|j| (i * 8 + j) % 128).collect())
+            .collect();
+        let expect: Vec<Vec<i64>> = batch
+            .iter()
+            .map(|a| a.iter().map(|&x| i64::from(x)).collect())
+            .collect();
+        let got = d.dispatch(batch).unwrap();
+        assert_eq!(got.outputs, expect);
+        assert_eq!(got.stats.batch, 97);
+        assert_eq!(got.stats.shards, 4);
+        assert!(got.stats.vectors_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn all_backends_and_thread_counts_agree() {
+        let mut rng = seeded(2300);
+        let v = element_sparse_matrix(16, 12, 8, 0.6, true, &mut rng).unwrap();
+        let mul = Arc::new(FixedMatrixMultiplier::compile(&v, 8, WeightEncoding::Pn).unwrap());
+        let batch = random_batch(13, 16, 2301);
+        let expect: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
+        let backends: Vec<Arc<dyn GemvBackend>> = vec![
+            Arc::new(DenseRef::new(v.clone())),
+            Arc::new(SparseCsr::new(&v)),
+            Arc::new(BitSerial::new(mul)),
+        ];
+        for backend in backends {
+            for threads in [1usize, 2, 5] {
+                let d = Dispatcher::new(Arc::clone(&backend), DispatcherConfig { threads }).unwrap();
+                let got = d.dispatch(batch.clone()).unwrap();
+                assert_eq!(
+                    got.outputs,
+                    expect,
+                    "{} @ {threads} threads",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let v = IntMatrix::identity(4).unwrap();
+        let d = Dispatcher::new(
+            Arc::new(DenseRef::new(v)),
+            DispatcherConfig { threads: 3 },
+        )
+        .unwrap();
+        let empty = d.dispatch(Vec::new()).unwrap();
+        assert!(empty.outputs.is_empty());
+        assert_eq!(empty.stats.batch, 0);
+        assert_eq!(empty.stats.vectors_per_sec(), 0.0);
+        assert_eq!(empty.stats.mean_latency(), Duration::ZERO);
+        let one = d.dispatch(vec![vec![9, 8, 7, 6]]).unwrap();
+        assert_eq!(one.outputs, vec![vec![9, 8, 7, 6]]);
+        assert_eq!(one.stats.shards, 1);
+    }
+
+    #[test]
+    fn errors_surface_and_pool_survives() {
+        let mut rng = seeded(2302);
+        let v = element_sparse_matrix(8, 8, 8, 0.5, true, &mut rng).unwrap();
+        let d = Dispatcher::new(
+            Arc::new(DenseRef::new(v.clone())),
+            DispatcherConfig { threads: 2 },
+        )
+        .unwrap();
+        // One malformed vector anywhere in the batch fails the batch...
+        let mut bad = random_batch(6, 8, 2303);
+        bad[4] = vec![1, 2, 3];
+        assert!(d.dispatch(bad).is_err());
+        // ...but the pool keeps serving afterwards.
+        let good = random_batch(6, 8, 2304);
+        let expect: Vec<Vec<i64>> = good.iter().map(|a| vecmat(a, &v).unwrap()).collect();
+        assert_eq!(d.dispatch(good).unwrap().outputs, expect);
+    }
+
+    #[test]
+    fn miscounting_backend_is_an_error_not_a_panic() {
+        /// A broken `GemvBackend` that silently drops one result row.
+        struct RowEater;
+        impl GemvBackend for RowEater {
+            fn name(&self) -> &'static str {
+                "row-eater"
+            }
+            fn rows(&self) -> usize {
+                2
+            }
+            fn cols(&self) -> usize {
+                2
+            }
+            fn gemv(&self, _a: &[i32]) -> Result<Vec<i64>> {
+                Ok(vec![0, 0])
+            }
+            fn gemv_batch(&self, batch: &[Vec<i32>]) -> Result<Vec<Vec<i64>>> {
+                Ok(batch.iter().skip(1).map(|_| vec![0, 0]).collect())
+            }
+        }
+        let d = Dispatcher::new(Arc::new(RowEater), DispatcherConfig { threads: 2 }).unwrap();
+        let err = d.dispatch(vec![vec![0, 0]; 5]).unwrap_err();
+        assert!(matches!(err, Error::Runtime { .. }), "{err:?}");
+        // The pool is still healthy for a well-behaved follow-up? A
+        // miscounted shard poisons only its own batch.
+        let err2 = d.dispatch(vec![vec![0, 0]; 3]).unwrap_err();
+        assert!(matches!(err2, Error::Runtime { .. }));
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let cfg = DispatcherConfig::default();
+        assert!(cfg.resolved_threads() >= 1);
+        let v = IntMatrix::identity(2).unwrap();
+        let d = Dispatcher::new(Arc::new(DenseRef::new(v)), cfg).unwrap();
+        assert!(d.threads() >= 1);
+        assert_eq!(
+            d.dispatch(vec![vec![1, 2]]).unwrap().outputs,
+            vec![vec![1, 2]]
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # smm-runtime
+//!
+//! The batched, multi-threaded **GEMV serving runtime**: the layer that
+//! turns the repo's single-shot `o = aᵀV` kernels into a traffic-serving
+//! system.
+//!
+//! The paper's economics rest on compiling a *fixed* sparse matrix into a
+//! spatial circuit once and amortizing that cost over every product that
+//! follows. This crate makes the amortization explicit end to end:
+//!
+//! * [`GemvBackend`] — one trait over the three functional engines:
+//!   [`DenseRef`] (reference gemv), [`SparseCsr`] (executed CSR SpMV), and
+//!   [`BitSerial`] (the compiled circuit, simulated cycle-accurately, with
+//!   batches pipelined back-to-back through one continuous framed
+//!   simulation);
+//! * [`MultiplierCache`] — a thread-safe memo table from matrix *content*
+//!   (a stable [`smm_core::matrix::IntMatrix::digest`]) + operand width +
+//!   weight encoding to compiled circuits, so repeated requests against
+//!   the same weights never recompile;
+//! * [`Dispatcher`] — a worker-thread pool that shards request batches,
+//!   preserves submission order, and reports per-batch latency and
+//!   throughput.
+//!
+//! ## Serving in four lines
+//!
+//! ```
+//! use smm_core::matrix::IntMatrix;
+//! use smm_runtime::{BitSerial, Dispatcher, DispatcherConfig, MultiplierCache};
+//! use smm_bitserial::multiplier::WeightEncoding;
+//! use std::sync::Arc;
+//!
+//! let v = IntMatrix::from_vec(2, 2, vec![1, -2, 3, 4]).unwrap();
+//! let cache = MultiplierCache::new();
+//! let circuit = cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap();
+//! let pool = Dispatcher::new(Arc::new(BitSerial::new(circuit)), DispatcherConfig { threads: 2 }).unwrap();
+//! let served = pool.dispatch(vec![vec![5, 6], vec![1, 0]]).unwrap();
+//! assert_eq!(served.outputs, vec![vec![23, 14], vec![1, -2]]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod cache;
+pub mod dispatch;
+
+pub use backend::{BitSerial, DenseRef, GemvBackend, SparseCsr};
+pub use cache::{CacheStats, MultiplierCache};
+pub use dispatch::{BatchResult, BatchStats, Dispatcher, DispatcherConfig};

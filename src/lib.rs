@@ -13,6 +13,21 @@
 //! * [`sigma`] — the SIGMA accelerator baseline model
 //! * [`reservoir`] — echo state networks (float and integer)
 //! * [`cgra`] — Section VIII's proposed custom device, modelled
+//! * [`runtime`] — the batched, multi-threaded GEMV serving runtime
+//!
+//! ## The serving runtime
+//!
+//! [`runtime`] is the production-shaped layer on top of the functional
+//! kernels: a [`runtime::GemvBackend`] trait with dense-reference, CSR,
+//! and compiled bit-serial engines; a [`runtime::MultiplierCache`] that
+//! memoizes spatial compilation by matrix content digest so repeated
+//! requests against the same weights never recompile; and a
+//! [`runtime::Dispatcher`] worker pool that shards request batches across
+//! threads and returns results in submission order with latency and
+//! throughput statistics. See `examples/throughput_serving.rs` and the
+//! CLI's `throughput` subcommand for end-to-end uses; the integer
+//! reservoir ([`reservoir::int_esn::IntEsn`]) can route its recurrent
+//! product through any backend.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,5 +38,6 @@ pub use smm_core as core;
 pub use smm_fpga as fpga;
 pub use smm_gpu as gpu;
 pub use smm_reservoir as reservoir;
+pub use smm_runtime as runtime;
 pub use smm_sigma as sigma;
 pub use smm_sparse as sparse;

@@ -9,8 +9,12 @@ use spatial_smm::core::gemv::vecmat;
 use spatial_smm::core::rng::seeded;
 use spatial_smm::fpga::flow::{synthesize, FlowOptions};
 use spatial_smm::gpu::GpuKernelModel;
+use spatial_smm::runtime::{
+    BitSerial, DenseRef, Dispatcher, DispatcherConfig, GemvBackend, MultiplierCache, SparseCsr,
+};
 use spatial_smm::sigma::Sigma;
 use spatial_smm::sparse::{Csr, SparsityProfile};
+use std::sync::Arc;
 
 /// Three independent implementations of `o = aᵀV` agree exactly: dense
 /// reference, CSR kernel, and the simulated spatial circuit (both weight
@@ -35,6 +39,53 @@ fn all_kernels_agree() {
             assert_eq!(mul.mul(&a).unwrap(), reference, "dim {dim} {encoding:?}");
         }
     }
+}
+
+/// The serving runtime agrees with the reference kernel for **every**
+/// backend, thread count and batch size (including the 0 and 1 edge
+/// cases), on seeded random sparse matrices — and the multiplier cache
+/// hands every bit-serial backend the same compiled circuit.
+#[test]
+fn runtime_backends_agree_for_all_shapes() {
+    let cache = MultiplierCache::new();
+    for (seed, dim, sparsity) in [(910u64, 1usize, 0.0), (911, 9, 0.5), (912, 26, 0.92)] {
+        let mut rng = seeded(seed);
+        let v = element_sparse_matrix(dim, dim, 8, sparsity, true, &mut rng).unwrap();
+        let circuit = cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap();
+        let backends: Vec<Arc<dyn GemvBackend>> = vec![
+            Arc::new(DenseRef::new(v.clone())),
+            Arc::new(SparseCsr::new(&v)),
+            Arc::new(BitSerial::new(circuit)),
+        ];
+        for batch_size in [0usize, 1, 5, 17] {
+            let batch: Arc<Vec<Vec<i32>>> = Arc::new(
+                (0..batch_size)
+                    .map(|_| random_vector(dim, 8, true, &mut rng).unwrap())
+                    .collect(),
+            );
+            let expect: Vec<Vec<i64>> =
+                batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
+            for backend in &backends {
+                for threads in [1usize, 2, 4] {
+                    let pool =
+                        Dispatcher::new(Arc::clone(backend), DispatcherConfig { threads }).unwrap();
+                    let served = pool.dispatch(Arc::clone(&batch)).unwrap();
+                    assert_eq!(
+                        served.outputs,
+                        expect,
+                        "{} dim {dim} batch {batch_size} threads {threads}",
+                        backend.name()
+                    );
+                    assert_eq!(served.stats.batch, batch_size);
+                    assert!(served.stats.shards <= threads.min(batch_size.max(1)));
+                }
+            }
+        }
+    }
+    // One compile per matrix; every later fetch was a hit.
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 3);
+    assert_eq!(stats.entries, 3);
 }
 
 /// The flow's functional circuit and physical report are mutually

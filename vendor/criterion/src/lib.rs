@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset this workspace's benches use — benchmark
+//! groups, [`BenchmarkId`], `bench_function` / `bench_with_input`, the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! adaptive wall-clock harness: each benchmark is warmed up, the
+//! iteration count is chosen to fill a fixed measurement window, and the
+//! harness reports the median, minimum and maximum of the per-iteration
+//! sample times.
+//!
+//! No statistics beyond that, no plots, no baseline persistence; output
+//! is one line per benchmark, e.g.
+//!
+//! ```text
+//! vecmat/dense_gemv/64      time: [median 1.23 µs  min 1.20 µs  max 1.31 µs]  (20 samples)
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget for one benchmark's measurement phase.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Target wall-clock budget for the warm-up phase.
+const WARMUP_BUDGET: Duration = Duration::from_millis(80);
+
+/// The top-level harness handle.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().label;
+        run_benchmark(&label, self.sample_size, &mut f);
+    }
+}
+
+/// A named benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter under the group name.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.criterion.sample_size, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; we print eagerly).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    /// Iterations the routine must execute this sample.
+    iters: u64,
+    /// Measured elapsed time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    // Warm up and estimate the per-iteration cost.
+    let mut iters = 1u64;
+    let mut per_iter;
+    let warmup_start = Instant::now();
+    loop {
+        let t = run_once(f, iters);
+        per_iter = t.as_secs_f64() / iters as f64;
+        if warmup_start.elapsed() >= WARMUP_BUDGET || t >= WARMUP_BUDGET / 4 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    if per_iter <= 0.0 {
+        per_iter = 1e-9;
+    }
+
+    // Pick an iteration count so `sample_size` samples fill the budget.
+    let budget = MEASURE_BUDGET.as_secs_f64();
+    let iters_per_sample = ((budget / sample_size as f64) / per_iter).ceil().max(1.0) as u64;
+
+    let mut samples: Vec<f64> = (0..sample_size)
+        .map(|_| run_once(f, iters_per_sample).as_secs_f64() / iters_per_sample as f64)
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{label:<44} time: [median {}  min {}  max {}]  ({sample_size} samples, {iters_per_sample} iters/sample)",
+        fmt_time(median),
+        fmt_time(min),
+        fmt_time(max),
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's two
+/// accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2 * 2));
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        quick(&mut c);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 64).label, "f/64");
+        assert_eq!(BenchmarkId::from_parameter("pn").label, "pn");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(2.0).contains(" s"));
+    }
+}

