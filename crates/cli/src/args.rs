@@ -30,7 +30,8 @@ impl std::error::Error for ParseError {}
 /// boolean flag.
 const VALUED: &[&str] = &[
     "seed", "dim", "rows", "cols", "sparsity", "bits", "input-bits", "input", "output",
-    "vector", "batch", "module", "policy", "backend", "threads", "repeat",
+    "vector", "batch", "module", "policy", "backend", "threads", "repeat", "addr",
+    "clients", "duration", "queue-depth", "cache-capacity",
 ];
 
 impl Args {

@@ -317,10 +317,13 @@ pub fn throughput(args: &Args, out: &mut impl Write) -> CmdResult {
         best = best.max(rate);
         writeln!(
             out,
-            "  batch {round}: {} vectors in {:.2} ms over {} shard(s) = {rate:.0} vectors/sec",
+            "  batch {round}: {} vectors in {:.2} ms over {} shard(s) = {rate:.0} vectors/sec \
+             (p50 {:.1} µs, p99 {:.1} µs per vector)",
             served.stats.batch,
             served.stats.elapsed.as_secs_f64() * 1e3,
             served.stats.shards,
+            served.stats.p50_latency.as_secs_f64() * 1e6,
+            served.stats.p99_latency.as_secs_f64() * 1e6,
         )
         .map_err(|e| e.to_string())?;
         last_outputs = served.outputs;
@@ -341,6 +344,138 @@ pub fn throughput(args: &Args, out: &mut impl Write) -> CmdResult {
         .map_err(|e| e.to_string())?;
     if verdict != "MATCHES" {
         return Err("served results diverged from reference".into());
+    }
+    Ok(())
+}
+
+/// `smm serve` — run the networked serving frontend until the duration
+/// elapses (or forever with `--duration 0`).
+pub fn serve(args: &Args, out: &mut impl Write) -> CmdResult {
+    use smm_server::{BackendKind, ServerConfig};
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let backend: BackendKind = args.get("backend").unwrap_or("csr").parse()?;
+    let threads: usize = args.get_or("threads", 0).map_err(|e| e.0)?;
+    let queue_depth: usize = args.get_or("queue-depth", 64).map_err(|e| e.0)?;
+    let cache_capacity: usize = args.get_or("cache-capacity", 0).map_err(|e| e.0)?;
+    let input_bits: u32 = args.get_or("input-bits", 8).map_err(|e| e.0)?;
+    let duration: f64 = args.get_or("duration", 0.0).map_err(|e| e.0)?;
+    if duration < 0.0 {
+        return Err("--duration must be >= 0".into());
+    }
+    let handle = smm_server::start(ServerConfig {
+        addr: addr.to_string(),
+        backend,
+        threads,
+        queue_depth,
+        cache_capacity,
+        input_bits,
+        encoding: encoding_of(args)?,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("starting server: {e}"))?;
+    writeln!(
+        out,
+        "listening on {} (backend {}, queue depth {queue_depth})",
+        handle.local_addr(),
+        backend.name(),
+    )
+    .map_err(|e| e.to_string())?;
+    // A backgrounded `serve` (the CI smoke job) needs the address line
+    // before the loadgen starts, not when the buffer fills.
+    out.flush().map_err(|e| e.to_string())?;
+    if duration == 0.0 {
+        // Serve until the process is killed.
+        loop {
+            std::thread::park();
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs_f64(duration));
+    let stats = handle.shutdown();
+    writeln!(
+        out,
+        "served {} requests ({} rejected busy, {} errors): {} vectors in {} batches",
+        stats.requests, stats.rejected, stats.errors, stats.vectors, stats.batches
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "cache: {} entries, {:.0}% hit rate, {} evictions; latency p50 {:.1} µs p99 {:.1} µs",
+        stats.cache_entries,
+        100.0 * stats.cache_hit_rate(),
+        stats.cache_evictions,
+        stats.p50_latency_ns as f64 / 1e3,
+        stats.p99_latency_ns as f64 / 1e3,
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// `smm loadgen` — hammer a running server with concurrent
+/// self-checking clients and report throughput/latency.
+pub fn loadgen(args: &Args, out: &mut impl Write) -> CmdResult {
+    use smm_server::LoadgenConfig;
+
+    let matrix = resolve(args)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let clients: usize = args.get_or("clients", 4).map_err(|e| e.0)?;
+    let batch: usize = args.get_or("batch", 16).map_err(|e| e.0)?;
+    let duration: f64 = args.get_or("duration", 2.0).map_err(|e| e.0)?;
+    let input_bits: u32 = args.get_or("input-bits", 8).map_err(|e| e.0)?;
+    let seed: u64 = args.get_or("seed", 42u64).map_err(|e| e.0)?;
+    if duration <= 0.0 {
+        return Err("--duration must be > 0".into());
+    }
+    let report = smm_server::loadgen::run(&LoadgenConfig {
+        addr: addr.to_string(),
+        clients,
+        batch,
+        duration: std::time::Duration::from_secs_f64(duration),
+        matrix,
+        input_bits,
+        seed,
+    })
+    .map_err(|e| format!("load generation: {e}"))?;
+    writeln!(
+        out,
+        "{} client(s) x {batch}-vector batches against {addr} for {:.1} s:",
+        report.clients,
+        report.elapsed_ns as f64 / 1e9,
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "  {} requests = {} vectors served and verified ({:.0} vectors/sec)",
+        report.requests,
+        report.vectors,
+        report.vectors_per_sec(),
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "  latency p50 {:.1} µs, p99 {:.1} µs; {} busy rejections, {} errors",
+        report.p50_latency_ns as f64 / 1e3,
+        report.p99_latency_ns as f64 / 1e3,
+        report.busy_rejections,
+        report.errors,
+    )
+    .map_err(|e| e.to_string())?;
+    let verdict = if report.mismatches == 0 {
+        "MATCHES"
+    } else {
+        "MISMATCH"
+    };
+    writeln!(out, "dense reference {verdict} on every reply").map_err(|e| e.to_string())?;
+    if report.mismatches > 0 {
+        return Err(format!(
+            "{} of {} replies diverged from the dense reference",
+            report.mismatches, report.vectors
+        ));
+    }
+    if report.errors > 0 {
+        return Err(format!("{} client(s) died on transport errors", report.errors));
+    }
+    if report.requests == 0 {
+        return Err("no request completed; is the server reachable?".into());
     }
     Ok(())
 }
@@ -446,6 +581,8 @@ mod tests {
             "synth" => synth(&args, &mut out)?,
             "stream" => stream(&args, &mut out)?,
             "throughput" => throughput(&args, &mut out)?,
+            "serve" => serve(&args, &mut out)?,
+            "loadgen" => loadgen(&args, &mut out)?,
             "system" => system(&args, &mut out)?,
             "trace" => trace(&args, &mut out)?,
             "mul" => mul(&args, &mut out)?,
@@ -560,6 +697,72 @@ mod tests {
         ])
         .unwrap();
         assert!(!dense.contains("cached"), "{dense}");
+    }
+
+    #[test]
+    fn throughput_reports_latency_percentiles() {
+        let text = run_cmd(&[
+            "throughput", "--dim", "8", "--backend", "dense", "--batch", "4", "--repeat", "1",
+        ])
+        .unwrap();
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+    }
+
+    #[test]
+    fn serve_runs_for_a_duration_and_reports() {
+        let text = run_cmd(&[
+            "serve", "--addr", "127.0.0.1:0", "--backend", "dense", "--duration", "0.2",
+            "--queue-depth", "3",
+        ])
+        .unwrap();
+        assert!(text.contains("listening on 127.0.0.1:"), "{text}");
+        assert!(text.contains("queue depth 3"), "{text}");
+        assert!(text.contains("served 0 requests"), "{text}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(run_cmd(&["serve", "--backend", "tpu"]).is_err());
+        assert!(run_cmd(&["serve", "--duration", "-1"]).is_err());
+        // Unbindable address.
+        assert!(run_cmd(&["serve", "--addr", "999.0.0.1:1", "--duration", "0.1"]).is_err());
+    }
+
+    #[test]
+    fn loadgen_round_trips_against_a_live_server() {
+        let server = smm_server::start(smm_server::ServerConfig::default()).unwrap();
+        let text = run_cmd(&[
+            "loadgen",
+            "--addr",
+            &server.local_addr().to_string(),
+            "--dim",
+            "12",
+            "--clients",
+            "2",
+            "--batch",
+            "5",
+            "--duration",
+            "0.3",
+        ])
+        .unwrap();
+        assert!(text.contains("vectors served and verified"), "{text}");
+        assert!(text.contains("MATCHES"), "{text}");
+        assert!(text.contains("p50"), "{text}");
+        let stats = server.shutdown();
+        assert!(stats.requests > 0);
+        assert_eq!(stats.matrices, 1);
+    }
+
+    #[test]
+    fn loadgen_fails_cleanly_without_a_server() {
+        // Port 1 on loopback is essentially never listening.
+        let e = run_cmd(&[
+            "loadgen", "--addr", "127.0.0.1:1", "--dim", "4", "--duration", "0.1",
+        ])
+        .unwrap_err();
+        assert!(e.contains("load generation"), "{e}");
+        assert!(run_cmd(&["loadgen", "--dim", "4", "--duration", "0"]).is_err());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! smm compare  [matrix opts] [--batch B]                # vs cuSPARSE/OptKernel/SIGMA
 //! smm cgra     [matrix opts]                            # Section VIII device estimate
 //! smm throughput [matrix opts] [--backend B] [--threads N] [--batch B]
+//! smm serve    [--addr A] [--backend B] [--threads N] [--queue-depth Q] [--duration S]
+//! smm loadgen  [matrix opts] [--addr A] [--clients C] [--batch B] [--duration S]
 //! ```
 
 #![warn(missing_docs)]
@@ -38,6 +40,8 @@ commands:
   system    memory-to-memory product through the SRAM wrapper
   cgra      Section VIII CGRA estimate (density, swap time)
   throughput  serve batches via the runtime worker pool (checked)
+  serve     run the TCP serving frontend (wire protocol on --addr)
+  loadgen   hammer a running server with self-checking clients
 
 matrix options (all commands):
   --input FILE      MatrixMarket .mtx or dense text file
@@ -57,6 +61,18 @@ command-specific:
   throughput: --backend dense|csr|bitserial  (default bitserial)
               --threads N  (default 0 = all cores)
               --batch B    (default 64)   --repeat R  (default 3)
+  serve:    --addr A          (default 127.0.0.1:7878; port 0 = auto)
+            --backend dense|csr|bitserial  (default csr)
+            --threads N       dispatcher workers per matrix (default 0 = all cores)
+            --queue-depth Q   concurrent compute budget before Busy (default 64)
+            --cache-capacity C  compiled-circuit LRU bound (default 0 = unbounded)
+            --duration S      seconds to run, 0 = until killed (default 0)
+  loadgen:  --addr A          (default 127.0.0.1:7878)
+            --clients C       concurrent connections (default 4)
+            --batch B         vectors per request (default 16)
+            --duration S      seconds of traffic (default 2)
+            plus matrix opts: the loadgen uploads this matrix, then
+            verifies every reply against the dense reference
 ";
 
 /// Runs the CLI. Returns the process exit code; all normal output goes to
@@ -71,6 +87,8 @@ pub fn run(raw_args: &[String], out: &mut impl std::io::Write) -> Result<(), Str
         "compare" => commands::compare(&args, out),
         "stream" => commands::stream(&args, out),
         "throughput" => commands::throughput(&args, out),
+        "serve" => commands::serve(&args, out),
+        "loadgen" => commands::loadgen(&args, out),
         "trace" => commands::trace(&args, out),
         "system" => commands::system(&args, out),
         "cgra" => commands::cgra(&args, out),

@@ -45,6 +45,12 @@ pub enum Error {
         /// Human-readable description of the failure.
         context: String,
     },
+    /// Malformed bytes on the binary wire (truncated frame, lying length
+    /// prefix, invalid UTF-8, ...).
+    Wire {
+        /// Human-readable description of what failed to decode.
+        context: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -73,6 +79,7 @@ impl fmt::Display for Error {
             }
             Error::EmptyDimension => write!(f, "matrix dimensions must be non-zero"),
             Error::Runtime { context } => write!(f, "runtime failure: {context}"),
+            Error::Wire { context } => write!(f, "wire decode failure: {context}"),
         }
     }
 }

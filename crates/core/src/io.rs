@@ -106,6 +106,24 @@ pub fn format_matrix_market(m: &IntMatrix) -> String {
     out
 }
 
+/// Encodes a matrix for the binary wire.
+///
+/// The payload is MatrixMarket coordinate text ([`format_matrix_market`])
+/// as UTF-8 bytes: self-describing, sparse-friendly (zeros cost nothing),
+/// and decodable by every MatrixMarket consumer — a deliberately boring
+/// choice for a cross-process contract.
+pub fn matrix_to_bytes(m: &IntMatrix) -> Vec<u8> {
+    format_matrix_market(m).into_bytes()
+}
+
+/// Decodes a matrix from its [`matrix_to_bytes`] wire payload.
+pub fn matrix_from_bytes(bytes: &[u8]) -> Result<IntMatrix> {
+    let text = std::str::from_utf8(bytes).map_err(|_| Error::Wire {
+        context: "matrix payload is not valid UTF-8".into(),
+    })?;
+    parse_matrix_market(text)
+}
+
 /// Parses a dense whitespace matrix: one row per line.
 pub fn parse_dense(text: &str) -> Result<IntMatrix> {
     let rows: Vec<Vec<i32>> = text
@@ -204,6 +222,15 @@ mod tests {
             "%%MatrixMarket matrix coordinate integer symmetric\n2 2 1\n2 1 5"
         )
         .is_err());
+    }
+
+    #[test]
+    fn wire_bytes_round_trip() {
+        let mut rng = seeded(72);
+        let m = element_sparse_matrix(6, 5, 8, 0.4, true, &mut rng).unwrap();
+        assert_eq!(matrix_from_bytes(&matrix_to_bytes(&m)).unwrap(), m);
+        assert!(matrix_from_bytes(&[0xFF, 0xFE]).is_err());
+        assert!(matrix_from_bytes(b"not a matrix").is_err());
     }
 
     #[test]

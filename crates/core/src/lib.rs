@@ -42,6 +42,7 @@ pub mod quant;
 pub mod rng;
 pub mod signsplit;
 pub mod sparsity;
+pub mod wire;
 
 pub use error::{Error, Result};
 pub use matrix::IntMatrix;

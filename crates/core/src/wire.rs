@@ -1,0 +1,269 @@
+//! Little-endian binary wire primitives.
+//!
+//! The serving stack ships requests over TCP as length-prefixed binary
+//! frames; this module is the shared vocabulary both ends encode with. It
+//! is deliberately tiny and dependency-free: fixed-width little-endian
+//! integers, length-prefixed byte strings, and `i32`/`i64` vectors, plus
+//! a bounds-checked [`Cursor`] for decoding. Every decode failure is a
+//! recoverable [`Error::Wire`], never a panic — the bytes come from the
+//! network and must be treated as hostile.
+
+use crate::error::{Error, Result};
+
+/// Hard ceiling on any length prefix this module will accept, so a
+/// corrupt or malicious 4-byte length cannot drive a multi-gigabyte
+/// allocation. 64 MiB comfortably fits every matrix and batch the
+/// workspace serves.
+pub const MAX_WIRE_LEN: usize = 64 << 20;
+
+fn wire_err(context: impl Into<String>) -> Error {
+    Error::Wire {
+        context: context.into(),
+    }
+}
+
+/// Appends a `u8`.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i32` in little-endian order.
+pub fn put_i32(buf: &mut Vec<u8>, v: i32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i64` in little-endian order.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` length prefix followed by the raw bytes.
+pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(buf, bytes.len() as u32);
+    buf.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Appends a length-prefixed `i32` vector.
+pub fn put_i32_vec(buf: &mut Vec<u8>, v: &[i32]) {
+    put_u32(buf, v.len() as u32);
+    for &x in v {
+        put_i32(buf, x);
+    }
+}
+
+/// Appends a length-prefixed `i64` vector.
+pub fn put_i64_vec(buf: &mut Vec<u8>, v: &[i64]) {
+    put_u32(buf, v.len() as u32);
+    for &x in v {
+        put_i64(buf, x);
+    }
+}
+
+/// A bounds-checked reader over a received byte slice.
+///
+/// Every `take_*` either returns the decoded value or an [`Error::Wire`]
+/// naming what was being read; [`Cursor::expect_end`] rejects trailing
+/// garbage so frames are validated end to end.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(wire_err(format!(
+                "truncated {what}: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn take_u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn take_i32(&mut self, what: &str) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn take_i64(&mut self, what: &str) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a length prefix, validated against both [`MAX_WIRE_LEN`] and
+    /// the bytes actually remaining.
+    fn take_len(&mut self, what: &str) -> Result<usize> {
+        let len = self.take_u32(what)? as usize;
+        if len > MAX_WIRE_LEN {
+            return Err(wire_err(format!("{what} length {len} exceeds {MAX_WIRE_LEN}")));
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn take_bytes(&mut self, what: &str) -> Result<&'a [u8]> {
+        let len = self.take_len(what)?;
+        self.take(len, what)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self, what: &str) -> Result<&'a str> {
+        std::str::from_utf8(self.take_bytes(what)?)
+            .map_err(|_| wire_err(format!("{what} is not valid UTF-8")))
+    }
+
+    /// Reads a length-prefixed `i32` vector.
+    pub fn take_i32_vec(&mut self, what: &str) -> Result<Vec<i32>> {
+        let len = self.take_len(what)?;
+        if self.remaining() < len.saturating_mul(4) {
+            return Err(wire_err(format!("truncated {what}: {len} elements promised")));
+        }
+        (0..len).map(|_| self.take_i32(what)).collect()
+    }
+
+    /// Reads a length-prefixed `i64` vector.
+    pub fn take_i64_vec(&mut self, what: &str) -> Result<Vec<i64>> {
+        let len = self.take_len(what)?;
+        if self.remaining() < len.saturating_mul(8) {
+            return Err(wire_err(format!("truncated {what}: {len} elements promised")));
+        }
+        (0..len).map(|_| self.take_i64(what)).collect()
+    }
+
+    /// Fails unless every byte has been consumed.
+    pub fn expect_end(&self, what: &str) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(wire_err(format!(
+                "{what} has {} trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i32(&mut buf, -123);
+        put_i64(&mut buf, i64::MIN);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.take_u8("a").unwrap(), 7);
+        assert_eq!(c.take_u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.take_u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(c.take_i32("d").unwrap(), -123);
+        assert_eq!(c.take_i64("e").unwrap(), i64::MIN);
+        c.expect_end("frame").unwrap();
+    }
+
+    #[test]
+    fn compound_round_trip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"abc");
+        put_str(&mut buf, "héllo");
+        put_i32_vec(&mut buf, &[1, -2, 3]);
+        put_i64_vec(&mut buf, &[i64::MAX, 0]);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.take_bytes("a").unwrap(), b"abc");
+        assert_eq!(c.take_str("b").unwrap(), "héllo");
+        assert_eq!(c.take_i32_vec("c").unwrap(), vec![1, -2, 3]);
+        assert_eq!(c.take_i64_vec("d").unwrap(), vec![i64::MAX, 0]);
+        c.expect_end("frame").unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 99);
+        let mut c = Cursor::new(&buf[..5]);
+        assert!(matches!(c.take_u64("x").unwrap_err(), Error::Wire { .. }));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocating() {
+        // A 4 GiB length prefix with 0 bytes behind it.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        let mut c = Cursor::new(&buf);
+        assert!(c.take_bytes("payload").is_err());
+        let mut c = Cursor::new(&buf);
+        assert!(c.take_i32_vec("vector").is_err());
+    }
+
+    #[test]
+    fn lying_vector_length_rejected_before_element_loop() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1000); // promises 1000 i32s
+        put_i32(&mut buf, 5); // delivers one
+        let mut c = Cursor::new(&buf);
+        assert!(c.take_i32_vec("vector").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 1);
+        put_u8(&mut buf, 2);
+        let mut c = Cursor::new(&buf);
+        c.take_u8("a").unwrap();
+        assert!(c.expect_end("frame").is_err());
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[0xFF, 0xFE]);
+        let mut c = Cursor::new(&buf);
+        assert!(c.take_str("name").is_err());
+    }
+}

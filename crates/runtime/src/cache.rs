@@ -6,6 +6,13 @@
 //! [`MultiplierCache`] memoizes [`FixedMatrixMultiplier::compile`] keyed
 //! by a stable content digest of the matrix plus the compilation
 //! parameters, so repeated requests reuse the compiled netlist.
+//!
+//! A long-running server cannot let the table grow with every distinct
+//! matrix it has ever seen, so the cache is optionally bounded: give it a
+//! capacity ([`MultiplierCache::with_capacity`]) and the least-recently
+//! *used* entry is evicted when a new compile would exceed it. Evicted
+//! circuits stay alive for as long as any backend still holds their
+//! [`Arc`]; only the cache's reference is dropped.
 
 use smm_bitserial::multiplier::{FixedMatrixMultiplier, WeightEncoding};
 use smm_core::csd::ChainPolicy;
@@ -58,6 +65,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Compiled circuits currently held.
     pub entries: usize,
+    /// Entries dropped to stay within the configured capacity.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -69,6 +78,34 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+/// One cached circuit plus its LRU bookkeeping.
+#[derive(Debug)]
+struct CacheEntry {
+    /// The matrix the circuit was compiled from, kept so a hit can be
+    /// verified by content, not just by 64-bit digest — a digest
+    /// collision must never serve a circuit compiled for different
+    /// weights.
+    matrix: IntMatrix,
+    circuit: Arc<FixedMatrixMultiplier>,
+    /// Logical timestamp of the last hit or insert; the minimum across
+    /// the table is the eviction victim.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Table {
+    entries: HashMap<CacheKey, CacheEntry>,
+    /// Monotone logical clock for `last_used` stamps.
+    clock: u64,
+}
+
+impl Table {
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
     }
 }
 
@@ -91,19 +128,33 @@ impl CacheStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct MultiplierCache {
-    /// Each entry keeps the matrix it was compiled from so a hit can be
-    /// verified by content, not just by 64-bit digest — a digest
-    /// collision must never serve a circuit compiled for different
-    /// weights.
-    entries: Mutex<HashMap<CacheKey, (IntMatrix, Arc<FixedMatrixMultiplier>)>>,
+    table: Mutex<Table>,
+    /// `None` = unbounded.
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl MultiplierCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache bounded to at most `capacity` compiled circuits,
+    /// evicting the least-recently-used entry on overflow. A capacity of
+    /// `0` means unbounded (same as [`MultiplierCache::new`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: (capacity > 0).then_some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Returns the compiled circuit for `(matrix, input_bits, encoding)`,
@@ -130,14 +181,18 @@ impl MultiplierCache {
             encoding: encoding_key(encoding),
         };
         let mut collided = false;
-        if let Some((cached_matrix, hit)) =
-            self.entries.lock().expect("cache poisoned").get(&key)
         {
-            if cached_matrix == matrix {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(hit));
+            let mut table = self.table.lock().expect("cache poisoned");
+            let stamp = table.touch();
+            if let Some(entry) = table.entries.get_mut(&key) {
+                if entry.matrix == *matrix {
+                    entry.last_used = stamp;
+                    let circuit = Arc::clone(&entry.circuit);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(circuit);
+                }
+                collided = true;
             }
-            collided = true;
         }
         let compiled = Arc::new(FixedMatrixMultiplier::compile(matrix, input_bits, encoding)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -147,19 +202,29 @@ impl MultiplierCache {
             // uncached.
             return Ok(compiled);
         }
-        let mut entries = self.entries.lock().expect("cache poisoned");
+        let mut table = self.table.lock().expect("cache poisoned");
+        let stamp = table.touch();
         // First inserter wins so every caller observes one circuit — but
         // only when the occupant was compiled from the same content.
-        match entries.entry(key) {
-            std::collections::hash_map::Entry::Occupied(existing) => {
-                if existing.get().0 == *matrix {
-                    Ok(Arc::clone(&existing.get().1))
+        match table.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut existing) => {
+                if existing.get().matrix == *matrix {
+                    existing.get_mut().last_used = stamp;
+                    Ok(Arc::clone(&existing.get().circuit))
                 } else {
                     Ok(compiled)
                 }
             }
             std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert((matrix.clone(), Arc::clone(&compiled)));
+                slot.insert(CacheEntry {
+                    matrix: matrix.clone(),
+                    circuit: Arc::clone(&compiled),
+                    last_used: stamp,
+                });
+                if let Some(cap) = self.capacity {
+                    let evicted = evict_to_capacity(&mut table.entries, cap);
+                    self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                }
                 Ok(compiled)
             }
         }
@@ -170,17 +235,41 @@ impl MultiplierCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("cache poisoned").len(),
+            entries: self.table.lock().expect("cache poisoned").entries.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every cached circuit (outstanding `Arc`s stay valid) and
     /// zeroes the counters.
     pub fn clear(&self) {
-        self.entries.lock().expect("cache poisoned").clear();
+        let mut table = self.table.lock().expect("cache poisoned");
+        table.entries.clear();
+        table.clock = 0;
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
+}
+
+/// Evicts least-recently-used entries until `entries` fits `cap`,
+/// returning how many were dropped. Linear scans per eviction: the cache
+/// holds at most a few hundred compiled circuits and evicts rarely, so a
+/// heap would be bookkeeping without benefit.
+fn evict_to_capacity(entries: &mut HashMap<CacheKey, CacheEntry>, cap: usize) -> u64 {
+    let mut evicted = 0;
+    while entries.len() > cap {
+        let Some(victim) = entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k)
+        else {
+            break;
+        };
+        entries.remove(&victim);
+        evicted += 1;
+    }
+    evicted
 }
 
 #[cfg(test)]
@@ -249,6 +338,75 @@ mod tests {
         let v = IntMatrix::identity(4).unwrap();
         assert!(cache.get_or_compile(&v, 0, WeightEncoding::Pn).is_err());
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let cache = MultiplierCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let matrices: Vec<IntMatrix> = (0..3)
+            .map(|i| {
+                let mut rng = seeded(2400 + i);
+                element_sparse_matrix(8, 8, 8, 0.5, true, &mut rng).unwrap()
+            })
+            .collect();
+        let a = cache.get_or_compile(&matrices[0], 8, WeightEncoding::Pn).unwrap();
+        cache.get_or_compile(&matrices[1], 8, WeightEncoding::Pn).unwrap();
+        // Touch `a` so `b` becomes the LRU victim when `c` arrives.
+        cache.get_or_compile(&matrices[0], 8, WeightEncoding::Pn).unwrap();
+        cache.get_or_compile(&matrices[2], 8, WeightEncoding::Pn).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (2, 1));
+        // `a` survived (hit), `b` was evicted (fresh miss recompiles).
+        let a2 = cache.get_or_compile(&matrices[0], 8, WeightEncoding::Pn).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        let before = cache.stats().misses;
+        cache.get_or_compile(&matrices[1], 8, WeightEncoding::Pn).unwrap();
+        assert_eq!(cache.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn eviction_keeps_counters_consistent() {
+        // Cycle through more matrices than the capacity twice over and
+        // check the books balance: every lookup is exactly one hit or one
+        // miss, entries never exceed capacity, and evictions account for
+        // every insert beyond it.
+        let cache = MultiplierCache::with_capacity(3);
+        let matrices: Vec<IntMatrix> = (0..5)
+            .map(|i| {
+                let mut rng = seeded(2500 + i);
+                element_sparse_matrix(6, 6, 8, 0.5, true, &mut rng).unwrap()
+            })
+            .collect();
+        let mut lookups = 0u64;
+        for round in 0..2 {
+            for m in &matrices {
+                let got = cache.get_or_compile(m, 8, WeightEncoding::Pn).unwrap();
+                // Whatever the cache state, the circuit must be correct.
+                assert_eq!(got.rows(), 6, "round {round}");
+                lookups += 1;
+                let s = cache.stats();
+                assert!(s.entries <= 3);
+                assert_eq!(s.hits + s.misses, lookups);
+                assert_eq!(s.evictions, s.misses - s.entries as u64);
+            }
+        }
+        // 5 distinct matrices through a 3-slot cache in round-robin is
+        // the LRU worst case: every lookup misses.
+        assert_eq!(cache.stats().misses, 10);
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let cache = MultiplierCache::with_capacity(0);
+        assert_eq!(cache.capacity(), None);
+        for i in 0..4 {
+            let mut rng = seeded(2600 + i);
+            let m = element_sparse_matrix(4, 4, 8, 0.5, true, &mut rng).unwrap();
+            cache.get_or_compile(&m, 8, WeightEncoding::Pn).unwrap();
+        }
+        assert_eq!(cache.stats().entries, 4);
+        assert_eq!(cache.stats().evictions, 0);
     }
 
     #[test]

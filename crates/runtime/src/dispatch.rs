@@ -12,6 +12,7 @@
 
 use crate::backend::GemvBackend;
 use smm_core::error::{Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -61,6 +62,12 @@ pub struct BatchStats {
     pub shards: usize,
     /// Wall-clock time from submission to full reassembly.
     pub elapsed: Duration,
+    /// Median per-vector completion latency (submission to the vector's
+    /// shard finishing), nearest-rank over the batch.
+    pub p50_latency: Duration,
+    /// 99th-percentile per-vector completion latency. For batches under
+    /// 100 vectors this is the slowest shard's latency.
+    pub p99_latency: Duration,
 }
 
 impl BatchStats {
@@ -82,6 +89,38 @@ impl BatchStats {
             self.elapsed / self.batch as u32
         }
     }
+}
+
+/// Nearest-rank percentile over `(latency, vectors)` samples: the
+/// smallest latency such that at least `q` of all vectors completed
+/// within it. `q` is a fraction in `(0, 1]`.
+fn weighted_percentile(samples: &mut [(Duration, usize)], q: f64) -> Duration {
+    let total: usize = samples.iter().map(|&(_, n)| n).sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable_by_key(|&(d, _)| d);
+    let target = ((q * total as f64).ceil() as usize).clamp(1, total);
+    let mut covered = 0usize;
+    for &(latency, n) in samples.iter() {
+        covered += n;
+        if covered >= target {
+            return latency;
+        }
+    }
+    samples.last().map(|&(d, _)| d).unwrap_or(Duration::ZERO)
+}
+
+/// Cumulative counters of a [`Dispatcher`], for server-level stats
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatcherStats {
+    /// Batches fully served (failed dispatches are not counted).
+    pub batches: u64,
+    /// Vectors fully served across all batches.
+    pub vectors: u64,
+    /// Worker threads in the pool.
+    pub threads: usize,
 }
 
 /// A completed batch: outputs in submission order plus timing.
@@ -109,6 +148,8 @@ pub struct Dispatcher {
     backend: Arc<dyn GemvBackend>,
     job_tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    batches: AtomicU64,
+    vectors: AtomicU64,
 }
 
 impl Dispatcher {
@@ -140,6 +181,8 @@ impl Dispatcher {
             backend,
             job_tx: Some(job_tx),
             workers,
+            batches: AtomicU64::new(0),
+            vectors: AtomicU64::new(0),
         })
     }
 
@@ -151,6 +194,31 @@ impl Dispatcher {
     /// Worker threads in the pool.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Cumulative served-work counters since construction.
+    pub fn snapshot(&self) -> DispatcherStats {
+        DispatcherStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            vectors: self.vectors.load(Ordering::Relaxed),
+            threads: self.workers.len(),
+        }
+    }
+
+    /// Graceful teardown: closes the job channel and joins every worker
+    /// thread. Exactly what [`Drop`] does, made explicit so callers can
+    /// sequence a drain (`Drop` runs implicitly and silently; a server
+    /// shutdown path reads better saying what it means).
+    pub fn shutdown(mut self) {
+        self.join_workers();
+    }
+
+    fn join_workers(&mut self) {
+        // Closing the channel wakes every worker with `Err(Disconnected)`.
+        self.job_tx = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
     }
 
     /// Executes one batch, returning outputs in submission order.
@@ -174,6 +242,8 @@ impl Dispatcher {
                     batch: 0,
                     shards: 0,
                     elapsed: start.elapsed(),
+                    p50_latency: Duration::ZERO,
+                    p99_latency: Duration::ZERO,
                 },
             });
         }
@@ -205,9 +275,13 @@ impl Dispatcher {
 
         let mut outputs: Vec<Option<Vec<i64>>> = vec![None; n];
         let mut first_error: Option<Error> = None;
+        // A vector's completion latency is submission-to-shard-arrival:
+        // what a caller waiting on just that vector would have observed.
+        let mut latencies: Vec<(Duration, usize)> = Vec::with_capacity(shards);
         for _ in 0..shards {
             let (shard_start, shard_end, result) =
                 reply_rx.recv().map_err(|_| pool_gone())?;
+            latencies.push((start.elapsed(), shard_end - shard_start));
             match result {
                 // `GemvBackend` is a public trait: hold third-party
                 // implementations to the one-row-per-vector contract
@@ -236,12 +310,16 @@ impl Dispatcher {
             .into_iter()
             .map(|row| row.expect("every shard reported"))
             .collect();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.vectors.fetch_add(n as u64, Ordering::Relaxed);
         Ok(BatchResult {
             outputs,
             stats: BatchStats {
                 batch: n,
                 shards,
                 elapsed: start.elapsed(),
+                p50_latency: weighted_percentile(&mut latencies, 0.50),
+                p99_latency: weighted_percentile(&mut latencies, 0.99),
             },
         })
     }
@@ -249,11 +327,7 @@ impl Dispatcher {
 
 impl Drop for Dispatcher {
     fn drop(&mut self) {
-        // Closing the channel wakes every worker with `Err(Disconnected)`.
-        self.job_tx = None;
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.join_workers();
     }
 }
 
@@ -409,6 +483,101 @@ mod tests {
         // miscounted shard poisons only its own batch.
         let err2 = d.dispatch(vec![vec![0, 0]; 3]).unwrap_err();
         assert!(matches!(err2, Error::Runtime { .. }));
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered_and_bounded() {
+        let v = IntMatrix::identity(6).unwrap();
+        let d = Dispatcher::new(
+            Arc::new(DenseRef::new(v)),
+            DispatcherConfig { threads: 3 },
+        )
+        .unwrap();
+        let got = d.dispatch(vec![vec![1, 2, 3, 4, 5, 6]; 50]).unwrap();
+        let s = got.stats;
+        assert!(s.p50_latency > Duration::ZERO);
+        assert!(s.p50_latency <= s.p99_latency, "{s:?}");
+        // Completion latencies are measured inside the batch window.
+        assert!(s.p99_latency <= s.elapsed, "{s:?}");
+        // Empty batches report zeros.
+        let empty = d.dispatch(Vec::new()).unwrap();
+        assert_eq!(empty.stats.p50_latency, Duration::ZERO);
+        assert_eq!(empty.stats.p99_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn weighted_percentile_nearest_rank() {
+        let ms = Duration::from_millis;
+        let mut samples = vec![(ms(30), 1), (ms(10), 98), (ms(20), 1)];
+        assert_eq!(weighted_percentile(&mut samples.clone(), 0.50), ms(10));
+        assert_eq!(weighted_percentile(&mut samples.clone(), 0.98), ms(10));
+        assert_eq!(weighted_percentile(&mut samples.clone(), 0.99), ms(20));
+        assert_eq!(weighted_percentile(&mut samples, 1.0), ms(30));
+        assert_eq!(weighted_percentile(&mut [], 0.5), Duration::ZERO);
+        // A single shard is every percentile.
+        assert_eq!(weighted_percentile(&mut [(ms(7), 5)], 0.01), ms(7));
+        assert_eq!(weighted_percentile(&mut [(ms(7), 5)], 0.99), ms(7));
+    }
+
+    #[test]
+    fn snapshot_counts_served_work() {
+        let v = IntMatrix::identity(4).unwrap();
+        let d = Dispatcher::new(
+            Arc::new(DenseRef::new(v)),
+            DispatcherConfig { threads: 2 },
+        )
+        .unwrap();
+        assert_eq!(d.snapshot(), DispatcherStats { batches: 0, vectors: 0, threads: 2 });
+        d.dispatch(vec![vec![1, 2, 3, 4]; 7]).unwrap();
+        d.dispatch(vec![vec![1, 2, 3, 4]; 3]).unwrap();
+        // Failed dispatches are not served work.
+        assert!(d.dispatch(vec![vec![1]]).is_err());
+        let s = d.snapshot();
+        assert_eq!((s.batches, s.vectors), (2, 10));
+    }
+
+    #[test]
+    fn shutdown_joins_workers_and_loses_no_request() {
+        // `Weak` on the backend proves the join: every worker holds an
+        // `Arc` clone, so the upgrade below can only fail once all worker
+        // threads have actually exited (not merely been signalled).
+        let v = IntMatrix::identity(8).unwrap();
+        let backend = Arc::new(DenseRef::new(v));
+        let weak = Arc::downgrade(&backend);
+        let d = Arc::new(
+            Dispatcher::new(backend, DispatcherConfig { threads: 4 }).unwrap(),
+        );
+        // Concurrent submitters: every dispatch issued before teardown
+        // must come back complete and in order.
+        let submitters: Vec<_> = (0..4)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    let batch: Vec<Vec<i32>> = (0..25i32)
+                        .map(|i| (0..8).map(|j| t * 1000 + i * 8 + j).collect())
+                        .collect();
+                    let expect: Vec<Vec<i64>> = batch
+                        .iter()
+                        .map(|a| a.iter().map(|&x| i64::from(x)).collect())
+                        .collect();
+                    for _ in 0..10 {
+                        let got = d.dispatch(batch.clone()).unwrap();
+                        assert_eq!(got.outputs, expect);
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().unwrap();
+        }
+        let served = d.snapshot();
+        assert_eq!((served.batches, served.vectors), (40, 1000));
+        let d = Arc::into_inner(d).expect("all submitters joined");
+        d.shutdown();
+        assert!(
+            weak.upgrade().is_none(),
+            "a worker thread outlived shutdown()"
+        );
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub mod dispatch;
 
 pub use backend::{BitSerial, DenseRef, GemvBackend, SparseCsr};
 pub use cache::{CacheStats, MultiplierCache};
-pub use dispatch::{BatchResult, BatchStats, Dispatcher, DispatcherConfig};
+pub use dispatch::{BatchResult, BatchStats, Dispatcher, DispatcherConfig, DispatcherStats};

@@ -1,0 +1,181 @@
+//! The blocking client side of the wire protocol.
+
+use crate::protocol::{read_frame, write_frame, FrameError, Reply, Request, StatsSnapshot};
+use smm_core::matrix::IntMatrix;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server's admission queue is full; retry after backing off.
+    Busy,
+    /// The server answered with an error message.
+    Remote(String),
+    /// The connection or the protocol itself failed; the client is dead.
+    Transport(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Busy => write!(f, "server busy: admission queue full"),
+            ServeError::Remote(message) => write!(f, "server error: {message}"),
+            ServeError::Transport(context) => write!(f, "transport failure: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        ServeError::Transport(e.to_string())
+    }
+}
+
+/// Client-side result alias.
+pub type ServeResult<T> = std::result::Result<T, ServeError>;
+
+/// A blocking connection to an `smm-server`.
+///
+/// One request is in flight at a time (send, then wait for the echoed
+/// request id); open several clients for concurrency. All methods map a
+/// `Busy` reply to [`ServeError::Busy`] so callers can implement their
+/// own backoff.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> ServeResult<Client> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ServeError::Transport(format!("connecting: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| ServeError::Transport(format!("setting nodelay: {e}")))?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    fn call(&mut self, request: &Request) -> ServeResult<Reply> {
+        let opcode = request.opcode();
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, opcode as u8, id, &request.encode())
+            .map_err(|e| ServeError::Transport(format!("sending request: {e}")))?;
+        let frame = read_frame(&mut self.stream)?;
+        if frame.request_id != id || frame.opcode != opcode as u8 {
+            return Err(ServeError::Transport(format!(
+                "reply for request {} opcode {} does not match request {id} opcode {}",
+                frame.request_id, frame.opcode, opcode as u8
+            )));
+        }
+        let reply = Reply::decode(opcode, &frame.payload)
+            .map_err(|e| ServeError::Transport(e.to_string()))?;
+        match reply {
+            Reply::Busy => Err(ServeError::Busy),
+            Reply::Error(message) => Err(ServeError::Remote(message)),
+            ok => Ok(ok),
+        }
+    }
+
+    fn protocol_breach<T>(&self, what: &str) -> ServeResult<T> {
+        Err(ServeError::Transport(format!(
+            "server answered {what} with the wrong reply kind"
+        )))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> ServeResult<()> {
+        match self.call(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            _ => self.protocol_breach("ping"),
+        }
+    }
+
+    /// Uploads a matrix for serving and returns the digest it is now
+    /// addressable by. Verifies the server and client agree on the
+    /// digest (same content hash on both ends of the wire).
+    pub fn load_matrix(&mut self, matrix: &IntMatrix) -> ServeResult<u64> {
+        let local = matrix.digest();
+        match self.call(&Request::LoadMatrix(matrix.clone()))? {
+            Reply::Loaded { digest, rows, cols, .. } => {
+                if digest != local
+                    || rows != matrix.rows() as u64
+                    || cols != matrix.cols() as u64
+                {
+                    return Err(ServeError::Transport(format!(
+                        "server loaded {rows}x{cols} digest {digest:#x}, \
+                         expected {}x{} digest {local:#x}",
+                        matrix.rows(),
+                        matrix.cols()
+                    )));
+                }
+                Ok(digest)
+            }
+            _ => self.protocol_breach("load"),
+        }
+    }
+
+    /// One product `o = aᵀV` against the loaded matrix `digest`.
+    pub fn gemv(&mut self, digest: u64, vector: &[i32]) -> ServeResult<Vec<i64>> {
+        let request = Request::Gemv {
+            digest,
+            vector: vector.to_vec(),
+        };
+        match self.call(&request)? {
+            Reply::Output(o) => Ok(o),
+            _ => self.protocol_breach("gemv"),
+        }
+    }
+
+    /// A batch of products, returned in request order.
+    pub fn gemv_batch(&mut self, digest: u64, vectors: &[Vec<i32>]) -> ServeResult<Vec<Vec<i64>>> {
+        let request = Request::GemvBatch {
+            digest,
+            vectors: vectors.to_vec(),
+        };
+        match self.call(&request)? {
+            Reply::Outputs(rows) => {
+                if rows.len() != vectors.len() {
+                    return Err(ServeError::Transport(format!(
+                        "server returned {} outputs for {} inputs",
+                        rows.len(),
+                        vectors.len()
+                    )));
+                }
+                Ok(rows)
+            }
+            _ => self.protocol_breach("gemv_batch"),
+        }
+    }
+
+    /// Server-wide metrics snapshot.
+    pub fn stats(&mut self) -> ServeResult<StatsSnapshot> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats(s) => Ok(s),
+            _ => self.protocol_breach("stats"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_to_nothing_is_a_transport_error() {
+        // Port 1 on loopback is essentially never listening.
+        let err = Client::connect("127.0.0.1:1").unwrap_err();
+        assert!(matches!(err, ServeError::Transport(_)), "{err}");
+        assert!(err.to_string().contains("connecting"));
+    }
+
+    #[test]
+    fn serve_error_displays() {
+        assert!(ServeError::Busy.to_string().contains("busy"));
+        assert!(ServeError::Remote("x".into()).to_string().contains("x"));
+    }
+}

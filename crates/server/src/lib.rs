@@ -1,0 +1,52 @@
+//! # smm-server
+//!
+//! The **networked GEMV serving frontend**: the layer that puts the
+//! in-process serving runtime ([`smm_runtime`]) behind a TCP boundary so
+//! one compiled fixed-matrix multiplier can be amortized across many
+//! remote callers — the paper's economics, scaled past a single process.
+//!
+//! * [`protocol`] — a versioned, length-prefixed binary wire protocol
+//!   (magic `SMM1`, opcodes `Ping`/`LoadMatrix`/`Gemv`/`GemvBatch`/
+//!   `Stats`), built on [`smm_core::wire`] with matrices travelling as
+//!   MatrixMarket text via [`smm_core::io`];
+//! * [`server`] — a std-only threaded TCP server: per-connection
+//!   sessions resolving matrices by [`smm_core::matrix::IntMatrix::digest`],
+//!   a bounded [`AdmissionQueue`] that answers `Busy` instead of
+//!   buffering under overload, per-matrix dispatcher worker pools over
+//!   a shared [`smm_runtime::MultiplierCache`], and graceful shutdown
+//!   with connection drain;
+//! * [`metrics`] — lock-free counters and a log-bucketed latency
+//!   histogram behind the `Stats` opcode (p50/p99);
+//! * [`client`] — the blocking [`Client`] used by tests, examples, and
+//!   the load generator;
+//! * [`loadgen`] — a multi-client load generator that verifies every
+//!   reply against the dense reference while measuring throughput.
+//!
+//! ## A round trip
+//!
+//! ```
+//! use smm_core::matrix::IntMatrix;
+//! use smm_server::{Client, ServerConfig};
+//!
+//! let server = smm_server::start(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let v = IntMatrix::from_vec(2, 2, vec![1, -2, 3, 4]).unwrap();
+//! let digest = client.load_matrix(&v).unwrap();
+//! assert_eq!(client.gemv(digest, &[5, 6]).unwrap(), vec![23, 14]);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ServeError, ServeResult};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use metrics::{LatencyHistogram, ServerMetrics};
+pub use protocol::{Opcode, Reply, Request, StatsSnapshot};
+pub use server::{start, AdmissionQueue, BackendKind, ServerConfig, ServerHandle};

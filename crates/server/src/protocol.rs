@@ -1,0 +1,708 @@
+//! The versioned binary wire protocol spoken between [`crate::Client`]
+//! and the server.
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! magic  "SMM1"      4 bytes
+//! version            1 byte   (currently 1)
+//! opcode             1 byte
+//! request id         8 bytes  little-endian
+//! payload length     4 bytes  little-endian
+//! payload            N bytes
+//! ```
+//!
+//! Requests and replies share the frame shape; a reply echoes its
+//! request's opcode and id, and its payload begins with a status byte
+//! ([`STATUS_OK`] / [`STATUS_BUSY`] / [`STATUS_ERROR`]). All multi-byte
+//! integers are little-endian via [`smm_core::wire`]; matrices travel as
+//! MatrixMarket text via [`smm_core::io::matrix_to_bytes`]. The payload
+//! length is capped ([`MAX_FRAME_PAYLOAD`]) so a hostile peer cannot
+//! drive unbounded allocation.
+
+use smm_core::error::{Error, Result};
+use smm_core::io::{matrix_from_bytes, matrix_to_bytes};
+use smm_core::matrix::IntMatrix;
+use smm_core::wire::{self, Cursor};
+use std::io::{self, Read, Write};
+
+/// Frame preamble: the protocol's on-wire signature.
+pub const MAGIC: [u8; 4] = *b"SMM1";
+/// Current protocol version. Bump on any incompatible frame change.
+pub const VERSION: u8 = 1;
+/// Fixed frame header size in bytes.
+pub const HEADER_LEN: usize = 18;
+/// Upper bound on a frame payload; larger length prefixes are rejected
+/// before any allocation.
+pub const MAX_FRAME_PAYLOAD: usize = wire::MAX_WIRE_LEN;
+
+/// Reply status byte: request served.
+pub const STATUS_OK: u8 = 0;
+/// Reply status byte: admission queue full, retry later.
+pub const STATUS_BUSY: u8 = 1;
+/// Reply status byte: request failed; payload carries the message.
+pub const STATUS_ERROR: u8 = 2;
+
+/// Request operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe.
+    Ping = 0,
+    /// Upload a matrix for serving.
+    LoadMatrix = 1,
+    /// One `o = aᵀV` product against a loaded matrix.
+    Gemv = 2,
+    /// A batch of products against a loaded matrix.
+    GemvBatch = 3,
+    /// Server-wide metrics snapshot.
+    Stats = 4,
+}
+
+impl Opcode {
+    /// Decodes a raw opcode byte.
+    pub fn from_u8(raw: u8) -> Result<Opcode> {
+        Ok(match raw {
+            0 => Opcode::Ping,
+            1 => Opcode::LoadMatrix,
+            2 => Opcode::Gemv,
+            3 => Opcode::GemvBatch,
+            4 => Opcode::Stats,
+            other => {
+                return Err(Error::Wire {
+                    context: format!("unknown opcode {other}"),
+                })
+            }
+        })
+    }
+}
+
+/// A client request, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Upload a matrix; the reply names its digest.
+    LoadMatrix(IntMatrix),
+    /// One product against the matrix with this digest.
+    Gemv {
+        /// [`IntMatrix::digest`] of the loaded matrix.
+        digest: u64,
+        /// The input vector `a`.
+        vector: Vec<i32>,
+    },
+    /// A batch of products against the matrix with this digest.
+    GemvBatch {
+        /// [`IntMatrix::digest`] of the loaded matrix.
+        digest: u64,
+        /// The input vectors, served in order.
+        vectors: Vec<Vec<i32>>,
+    },
+    /// Server-wide metrics snapshot.
+    Stats,
+}
+
+impl Request {
+    /// The opcode this request travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Ping => Opcode::Ping,
+            Request::LoadMatrix(_) => Opcode::LoadMatrix,
+            Request::Gemv { .. } => Opcode::Gemv,
+            Request::GemvBatch { .. } => Opcode::GemvBatch,
+            Request::Stats => Opcode::Stats,
+        }
+    }
+
+    /// Serializes the request payload (header excluded).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Ping | Request::Stats => {}
+            Request::LoadMatrix(m) => wire::put_bytes(&mut buf, &matrix_to_bytes(m)),
+            Request::Gemv { digest, vector } => {
+                wire::put_u64(&mut buf, *digest);
+                wire::put_i32_vec(&mut buf, vector);
+            }
+            Request::GemvBatch { digest, vectors } => {
+                wire::put_u64(&mut buf, *digest);
+                wire::put_u32(&mut buf, vectors.len() as u32);
+                for v in vectors {
+                    wire::put_i32_vec(&mut buf, v);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Decodes a request payload for `opcode`.
+    pub fn decode(opcode: Opcode, payload: &[u8]) -> Result<Request> {
+        let mut c = Cursor::new(payload);
+        let request = match opcode {
+            Opcode::Ping => Request::Ping,
+            Opcode::Stats => Request::Stats,
+            Opcode::LoadMatrix => {
+                Request::LoadMatrix(matrix_from_bytes(c.take_bytes("matrix payload")?)?)
+            }
+            Opcode::Gemv => Request::Gemv {
+                digest: c.take_u64("matrix digest")?,
+                vector: c.take_i32_vec("input vector")?,
+            },
+            Opcode::GemvBatch => {
+                let digest = c.take_u64("matrix digest")?;
+                let count = c.take_u32("batch count")? as usize;
+                if count > MAX_FRAME_PAYLOAD / 4 {
+                    return Err(Error::Wire {
+                        context: format!("batch count {count} exceeds frame capacity"),
+                    });
+                }
+                let vectors = (0..count)
+                    .map(|_| c.take_i32_vec("batch vector"))
+                    .collect::<Result<_>>()?;
+                Request::GemvBatch { digest, vectors }
+            }
+        };
+        c.expect_end("request payload")?;
+        Ok(request)
+    }
+}
+
+/// Server-wide metrics, as reported by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Frames decoded into requests.
+    pub requests: u64,
+    /// Compute requests refused with [`STATUS_BUSY`].
+    pub rejected: u64,
+    /// Requests answered with [`STATUS_ERROR`].
+    pub errors: u64,
+    /// Bytes read off the wire.
+    pub bytes_in: u64,
+    /// Bytes written to the wire.
+    pub bytes_out: u64,
+    /// Vectors served across all matrices (a batch of `n` counts `n`).
+    pub vectors: u64,
+    /// Batches served through the dispatchers.
+    pub batches: u64,
+    /// Matrices currently loaded.
+    pub matrices: u64,
+    /// Compiled-multiplier cache hits.
+    pub cache_hits: u64,
+    /// Compiled-multiplier cache misses.
+    pub cache_misses: u64,
+    /// Compiled circuits currently cached.
+    pub cache_entries: u64,
+    /// Circuits evicted to stay within the cache capacity.
+    pub cache_evictions: u64,
+    /// Compute requests recorded in the latency histogram.
+    pub latency_count: u64,
+    /// Median compute-request latency, in nanoseconds (bucketed).
+    pub p50_latency_ns: u64,
+    /// 99th-percentile compute-request latency, in nanoseconds (bucketed).
+    pub p99_latency_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Cache hit fraction in `[0, 1]` (0 when the cache is untouched).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    fn fields(&self) -> [u64; 15] {
+        [
+            self.requests,
+            self.rejected,
+            self.errors,
+            self.bytes_in,
+            self.bytes_out,
+            self.vectors,
+            self.batches,
+            self.matrices,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_entries,
+            self.cache_evictions,
+            self.latency_count,
+            self.p50_latency_ns,
+            self.p99_latency_ns,
+        ]
+    }
+
+    /// Serializes the snapshot.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        for v in self.fields() {
+            wire::put_u64(buf, v);
+        }
+    }
+
+    /// Decodes a snapshot.
+    pub fn decode(c: &mut Cursor<'_>) -> Result<StatsSnapshot> {
+        let mut s = StatsSnapshot::default();
+        let fields: [&mut u64; 15] = [
+            &mut s.requests,
+            &mut s.rejected,
+            &mut s.errors,
+            &mut s.bytes_in,
+            &mut s.bytes_out,
+            &mut s.vectors,
+            &mut s.batches,
+            &mut s.matrices,
+            &mut s.cache_hits,
+            &mut s.cache_misses,
+            &mut s.cache_entries,
+            &mut s.cache_evictions,
+            &mut s.latency_count,
+            &mut s.p50_latency_ns,
+            &mut s.p99_latency_ns,
+        ];
+        for f in fields {
+            *f = c.take_u64("stats field")?;
+        }
+        Ok(s)
+    }
+}
+
+/// A server reply, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// [`Request::Ping`] answered.
+    Pong,
+    /// [`Request::LoadMatrix`] accepted.
+    Loaded {
+        /// Digest the matrix is now addressable by.
+        digest: u64,
+        /// Matrix rows (= required input length).
+        rows: u64,
+        /// Matrix columns (= produced output length).
+        cols: u64,
+        /// `true` if the matrix was already loaded.
+        already_loaded: bool,
+    },
+    /// [`Request::Gemv`] result.
+    Output(Vec<i64>),
+    /// [`Request::GemvBatch`] results, in request order.
+    Outputs(Vec<Vec<i64>>),
+    /// [`Request::Stats`] snapshot.
+    Stats(StatsSnapshot),
+    /// Admission queue full; retry later.
+    Busy,
+    /// Request failed.
+    Error(String),
+}
+
+impl Reply {
+    /// Serializes the reply payload: status byte, then the body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Reply::Busy => wire::put_u8(&mut buf, STATUS_BUSY),
+            Reply::Error(message) => {
+                wire::put_u8(&mut buf, STATUS_ERROR);
+                wire::put_str(&mut buf, message);
+            }
+            ok => {
+                wire::put_u8(&mut buf, STATUS_OK);
+                match ok {
+                    Reply::Pong => {}
+                    Reply::Loaded {
+                        digest,
+                        rows,
+                        cols,
+                        already_loaded,
+                    } => {
+                        wire::put_u64(&mut buf, *digest);
+                        wire::put_u64(&mut buf, *rows);
+                        wire::put_u64(&mut buf, *cols);
+                        wire::put_u8(&mut buf, u8::from(*already_loaded));
+                    }
+                    Reply::Output(o) => wire::put_i64_vec(&mut buf, o),
+                    Reply::Outputs(rows) => {
+                        wire::put_u32(&mut buf, rows.len() as u32);
+                        for o in rows {
+                            wire::put_i64_vec(&mut buf, o);
+                        }
+                    }
+                    Reply::Stats(s) => s.encode(&mut buf),
+                    Reply::Busy | Reply::Error(_) => unreachable!("handled above"),
+                }
+            }
+        }
+        buf
+    }
+
+    /// Decodes a reply payload; the body shape is determined by the
+    /// opcode of the request being answered.
+    pub fn decode(request_opcode: Opcode, payload: &[u8]) -> Result<Reply> {
+        let mut c = Cursor::new(payload);
+        let reply = match c.take_u8("status byte")? {
+            STATUS_BUSY => Reply::Busy,
+            STATUS_ERROR => Reply::Error(c.take_str("error message")?.to_string()),
+            STATUS_OK => match request_opcode {
+                Opcode::Ping => Reply::Pong,
+                Opcode::LoadMatrix => Reply::Loaded {
+                    digest: c.take_u64("digest")?,
+                    rows: c.take_u64("rows")?,
+                    cols: c.take_u64("cols")?,
+                    already_loaded: c.take_u8("already-loaded flag")? != 0,
+                },
+                Opcode::Gemv => Reply::Output(c.take_i64_vec("output vector")?),
+                Opcode::GemvBatch => {
+                    let count = c.take_u32("output count")? as usize;
+                    if count > MAX_FRAME_PAYLOAD / 8 {
+                        return Err(Error::Wire {
+                            context: format!("output count {count} exceeds frame capacity"),
+                        });
+                    }
+                    Reply::Outputs(
+                        (0..count)
+                            .map(|_| c.take_i64_vec("output vector"))
+                            .collect::<Result<_>>()?,
+                    )
+                }
+                Opcode::Stats => Reply::Stats(StatsSnapshot::decode(&mut c)?),
+            },
+            other => {
+                return Err(Error::Wire {
+                    context: format!("unknown reply status {other}"),
+                })
+            }
+        };
+        c.expect_end("reply payload")?;
+        Ok(reply)
+    }
+}
+
+/// A raw frame off the wire: opcode byte, request id, payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Raw opcode byte (validated by [`Opcode::from_u8`] at decode time).
+    pub opcode: u8,
+    /// Caller-chosen id, echoed verbatim in the reply frame.
+    pub request_id: u64,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// An I/O failure (including a close mid-frame).
+    Io(io::Error),
+    /// The bytes violate the protocol (bad magic/version, oversized
+    /// payload, shutdown mid-frame). The connection is desynchronized
+    /// and must be dropped.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "i/o failure: {e}"),
+            FrameError::Malformed(context) => write!(f, "malformed frame: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame, returning the bytes put on the wire. An oversized
+/// payload is an [`io::ErrorKind::InvalidInput`] error, not a panic —
+/// the client hits this path with user-supplied matrices and batches.
+pub fn write_frame(
+    w: &mut impl Write,
+    opcode: u8,
+    request_id: u64,
+    payload: &[u8],
+) -> io::Result<u64> {
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte wire limit; \
+                 split the request",
+                payload.len()
+            ),
+        ));
+    }
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(opcode);
+    frame.extend_from_slice(&request_id.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len() as u64)
+}
+
+/// How a [`read_full`] attempt ended.
+enum Fill {
+    /// The buffer was filled.
+    Done,
+    /// `keep_going` turned false while no frame bytes had arrived.
+    IdleAbort,
+    /// Clean EOF before any frame bytes.
+    CleanEof,
+}
+
+/// Reads exactly `buf.len()` bytes, treating read timeouts as polls of
+/// `keep_going`. `allow_idle` marks a legal stopping point (the start of
+/// a frame): only there can EOF or an abort end the read cleanly — once
+/// a frame has started, a timeout keeps waiting unless `keep_going`
+/// fails, which becomes a hard [`FrameError::Malformed`] (the stream is
+/// mid-frame and cannot be resynchronized).
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    allow_idle: bool,
+    keep_going: &dyn Fn() -> bool,
+) -> std::result::Result<Fill, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && allow_idle {
+                    Ok(Fill::CleanEof)
+                } else {
+                    Err(FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    )))
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !keep_going() {
+                    return if filled == 0 && allow_idle {
+                        Ok(Fill::IdleAbort)
+                    } else {
+                        Err(FrameError::Malformed("aborted mid-frame".into()))
+                    };
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+/// Reads one frame, blocking until it arrives, the peer closes
+/// ([`FrameError::Closed`]), or — only while *between* frames —
+/// `keep_going` returns false during a socket read-timeout poll, which
+/// yields `Ok(None)`. Servers pair this with a short
+/// [`std::net::TcpStream::set_read_timeout`] so idle sessions notice a
+/// shutdown promptly.
+pub fn read_frame_idle_abort(
+    r: &mut impl Read,
+    keep_going: &dyn Fn() -> bool,
+) -> std::result::Result<Option<Frame>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_full(r, &mut header, true, keep_going)? {
+        Fill::CleanEof => return Err(FrameError::Closed),
+        Fill::IdleAbort => return Ok(None),
+        Fill::Done => {}
+    }
+    if header[..4] != MAGIC {
+        return Err(FrameError::Malformed(format!(
+            "bad magic {:02x?}",
+            &header[..4]
+        )));
+    }
+    if header[4] != VERSION {
+        return Err(FrameError::Malformed(format!(
+            "unsupported protocol version {}",
+            header[4]
+        )));
+    }
+    let opcode = header[5];
+    let request_id = u64::from_le_bytes(header[6..14].try_into().unwrap());
+    let len = u32::from_le_bytes(header[14..18].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Malformed(format!(
+            "payload length {len} exceeds {MAX_FRAME_PAYLOAD}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    match read_full(r, &mut payload, false, keep_going)? {
+        Fill::Done => {}
+        Fill::CleanEof | Fill::IdleAbort => unreachable!("only legal at a frame boundary"),
+    }
+    Ok(Some(Frame {
+        opcode,
+        request_id,
+        payload,
+    }))
+}
+
+/// Reads one frame, blocking until it arrives or the connection fails.
+pub fn read_frame(r: &mut impl Read) -> std::result::Result<Frame, FrameError> {
+    Ok(read_frame_idle_abort(r, &|| true)?.expect("abort impossible: keep_going is constant"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_core::generate::element_sparse_matrix;
+    use smm_core::rng::seeded;
+
+    fn round_trip_request(req: Request) {
+        let payload = req.encode();
+        let back = Request::decode(req.opcode(), &payload).unwrap();
+        assert_eq!(back, req);
+    }
+
+    fn round_trip_reply(opcode: Opcode, reply: Reply) {
+        let payload = reply.encode();
+        let back = Reply::decode(opcode, &payload).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let mut rng = seeded(3100);
+        let m = element_sparse_matrix(7, 9, 8, 0.6, true, &mut rng).unwrap();
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::LoadMatrix(m));
+        round_trip_request(Request::Gemv {
+            digest: 0xABCD,
+            vector: vec![1, -2, 3],
+        });
+        round_trip_request(Request::GemvBatch {
+            digest: u64::MAX,
+            vectors: vec![vec![5; 4], vec![-6; 4], vec![]],
+        });
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        round_trip_reply(Opcode::Ping, Reply::Pong);
+        round_trip_reply(
+            Opcode::LoadMatrix,
+            Reply::Loaded {
+                digest: 42,
+                rows: 7,
+                cols: 9,
+                already_loaded: true,
+            },
+        );
+        round_trip_reply(Opcode::Gemv, Reply::Output(vec![i64::MIN, 0, i64::MAX]));
+        round_trip_reply(
+            Opcode::GemvBatch,
+            Reply::Outputs(vec![vec![1, 2], vec![-3, -4]]),
+        );
+        let stats = StatsSnapshot {
+            requests: 11,
+            p99_latency_ns: 12345,
+            cache_hits: 3,
+            ..Default::default()
+        };
+        round_trip_reply(Opcode::Stats, Reply::Stats(stats));
+        // Busy and Error decode identically under any opcode.
+        round_trip_reply(Opcode::Gemv, Reply::Busy);
+        round_trip_reply(Opcode::Stats, Reply::Error("nope".into()));
+    }
+
+    #[test]
+    fn frame_round_trip_over_a_buffer() {
+        let req = Request::Gemv {
+            digest: 99,
+            vector: vec![4, 5, 6],
+        };
+        let mut wire_bytes = Vec::new();
+        let n = write_frame(&mut wire_bytes, req.opcode() as u8, 7, &req.encode()).unwrap();
+        assert_eq!(n as usize, wire_bytes.len());
+        let frame = read_frame(&mut wire_bytes.as_slice()).unwrap();
+        assert_eq!(frame.request_id, 7);
+        let back = Request::decode(Opcode::from_u8(frame.opcode).unwrap(), &frame.payload).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn oversized_write_is_an_error_not_a_panic() {
+        let payload = vec![0u8; MAX_FRAME_PAYLOAD + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, Opcode::Gemv as u8, 1, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "nothing may reach the wire");
+    }
+
+    #[test]
+    fn bad_magic_version_and_oversize_rejected() {
+        let mut good = Vec::new();
+        write_frame(&mut good, Opcode::Ping as u8, 1, &[]).unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut bad_magic.as_slice()),
+            Err(FrameError::Malformed(_))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            read_frame(&mut bad_version.as_slice()),
+            Err(FrameError::Malformed(_))
+        ));
+
+        let mut oversize = good;
+        oversize[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut oversize.as_slice()),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn eof_at_boundary_is_closed_but_mid_frame_is_io_error() {
+        assert!(matches!(
+            read_frame(&mut [].as_slice()),
+            Err(FrameError::Closed)
+        ));
+        let mut good = Vec::new();
+        write_frame(&mut good, Opcode::Ping as u8, 1, &[1, 2, 3]).unwrap();
+        assert!(matches!(
+            read_frame(&mut &good[..10]),
+            Err(FrameError::Io(_))
+        ));
+        assert!(matches!(
+            read_frame(&mut &good[..good.len() - 1]),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_and_trailing_garbage_rejected() {
+        assert!(Opcode::from_u8(200).is_err());
+        let mut payload = Request::Ping.encode();
+        payload.push(0xEE);
+        assert!(Request::decode(Opcode::Ping, &payload).is_err());
+        let mut reply = Reply::Pong.encode();
+        reply.push(0xEE);
+        assert!(Reply::decode(Opcode::Ping, &reply).is_err());
+    }
+
+    #[test]
+    fn lying_batch_count_rejected() {
+        let mut buf = Vec::new();
+        wire::put_u64(&mut buf, 1); // digest
+        wire::put_u32(&mut buf, u32::MAX); // absurd count
+        assert!(Request::decode(Opcode::GemvBatch, &buf).is_err());
+    }
+}

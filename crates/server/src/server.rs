@@ -1,0 +1,584 @@
+//! The threaded TCP server: sessions, admission control, registry,
+//! graceful shutdown.
+//!
+//! One OS thread per connection reads frames, decodes requests, and
+//! computes inline; heavy batch requests are sharded through a
+//! per-matrix [`Dispatcher`] worker pool. Compute requests must first
+//! clear a server-wide [`AdmissionQueue`] — a bounded concurrency budget.
+//! When the budget is spent the server answers `Busy` *immediately*
+//! instead of buffering: under overload, callers get a clear backpressure
+//! signal within one round trip, and server memory stays flat.
+//!
+//! Shutdown is cooperative: [`ServerHandle::shutdown`] raises a flag,
+//! wakes the accept loop, and joins every session thread. Sessions poll
+//! the flag on a short socket read timeout, so an in-flight request is
+//! always answered before its connection drains — a request accepted is
+//! a request served.
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{
+    read_frame_idle_abort, write_frame, FrameError, Opcode, Reply, Request, StatsSnapshot,
+    STATUS_ERROR,
+};
+use smm_bitserial::multiplier::WeightEncoding;
+use smm_core::error::{Error, Result};
+use smm_core::matrix::IntMatrix;
+use smm_runtime::{
+    BitSerial, DenseRef, Dispatcher, DispatcherConfig, GemvBackend, MultiplierCache, SparseCsr,
+};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Which compute engine the server builds for each loaded matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Dense reference gemv.
+    Dense,
+    /// Executed CSR SpMV (the default: exact and fast).
+    #[default]
+    Csr,
+    /// The compiled spatial circuit, simulated cycle-accurately. Slowest
+    /// and most faithful; compilations go through the shared
+    /// [`MultiplierCache`].
+    BitSerial,
+}
+
+impl BackendKind {
+    /// Stable name, matching the CLI's `--backend` values.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Dense => "dense",
+            BackendKind::Csr => "csr",
+            BackendKind::BitSerial => "bitserial",
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "dense" => Ok(BackendKind::Dense),
+            "csr" | "sparse" => Ok(BackendKind::Csr),
+            "bitserial" => Ok(BackendKind::BitSerial),
+            other => Err(format!("unknown backend '{other}' (dense|csr|bitserial)")),
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Engine built for each loaded matrix.
+    pub backend: BackendKind,
+    /// Dispatcher worker threads per loaded matrix (0 = all cores).
+    pub threads: usize,
+    /// Admission budget: compute requests allowed in flight at once
+    /// before the server answers `Busy`. Minimum 1.
+    pub queue_depth: usize,
+    /// LRU capacity of the compiled-multiplier cache (0 = unbounded).
+    pub cache_capacity: usize,
+    /// Maximum simultaneously loaded matrices.
+    pub max_matrices: usize,
+    /// Input operand width compiled into bit-serial circuits.
+    pub input_bits: u32,
+    /// Weight encoding compiled into bit-serial circuits.
+    pub encoding: WeightEncoding,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            backend: BackendKind::default(),
+            threads: 0,
+            queue_depth: 64,
+            cache_capacity: 0,
+            max_matrices: 64,
+            input_bits: 8,
+            encoding: WeightEncoding::Pn,
+        }
+    }
+}
+
+/// A bounded concurrency budget with immediate-rejection semantics.
+///
+/// [`AdmissionQueue::try_enter`] never blocks: it either returns a
+/// permit (released on drop) or `None`, which the protocol layer turns
+/// into a `Busy` reply. This is admission *control*, deliberately not a
+/// waiting queue — buffering under overload only moves the problem into
+/// server memory and adds latency to every queued caller.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    in_flight: AtomicUsize,
+}
+
+impl AdmissionQueue {
+    /// A budget of `capacity` concurrent permits (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Permits currently held.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Claims a permit, or `None` if the budget is spent.
+    pub fn try_enter(&self) -> Option<AdmissionPermit<'_>> {
+        self.in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.capacity).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| AdmissionPermit { queue: self })
+    }
+}
+
+/// An admission slot; returns to the budget on drop.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    queue: &'a AdmissionQueue,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.queue.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// One loaded matrix and its compute machinery. The backend itself is
+/// owned by the dispatcher ([`Dispatcher::backend`]); every request —
+/// singles included — flows through the worker pool.
+struct Served {
+    dispatcher: Dispatcher,
+}
+
+/// State shared by the accept loop and every session thread.
+struct Shared {
+    config: ServerConfig,
+    registry: Mutex<HashMap<u64, Arc<Served>>>,
+    cache: MultiplierCache,
+    admission: AdmissionQueue,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    /// Connections ever accepted (names session threads).
+    connections: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> StatsSnapshot {
+        let (matrices, batches, vectors) = {
+            let registry = self.registry.lock().expect("registry poisoned");
+            let mut batches = 0;
+            let mut vectors = 0;
+            for served in registry.values() {
+                let s = served.dispatcher.snapshot();
+                batches += s.batches;
+                vectors += s.vectors;
+            }
+            (registry.len() as u64, batches, vectors)
+        };
+        let cache = self.cache.stats();
+        StatsSnapshot {
+            requests: ServerMetrics::read(&self.metrics.requests),
+            rejected: ServerMetrics::read(&self.metrics.rejected),
+            errors: ServerMetrics::read(&self.metrics.errors),
+            bytes_in: ServerMetrics::read(&self.metrics.bytes_in),
+            bytes_out: ServerMetrics::read(&self.metrics.bytes_out),
+            vectors,
+            batches,
+            matrices,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_entries: cache.entries as u64,
+            cache_evictions: cache.evictions,
+            latency_count: self.metrics.latency.count(),
+            p50_latency_ns: self.metrics.latency.quantile_ns(0.50),
+            p99_latency_ns: self.metrics.latency.quantile_ns(0.99),
+        }
+    }
+
+    /// Builds the configured backend for `matrix` (compilations go
+    /// through the shared cache).
+    fn build_backend(&self, matrix: &IntMatrix) -> Result<Arc<dyn GemvBackend>> {
+        Ok(match self.config.backend {
+            BackendKind::Dense => Arc::new(DenseRef::new(matrix.clone())),
+            BackendKind::Csr => Arc::new(SparseCsr::new(matrix)),
+            BackendKind::BitSerial => Arc::new(BitSerial::new(self.cache.get_or_compile(
+                matrix,
+                self.config.input_bits,
+                self.config.encoding,
+            )?)),
+        })
+    }
+
+    /// Serves one decoded request. `Busy`/`Error` replies are produced
+    /// here; frame-level failures are handled by the session loop.
+    fn serve(&self, request: Request) -> Reply {
+        match request {
+            Request::Ping => Reply::Pong,
+            Request::Stats => Reply::Stats(self.stats()),
+            Request::LoadMatrix(matrix) => self.serve_load(matrix),
+            // Singles go through the dispatcher too (a 1-vector batch):
+            // one code path, and the served-work counters behind `Stats`
+            // see every vector, not just batched ones.
+            Request::Gemv { digest, vector } => self.serve_compute(digest, |served| {
+                let mut batch = served.dispatcher.dispatch(vec![vector])?;
+                Ok(Reply::Output(batch.outputs.remove(0)))
+            }),
+            Request::GemvBatch { digest, vectors } => self.serve_compute(digest, |served| {
+                served
+                    .dispatcher
+                    .dispatch(vectors)
+                    .map(|batch| Reply::Outputs(batch.outputs))
+            }),
+        }
+    }
+
+    fn serve_load(&self, matrix: IntMatrix) -> Reply {
+        let digest = matrix.digest();
+        let rows = matrix.rows() as u64;
+        let cols = matrix.cols() as u64;
+        {
+            let registry = self.registry.lock().expect("registry poisoned");
+            if registry.contains_key(&digest) {
+                return Reply::Loaded {
+                    digest,
+                    rows,
+                    cols,
+                    already_loaded: true,
+                };
+            }
+            // Refuse *before* building: a rejected load must not burn a
+            // compile, grow the shared cache, or spin up a worker pool.
+            if registry.len() >= self.config.max_matrices {
+                return Reply::Error(format!("matrix registry full ({} loaded)", registry.len()));
+            }
+        }
+        // Build outside the registry lock: a slow bit-serial compile must
+        // not stall requests against already-loaded matrices. Two racing
+        // loaders both build; the first insert wins and the loser's copy
+        // is dropped (the compile itself is still shared via the cache).
+        let built = self.build_backend(&matrix).and_then(|backend| {
+            let dispatcher = Dispatcher::new(
+                backend,
+                DispatcherConfig {
+                    threads: self.config.threads,
+                },
+            )?;
+            Ok(Served { dispatcher })
+        });
+        let served = match built {
+            Ok(served) => served,
+            Err(e) => return Reply::Error(format!("loading matrix: {e}")),
+        };
+        let mut registry = self.registry.lock().expect("registry poisoned");
+        let already_loaded = registry.contains_key(&digest);
+        if !already_loaded {
+            // Re-check the bound: other loads may have raced in while
+            // this one was building.
+            if registry.len() >= self.config.max_matrices {
+                return Reply::Error(format!(
+                    "matrix registry full ({} loaded)",
+                    registry.len()
+                ));
+            }
+            registry.insert(digest, Arc::new(served));
+        }
+        Reply::Loaded {
+            digest,
+            rows,
+            cols,
+            already_loaded,
+        }
+    }
+
+    fn serve_compute(
+        &self,
+        digest: u64,
+        compute: impl FnOnce(&Served) -> Result<Reply>,
+    ) -> Reply {
+        let Some(served) = self
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .get(&digest)
+            .map(Arc::clone)
+        else {
+            return Reply::Error(format!("no matrix loaded with digest {digest:#018x}"));
+        };
+        let Some(_permit) = self.admission.try_enter() else {
+            ServerMetrics::bump(&self.metrics.rejected, 1);
+            return Reply::Busy;
+        };
+        let start = Instant::now();
+        let reply = match compute(&served) {
+            Ok(reply) => reply,
+            Err(e) => return Reply::Error(format!("computing: {e}")),
+        };
+        self.metrics.latency.record(start.elapsed());
+        reply
+    }
+}
+
+/// A running server; dropping it (or calling
+/// [`ServerHandle::shutdown`]) stops it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when the config said 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A stats snapshot taken in-process (no wire round trip).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, let every in-flight request
+    /// finish and its reply flush, join all threads. Returns the final
+    /// stats snapshot.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stop_and_join();
+        self.shared.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            // The accept loop sits in a blocking `accept()`; a throwaway
+            // connection wakes it to observe the flag.
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// How long a session blocks on its socket before re-checking the
+/// shutdown flag. Bounds shutdown latency; invisible to throughput.
+const SESSION_POLL: Duration = Duration::from_millis(50);
+
+/// Starts the server and returns once it is accepting connections.
+pub fn start(config: ServerConfig) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr).map_err(|e| Error::Runtime {
+        context: format!("binding {}: {e}", config.addr),
+    })?;
+    let local_addr = listener.local_addr().map_err(|e| Error::Runtime {
+        context: format!("resolving bound address: {e}"),
+    })?;
+    let shared = Arc::new(Shared {
+        cache: MultiplierCache::with_capacity(config.cache_capacity),
+        admission: AdmissionQueue::new(config.queue_depth),
+        config,
+        registry: Mutex::new(HashMap::new()),
+        metrics: ServerMetrics::new(),
+        shutdown: AtomicBool::new(false),
+        connections: AtomicU64::new(0),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("smm-server-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_shared))
+        .map_err(|e| Error::Runtime {
+            context: format!("spawning accept thread: {e}"),
+        })?;
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let accepted = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok((stream, _peer)) = accepted else {
+            // Transient accept failure (e.g. EMFILE); keep serving
+            // existing sessions and try again.
+            continue;
+        };
+        let id = shared.connections.fetch_add(1, Ordering::Relaxed);
+        let session_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("smm-server-session-{id}"))
+            .spawn(move || session_loop(stream, &session_shared));
+        match spawned {
+            Ok(handle) => sessions.push(handle),
+            Err(_) => continue, // connection dropped; client will retry
+        }
+        // Reap finished sessions so the handle list tracks live
+        // connections, not connection history.
+        sessions.retain(|s| !s.is_finished());
+    }
+    // Drain: sessions notice the flag within one poll interval, finish
+    // their in-flight request, and exit.
+    for session in sessions {
+        let _ = session.join();
+    }
+}
+
+fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(SESSION_POLL)).is_err() {
+        return;
+    }
+    let keep_going = || !shared.shutdown.load(Ordering::SeqCst);
+    loop {
+        let frame = match read_frame_idle_abort(&mut stream, &keep_going) {
+            Ok(Some(frame)) => frame,
+            // Idle abort: shutdown requested between frames.
+            Ok(None) => return,
+            // Clean disconnect, I/O failure, or an unrecoverable protocol
+            // violation — nothing sensible left to say on this socket.
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
+            Err(FrameError::Malformed(context)) => {
+                // Best-effort parting diagnostic; the stream is
+                // desynchronized so the connection must close either way.
+                // There is no trustworthy request opcode to echo, so the
+                // frame goes out under Ping (Error replies decode under
+                // any opcode).
+                let reply = Reply::Error(format!("protocol violation: {context}")).encode();
+                let _ = write_frame(&mut stream, Opcode::Ping as u8, 0, &reply);
+                return;
+            }
+        };
+        ServerMetrics::bump(
+            &shared.metrics.bytes_in,
+            (crate::protocol::HEADER_LEN + frame.payload.len()) as u64,
+        );
+        ServerMetrics::bump(&shared.metrics.requests, 1);
+        let reply = match Opcode::from_u8(frame.opcode)
+            .and_then(|op| Request::decode(op, &frame.payload))
+        {
+            Ok(request) => shared.serve(request),
+            // Undecodable payload: the frame boundary is intact, so
+            // answer and keep the session.
+            Err(e) => Reply::Error(e.to_string()),
+        };
+        let mut payload = reply.encode();
+        if payload.len() > crate::protocol::MAX_FRAME_PAYLOAD {
+            // A maximal batch of i32 inputs can widen into i64 outputs
+            // past the frame cap; refuse rather than ship an unreadable
+            // frame.
+            payload = Reply::Error("reply exceeds frame capacity; split the batch".into()).encode();
+        }
+        if payload.first() == Some(&STATUS_ERROR) {
+            ServerMetrics::bump(&shared.metrics.errors, 1);
+        }
+        match write_frame(&mut stream, frame.opcode, frame.request_id, &payload) {
+            Ok(n) => ServerMetrics::bump(&shared.metrics.bytes_out, n),
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_queue_enforces_capacity() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        let a = q.try_enter().unwrap();
+        let b = q.try_enter().unwrap();
+        assert_eq!(q.in_flight(), 2);
+        assert!(q.try_enter().is_none(), "third permit over a budget of 2");
+        drop(a);
+        let c = q.try_enter().unwrap();
+        assert!(q.try_enter().is_none());
+        drop(b);
+        drop(c);
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn admission_queue_zero_capacity_clamps_to_one() {
+        let q = AdmissionQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        let _p = q.try_enter().unwrap();
+        assert!(q.try_enter().is_none());
+    }
+
+    #[test]
+    fn admission_queue_is_race_free() {
+        // Hammer try_enter from many threads; in_flight must never
+        // exceed capacity and must return to zero.
+        let q = Arc::new(AdmissionQueue::new(3));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        if let Some(_permit) = q.try_enter() {
+                            peak.fetch_max(q.in_flight(), Ordering::Relaxed);
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(peak.load(Ordering::Relaxed) <= 3);
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn backend_kind_parses_and_names() {
+        for (text, kind) in [
+            ("dense", BackendKind::Dense),
+            ("csr", BackendKind::Csr),
+            ("sparse", BackendKind::Csr),
+            ("bitserial", BackendKind::BitSerial),
+        ] {
+            assert_eq!(text.parse::<BackendKind>().unwrap(), kind);
+        }
+        assert!("tpu".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Csr.name(), "csr");
+    }
+
+    #[test]
+    fn bind_failure_is_an_error_not_a_panic() {
+        let config = ServerConfig {
+            addr: "256.256.256.256:1".into(),
+            ..ServerConfig::default()
+        };
+        assert!(start(config).is_err());
+    }
+}

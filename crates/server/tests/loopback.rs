@@ -1,0 +1,253 @@
+//! End-to-end loopback tests: a real server on 127.0.0.1, real TCP
+//! clients, every reply checked bit-for-bit against the dense reference.
+
+use smm_core::generate::{element_sparse_matrix, random_vector};
+use smm_core::gemv::vecmat;
+use smm_core::matrix::IntMatrix;
+use smm_core::rng::seeded;
+use smm_server::{BackendKind, Client, LoadgenConfig, ServeError, ServerConfig};
+use std::time::Duration;
+
+fn test_matrix(seed: u64, rows: usize, cols: usize) -> IntMatrix {
+    let mut rng = seeded(seed);
+    element_sparse_matrix(rows, cols, 8, 0.6, true, &mut rng).unwrap()
+}
+
+#[test]
+fn four_concurrent_clients_are_bit_identical_to_the_reference() {
+    let server = smm_server::start(ServerConfig {
+        backend: BackendKind::Csr,
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let matrix = test_matrix(4100, 24, 17);
+    let digest = Client::connect(addr).unwrap().load_matrix(&matrix).unwrap();
+
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let matrix = matrix.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut rng = seeded(4200 + c);
+                for round in 0..10 {
+                    // Alternate single products and batches.
+                    if round % 2 == 0 {
+                        let a = random_vector(24, 8, true, &mut rng).unwrap();
+                        let served = client.gemv(digest, &a).unwrap();
+                        assert_eq!(served, vecmat(&a, &matrix).unwrap(), "client {c}");
+                    } else {
+                        let batch: Vec<Vec<i32>> = (0..9)
+                            .map(|_| random_vector(24, 8, true, &mut rng).unwrap())
+                            .collect();
+                        let served = client.gemv_batch(digest, &batch).unwrap();
+                        let expect: Vec<Vec<i64>> =
+                            batch.iter().map(|a| vecmat(a, &matrix).unwrap()).collect();
+                        assert_eq!(served, expect, "client {c}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let stats = Client::connect(addr).unwrap().stats().unwrap();
+    assert_eq!(stats.matrices, 1);
+    // 4 clients x 10 requests, plus the load and this stats request.
+    assert!(stats.requests >= 42, "{stats:?}");
+    // Per client: 5 batches x 9 vectors + 5 singles = 50 vectors, and
+    // singles dispatch as 1-vector batches so every vector is counted.
+    assert_eq!(stats.vectors, 200);
+    assert_eq!(stats.batches, 40);
+    assert!(stats.latency_count >= 40);
+    assert!(stats.p50_latency_ns > 0);
+    assert!(stats.p50_latency_ns <= stats.p99_latency_ns);
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.matrices, 1);
+}
+
+#[test]
+fn saturating_a_depth_one_queue_returns_busy_and_loses_nothing() {
+    // queue_depth 1 with 6 concurrent hammering clients: overlapping
+    // requests are guaranteed, so the server must answer Busy — and
+    // every *accepted* request must still verify bit-for-bit.
+    let server = smm_server::start(ServerConfig {
+        backend: BackendKind::Dense,
+        threads: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let report = smm_server::loadgen::run(&LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        clients: 6,
+        batch: 32,
+        duration: Duration::from_millis(800),
+        matrix: test_matrix(4300, 96, 96),
+        input_bits: 8,
+        seed: 4301,
+    })
+    .unwrap();
+    assert_eq!(report.mismatches, 0, "{report:?}");
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert!(report.requests > 0, "{report:?}");
+    assert!(
+        report.busy_rejections > 0,
+        "6 clients against a depth-1 queue never collided: {report:?}"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected, report.busy_rejections);
+    assert!(stats.vectors >= report.vectors);
+}
+
+#[test]
+fn busy_does_not_kill_the_session() {
+    // A client that was told Busy can retry on the same connection.
+    let server = smm_server::start(ServerConfig {
+        backend: BackendKind::Dense,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let matrix = test_matrix(4400, 8, 8);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let digest = client.load_matrix(&matrix).unwrap();
+    let a = vec![1i32; 8];
+    let expect = vecmat(&a, &matrix).unwrap();
+    let mut served = 0;
+    for _ in 0..50 {
+        match client.gemv(digest, &a) {
+            Ok(o) => {
+                assert_eq!(o, expect);
+                served += 1;
+            }
+            Err(ServeError::Busy) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(served > 0);
+}
+
+#[test]
+fn bitserial_backend_serves_through_the_shared_cache() {
+    let server = smm_server::start(ServerConfig {
+        backend: BackendKind::BitSerial,
+        threads: 2,
+        cache_capacity: 8,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let matrix = test_matrix(4500, 12, 10);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let digest = client.load_matrix(&matrix).unwrap();
+    // Loading the same matrix again is idempotent and does not recompile.
+    let again = client.load_matrix(&matrix).unwrap();
+    assert_eq!(digest, again);
+    let mut rng = seeded(4501);
+    let batch: Vec<Vec<i32>> = (0..5)
+        .map(|_| random_vector(12, 8, true, &mut rng).unwrap())
+        .collect();
+    let served = client.gemv_batch(digest, &batch).unwrap();
+    let expect: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &matrix).unwrap()).collect();
+    assert_eq!(served, expect);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_misses, 1, "{stats:?}");
+    assert_eq!(stats.cache_entries, 1);
+}
+
+#[test]
+fn unknown_digest_and_bad_dimensions_are_remote_errors_not_disconnects() {
+    let server = smm_server::start(ServerConfig::default()).unwrap();
+    let matrix = test_matrix(4600, 6, 6);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let err = client.gemv(0xDEAD_BEEF, &[1, 2, 3]).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Remote(m) if m.contains("no matrix")),
+        "{err}"
+    );
+    let digest = client.load_matrix(&matrix).unwrap();
+    let err = client.gemv(digest, &[1, 2, 3]).unwrap_err();
+    assert!(matches!(err, ServeError::Remote(_)), "{err}");
+    // The session survived both errors.
+    let a = vec![2i32; 6];
+    assert_eq!(client.gemv(digest, &a).unwrap(), vecmat(&a, &matrix).unwrap());
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.errors, 2);
+}
+
+#[test]
+fn garbage_bytes_get_an_error_frame_and_a_close() {
+    use std::io::{Read, Write};
+    let server = smm_server::start(ServerConfig::default()).unwrap();
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    // Exactly one frame header's worth of garbage: the server reads it,
+    // rejects the magic, replies, and closes. (Sending *more* than it
+    // reads would race a TCP reset against the reply.)
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    assert_eq!(b"GET / HTTP/1.1\r\n\r\n".len(), smm_server::protocol::HEADER_LEN);
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply).unwrap(); // server closes after replying
+    // The parting frame is a protocol-violation error.
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.contains("protocol violation"), "{text}");
+}
+
+#[test]
+fn graceful_shutdown_drains_and_refuses_new_connections() {
+    let server = smm_server::start(ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let matrix = test_matrix(4700, 8, 8);
+    let mut client = Client::connect(addr).unwrap();
+    let digest = client.load_matrix(&matrix).unwrap();
+    client.gemv(digest, &[1; 8]).unwrap();
+    // Shut down while the client connection is open and idle: the drain
+    // must not hang waiting for the client to disconnect first.
+    let t = std::time::Instant::now();
+    let stats = server.shutdown();
+    assert!(
+        t.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?}",
+        t.elapsed()
+    );
+    assert!(stats.requests >= 2);
+    // The old session is gone: the next call fails instead of hanging.
+    assert!(client.gemv(digest, &[1; 8]).is_err());
+    // And the port no longer accepts fresh connections.
+    assert!(matches!(
+        Client::connect(addr),
+        Err(ServeError::Transport(_))
+    ));
+}
+
+#[test]
+fn registry_bound_is_enforced() {
+    let server = smm_server::start(ServerConfig {
+        max_matrices: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.load_matrix(&test_matrix(4800, 4, 4)).unwrap();
+    client.load_matrix(&test_matrix(4801, 4, 4)).unwrap();
+    let err = client.load_matrix(&test_matrix(4802, 4, 4)).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Remote(m) if m.contains("registry full")),
+        "{err}"
+    );
+    // Already-loaded matrices still serve.
+    let m = test_matrix(4800, 4, 4);
+    let digest = m.digest();
+    let a = vec![1i32; 4];
+    assert_eq!(
+        Client::connect(server.local_addr())
+            .unwrap()
+            .gemv(digest, &a)
+            .unwrap(),
+        vecmat(&a, &m).unwrap()
+    );
+}

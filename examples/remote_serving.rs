@@ -1,0 +1,100 @@
+//! Remote serving walkthrough: the full core → runtime → server stack
+//! over a real (loopback) TCP connection.
+//!
+//! 1. Start an `smm-server` with the bit-serial backend — every loaded
+//!    matrix is spatially compiled once, through the shared
+//!    `MultiplierCache`, then amortized across all remote callers.
+//! 2. Upload a weight matrix from a client; address it by content digest.
+//! 3. Serve single products and batches, verifying against the dense
+//!    reference locally.
+//! 4. Hammer the server with the self-checking load generator.
+//! 5. Read the server's own metrics over the wire, then shut down
+//!    gracefully.
+//!
+//! Run with: `cargo run --release --example remote_serving`
+
+use spatial_smm::core::generate::{element_sparse_matrix, random_vector};
+use spatial_smm::core::gemv::vecmat;
+use spatial_smm::core::rng::seeded;
+use spatial_smm::server::{BackendKind, Client, LoadgenConfig, ServerConfig};
+use std::time::Duration;
+
+fn main() {
+    // -- 1. A server on a kernel-assigned loopback port ------------------
+    let server = spatial_smm::server::start(ServerConfig {
+        backend: BackendKind::BitSerial,
+        threads: 2,
+        queue_depth: 8,
+        cache_capacity: 16,
+        ..ServerConfig::default()
+    })
+    .expect("starting server");
+    let addr = server.local_addr();
+    println!("serving on {addr} (bit-serial backend, queue depth 8)");
+
+    // -- 2. Upload the paper's fixed matrix V ----------------------------
+    let mut rng = seeded(7);
+    let v = element_sparse_matrix(32, 24, 8, 0.85, true, &mut rng).expect("generating V");
+    let mut client = Client::connect(addr).expect("connecting");
+    let digest = client.load_matrix(&v).expect("loading V");
+    println!(
+        "loaded {}x{} matrix, digest {digest:#018x} (compiled spatially server-side)",
+        v.rows(),
+        v.cols()
+    );
+
+    // -- 3. Products round-trip bit-identically --------------------------
+    let a = random_vector(32, 8, true, &mut rng).expect("generating a");
+    let served = client.gemv(digest, &a).expect("remote gemv");
+    assert_eq!(served, vecmat(&a, &v).expect("reference"));
+    println!("single product: {} outputs, matches the dense reference", served.len());
+
+    let batch: Vec<Vec<i32>> = (0..16)
+        .map(|_| random_vector(32, 8, true, &mut rng).expect("generating batch"))
+        .collect();
+    let outputs = client.gemv_batch(digest, &batch).expect("remote batch");
+    for (a, o) in batch.iter().zip(&outputs) {
+        assert_eq!(o, &vecmat(a, &v).expect("reference"));
+    }
+    println!("batch of {}: every row matches", batch.len());
+
+    // -- 4. Load generation, self-checking -------------------------------
+    let report = spatial_smm::server::loadgen::run(&LoadgenConfig {
+        addr: addr.to_string(),
+        clients: 4,
+        batch: 8,
+        duration: Duration::from_millis(500),
+        matrix: v,
+        input_bits: 8,
+        seed: 11,
+    })
+    .expect("load generation");
+    assert_eq!(report.mismatches, 0, "served results diverged");
+    println!(
+        "loadgen: {} clients, {} requests, {} vectors verified, {:.0} vectors/sec \
+         (p50 {:.1} µs, p99 {:.1} µs, {} busy rejections)",
+        report.clients,
+        report.requests,
+        report.vectors,
+        report.vectors_per_sec(),
+        report.p50_latency_ns as f64 / 1e3,
+        report.p99_latency_ns as f64 / 1e3,
+        report.busy_rejections,
+    );
+
+    // -- 5. Server-side metrics over the wire, then drain ----------------
+    let stats = client.stats().expect("stats");
+    println!(
+        "server saw {} requests, {} vectors, cache {:.0}% hits ({} compile(s)), p99 {:.1} µs",
+        stats.requests,
+        stats.vectors,
+        100.0 * stats.cache_hit_rate(),
+        stats.cache_misses,
+        stats.p99_latency_ns as f64 / 1e3,
+    );
+    let final_stats = server.shutdown();
+    println!(
+        "graceful shutdown: {} total requests, 0 lost",
+        final_stats.requests
+    );
+}

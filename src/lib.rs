@@ -14,18 +14,37 @@
 //! * [`reservoir`] — echo state networks (float and integer)
 //! * [`cgra`] — Section VIII's proposed custom device, modelled
 //! * [`runtime`] — the batched, multi-threaded GEMV serving runtime
+//! * [`server`] — the networked serving frontend (wire protocol, TCP
+//!   server, client, load generator)
 //!
-//! ## The serving runtime
+//! ## The serving stack
 //!
-//! [`runtime`] is the production-shaped layer on top of the functional
-//! kernels: a [`runtime::GemvBackend`] trait with dense-reference, CSR,
-//! and compiled bit-serial engines; a [`runtime::MultiplierCache`] that
-//! memoizes spatial compilation by matrix content digest so repeated
-//! requests against the same weights never recompile; and a
-//! [`runtime::Dispatcher`] worker pool that shards request batches across
-//! threads and returns results in submission order with latency and
-//! throughput statistics. See `examples/throughput_serving.rs` and the
-//! CLI's `throughput` subcommand for end-to-end uses; the integer
+//! Serving is layered core → runtime → server:
+//!
+//! 1. [`core`] provides the product itself ([`core::gemv::vecmat`]), the
+//!    matrix container with its stable content digest
+//!    ([`core::matrix::IntMatrix::digest`]), the file formats
+//!    ([`core::io`]), and the binary wire primitives ([`core::wire`]).
+//! 2. [`runtime`] is the in-process serving layer: a
+//!    [`runtime::GemvBackend`] trait with dense-reference, CSR, and
+//!    compiled bit-serial engines; a [`runtime::MultiplierCache`] that
+//!    memoizes spatial compilation by matrix content digest (with an
+//!    optional LRU bound) so repeated requests against the same weights
+//!    never recompile; and a [`runtime::Dispatcher`] worker pool that
+//!    shards request batches across threads and returns results in
+//!    submission order with latency statistics (p50/p99 included).
+//! 3. [`server`] puts that behind a TCP boundary: a versioned
+//!    length-prefixed binary protocol (`Ping`/`LoadMatrix`/`Gemv`/
+//!    `GemvBatch`/`Stats`), per-connection sessions resolving matrices
+//!    by digest, a bounded admission queue that answers `Busy` instead
+//!    of buffering under overload, graceful shutdown with connection
+//!    drain, and a self-checking load generator. One compiled circuit is
+//!    thereby amortized across many remote callers — the paper's
+//!    fixed-matrix economics at serving scale.
+//!
+//! See `examples/throughput_serving.rs` (in-process),
+//! `examples/remote_serving.rs` (over TCP), and the CLI's `throughput`,
+//! `serve`, and `loadgen` subcommands for end-to-end uses; the integer
 //! reservoir ([`reservoir::int_esn::IntEsn`]) can route its recurrent
 //! product through any backend.
 
@@ -39,5 +58,6 @@ pub use smm_fpga as fpga;
 pub use smm_gpu as gpu;
 pub use smm_reservoir as reservoir;
 pub use smm_runtime as runtime;
+pub use smm_server as server;
 pub use smm_sigma as sigma;
 pub use smm_sparse as sparse;
