@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smm_bitserial::multiplier::{FixedMatrixMultiplier, WeightEncoding};
 use smm_core::generate::{element_sparse_matrix, random_vector};
 use smm_core::rng::seeded;
-use smm_runtime::{
-    BitSerial, DenseRef, Dispatcher, DispatcherConfig, GemvBackend, MultiplierCache, SparseCsr,
-};
+use smm_runtime::{EngineSpec, MultiplierCache, Session};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -17,27 +15,25 @@ fn bench_backend_dispatch(c: &mut Criterion) {
     let mut rng = seeded(6001);
     let dim = 96usize;
     let v = element_sparse_matrix(dim, dim, 8, 0.9, true, &mut rng).unwrap();
-    let mul = Arc::new(FixedMatrixMultiplier::compile(&v, 8, WeightEncoding::Pn).unwrap());
     let batch: Arc<Vec<Vec<i32>>> = Arc::new(
         (0..64)
             .map(|_| random_vector(dim, 8, true, &mut rng).unwrap())
             .collect(),
     );
 
-    let backends: Vec<Arc<dyn GemvBackend>> = vec![
-        Arc::new(DenseRef::new(v.clone())),
-        Arc::new(SparseCsr::new(&v)),
-        Arc::new(BitSerial::new(mul)),
-    ];
+    // One shared cache: the bit-serial sessions compile once.
+    let cache = Arc::new(MultiplierCache::new());
     let mut group = c.benchmark_group("runtime_dispatch");
-    for backend in &backends {
+    for kind in ["dense", "csr", "bitserial"] {
         for threads in [1usize, 2, 4] {
-            let pool = Dispatcher::new(Arc::clone(backend), DispatcherConfig { threads }).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(backend.name(), threads),
-                &threads,
-                |b, _| b.iter(|| pool.dispatch(black_box(Arc::clone(&batch))).unwrap()),
-            );
+            let session = Session::builder(v.clone())
+                .spec(EngineSpec::new(kind).threads(threads))
+                .cache(Arc::clone(&cache))
+                .build()
+                .unwrap();
+            group.bench_with_input(BenchmarkId::new(kind, threads), &threads, |b, _| {
+                b.iter(|| session.run_batch(black_box(Arc::clone(&batch))).unwrap())
+            });
         }
     }
     group.finish();

@@ -265,7 +265,7 @@ pub fn ext4(quick: bool) -> Figure {
 }
 
 /// ext5: the Section II baseline scenario — a fixed 800×800 reservoir at
-/// 75 % element sparsity (Bianchi et al. [5]) classifying multivariate
+/// 75 % element sparsity (Bianchi et al. \[5\]) classifying multivariate
 /// time series, with the synthesis report of that exact reservoir.
 pub fn ext5(quick: bool) -> Figure {
     use smm_reservoir::classify::{synthetic_dataset, ReservoirClassifier};

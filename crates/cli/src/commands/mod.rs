@@ -216,20 +216,47 @@ pub fn stream(args: &Args, out: &mut impl Write) -> CmdResult {
     Ok(())
 }
 
-/// `smm throughput` — serve a request batch through the runtime's worker
-/// pool and report vectors/sec per backend.
+/// The plan policy named by `--backend` (default `default_backend`),
+/// carrying the common engine options. `--backend` accepts a bare kind
+/// or full engine-spec syntax (`bitserial@12b/csd-c7/t4`); separate
+/// flags (`--input-bits`, `--threads`, `--csd`) override a full spec's
+/// options only when explicitly given.
+fn policy_of(args: &Args, default_backend: &str) -> Result<smm_runtime::PlanPolicy, String> {
+    use smm_runtime::{AutoOptions, EngineSpec, PlanPolicy};
+    let input_bits: u32 = args.get_or("input-bits", 8).map_err(|e| e.0)?;
+    let threads: usize = args.get_or("threads", 0).map_err(|e| e.0)?;
+    Ok(match args.get("backend").unwrap_or(default_backend) {
+        "auto" => PlanPolicy::Auto(AutoOptions {
+            input_bits,
+            encoding: encoding_of(args)?,
+            threads,
+        }),
+        kind => {
+            let mut spec = kind.parse::<EngineSpec>().map_err(|e| e.to_string())?;
+            if args.get("input-bits").is_some() {
+                spec = spec.input_bits(input_bits);
+            }
+            if args.flag("csd") {
+                spec = spec.encoding(encoding_of(args)?);
+            }
+            if args.get("threads").is_some() {
+                spec = spec.threads(threads);
+            }
+            PlanPolicy::Explicit(spec)
+        }
+    })
+}
+
+/// `smm throughput` — serve a request batch through a runtime `Session`
+/// and report vectors/sec.
 pub fn throughput(args: &Args, out: &mut impl Write) -> CmdResult {
-    use smm_runtime::{
-        BitSerial, DenseRef, Dispatcher, DispatcherConfig, GemvBackend, MultiplierCache,
-        SparseCsr,
-    };
+    use smm_runtime::Session;
     use std::sync::Arc;
     use std::time::Instant;
 
     let matrix = resolve(args)?;
     let input_bits: u32 = args.get_or("input-bits", 8).map_err(|e| e.0)?;
     let batch: usize = args.get_or("batch", 64).map_err(|e| e.0)?;
-    let threads: usize = args.get_or("threads", 0).map_err(|e| e.0)?;
     let repeat: usize = args.get_or("repeat", 3).map_err(|e| e.0)?;
     if batch == 0 {
         return Err("--batch must be at least 1".into());
@@ -238,36 +265,13 @@ pub fn throughput(args: &Args, out: &mut impl Write) -> CmdResult {
         return Err("--repeat must be at least 1".into());
     }
 
-    let backend_name = args.get("backend").unwrap_or("bitserial");
-    let cache = MultiplierCache::new();
+    let policy = policy_of(args, "bitserial")?;
     let setup = Instant::now();
-    // For the bit-serial backend, also measure what a *repeat* request
-    // against the same weights would pay: a timed cached refetch versus
-    // the cold compile.
-    let mut cache_report = None;
-    let backend: Arc<dyn GemvBackend> = match backend_name {
-        "dense" => Arc::new(DenseRef::new(matrix.clone())),
-        "csr" | "sparse" => Arc::new(SparseCsr::new(&matrix)),
-        "bitserial" => {
-            let encoding = encoding_of(args)?;
-            let t = Instant::now();
-            let circuit = cache
-                .get_or_compile(&matrix, input_bits, encoding)
-                .map_err(|e| format!("compiling circuit: {e}"))?;
-            let cold = t.elapsed();
-            let t = Instant::now();
-            let _ = cache
-                .get_or_compile(&matrix, input_bits, encoding)
-                .map_err(|e| format!("refetching circuit: {e}"))?;
-            cache_report = Some((cold, t.elapsed()));
-            Arc::new(BitSerial::new(circuit))
-        }
-        other => return Err(format!("unknown backend '{other}' (dense|csr|bitserial)")),
-    };
+    let session = Session::builder(matrix.clone())
+        .policy(policy)
+        .build()
+        .map_err(|e| format!("building session: {e}"))?;
     let setup_time = setup.elapsed();
-
-    let pool = Dispatcher::new(Arc::clone(&backend), DispatcherConfig { threads })
-        .map_err(|e| format!("starting worker pool: {e}"))?;
 
     // Deterministic request batch derived from the generator seed.
     let seed: u64 = args.get_or("seed", 42u64).map_err(|e| e.0)?;
@@ -284,10 +288,11 @@ pub fn throughput(args: &Args, out: &mut impl Write) -> CmdResult {
     writeln!(
         out,
         "serving {batch} vectors x {repeat} batches through '{}' on {} worker thread(s)",
-        backend.name(),
-        pool.threads()
+        session.engine().name(),
+        session.threads()
     )
     .map_err(|e| e.to_string())?;
+    writeln!(out, "plan: {}", session.plan().rationale).map_err(|e| e.to_string())?;
     writeln!(
         out,
         "matrix: {}x{}, nnz {}; setup {:.1} ms",
@@ -297,12 +302,22 @@ pub fn throughput(args: &Args, out: &mut impl Write) -> CmdResult {
         setup_time.as_secs_f64() * 1e3,
     )
     .map_err(|e| e.to_string())?;
-    if let Some((cold, warm)) = cache_report {
+    if session.engine().name() == "bitserial" {
+        // What a *repeat* request against the same weights would pay: a
+        // timed cached refetch versus the cold setup (which the compile
+        // dominates; planning and pool spawn also land in it).
+        let spec = &session.plan().spec;
+        let t = Instant::now();
+        session
+            .cache()
+            .get_or_compile(&matrix, spec.input_bits, spec.encoding)
+            .map_err(|e| format!("refetching circuit: {e}"))?;
         writeln!(
             out,
-            "compile: {:.2} ms cold; a repeat request pays {:.1} µs (cached)",
-            cold.as_secs_f64() * 1e3,
-            warm.as_secs_f64() * 1e6,
+            "compile: {:.2} ms cold (compile-dominated setup); a repeat request pays \
+             {:.1} µs (cached)",
+            setup_time.as_secs_f64() * 1e3,
+            t.elapsed().as_secs_f64() * 1e6,
         )
         .map_err(|e| e.to_string())?;
     }
@@ -310,8 +325,8 @@ pub fn throughput(args: &Args, out: &mut impl Write) -> CmdResult {
     let mut best = 0.0f64;
     let mut last_outputs = Vec::new();
     for round in 0..repeat {
-        let served = pool
-            .dispatch(Arc::clone(&requests))
+        let served = session
+            .run_batch(Arc::clone(&requests))
             .map_err(|e| format!("dispatching: {e}"))?;
         let rate = served.stats.vectors_per_sec();
         best = best.max(rate);
@@ -328,6 +343,15 @@ pub fn throughput(args: &Args, out: &mut impl Write) -> CmdResult {
         .map_err(|e| e.to_string())?;
         last_outputs = served.outputs;
     }
+    // Report compiles only: the timing probe above is itself a cache
+    // hit, so a hit count here would overstate what requests saw.
+    let stats = session.stats();
+    writeln!(
+        out,
+        "session: {} batches = {} vectors served; cache {} compile(s)",
+        stats.dispatcher.batches, stats.dispatcher.vectors, stats.cache.misses,
+    )
+    .map_err(|e| e.to_string())?;
 
     // Keep the serving path honest: the last timed round must match the
     // dense reference exactly (all backends are bit-identical).
@@ -413,7 +437,7 @@ pub fn serve(args: &Args, out: &mut impl Write) -> CmdResult {
 /// `smm loadgen` — hammer a running server with concurrent
 /// self-checking clients and report throughput/latency.
 pub fn loadgen(args: &Args, out: &mut impl Write) -> CmdResult {
-    use smm_server::LoadgenConfig;
+    use smm_server::{BackendKind, LoadgenConfig};
 
     let matrix = resolve(args)?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
@@ -422,6 +446,10 @@ pub fn loadgen(args: &Args, out: &mut impl Write) -> CmdResult {
     let duration: f64 = args.get_or("duration", 2.0).map_err(|e| e.0)?;
     let input_bits: u32 = args.get_or("input-bits", 8).map_err(|e| e.0)?;
     let seed: u64 = args.get_or("seed", 42u64).map_err(|e| e.0)?;
+    let backend: Option<BackendKind> = match args.get("backend") {
+        None => None,
+        Some(text) => Some(text.parse()?),
+    };
     if duration <= 0.0 {
         return Err("--duration must be > 0".into());
     }
@@ -433,13 +461,15 @@ pub fn loadgen(args: &Args, out: &mut impl Write) -> CmdResult {
         matrix,
         input_bits,
         seed,
+        backend,
     })
     .map_err(|e| format!("load generation: {e}"))?;
     writeln!(
         out,
-        "{} client(s) x {batch}-vector batches against {addr} for {:.1} s:",
+        "{} client(s) x {batch}-vector batches against {addr} for {:.1} s (engine {}):",
         report.clients,
         report.elapsed_ns as f64 / 1e9,
+        report.engine,
     )
     .map_err(|e| e.to_string())?;
     writeln!(
@@ -457,6 +487,16 @@ pub fn loadgen(args: &Args, out: &mut impl Write) -> CmdResult {
         report.p99_latency_ns as f64 / 1e3,
         report.busy_rejections,
         report.errors,
+    )
+    .map_err(|e| e.to_string())?;
+    // The server's own view, from the snapshot riding in the report.
+    writeln!(
+        out,
+        "  server: cache {:.0}% hit rate ({} compile(s)); latency p50 {:.1} µs, p99 {:.1} µs",
+        100.0 * report.server.cache_hit_rate(),
+        report.server.cache_misses,
+        report.server.p50_latency_ns as f64 / 1e3,
+        report.server.p99_latency_ns as f64 / 1e3,
     )
     .map_err(|e| e.to_string())?;
     let verdict = if report.mismatches == 0 {
@@ -683,6 +723,53 @@ mod tests {
     }
 
     #[test]
+    fn throughput_auto_plans_from_the_matrix() {
+        // 95% sparse: the planner must pick csr and say why.
+        let text = run_cmd(&[
+            "throughput", "--dim", "16", "--sparsity", "0.95", "--backend", "auto", "--threads",
+            "2", "--batch", "4", "--repeat", "1",
+        ])
+        .unwrap();
+        assert!(text.contains("through 'csr'"), "{text}");
+        assert!(text.contains("plan: auto plan"), "{text}");
+        assert!(text.contains("MATCHES"), "{text}");
+        // Dense matrix: the dense engine wins.
+        let dense = run_cmd(&[
+            "throughput", "--dim", "8", "--sparsity", "0", "--backend", "auto", "--repeat", "1",
+        ])
+        .unwrap();
+        assert!(dense.contains("through 'dense'"), "{dense}");
+    }
+
+    #[test]
+    fn throughput_accepts_full_engine_spec_syntax() {
+        // Options inside the spec survive; the thread count is visible
+        // in the header line.
+        let text = run_cmd(&[
+            "throughput", "--dim", "8", "--backend", "dense@8b/pn/t2", "--batch", "2", "--repeat",
+            "1",
+        ])
+        .unwrap();
+        assert!(text.contains("through 'dense' on 2 worker thread(s)"), "{text}");
+        // An explicit flag still wins over the spec's own option.
+        let text = run_cmd(&[
+            "throughput", "--dim", "8", "--backend", "dense@8b/pn/t2", "--threads", "1",
+            "--batch", "2", "--repeat", "1",
+        ])
+        .unwrap();
+        assert!(text.contains("on 1 worker thread(s)"), "{text}");
+    }
+
+    #[test]
+    fn throughput_reports_session_stats() {
+        let text = run_cmd(&[
+            "throughput", "--dim", "8", "--backend", "csr", "--batch", "3", "--repeat", "2",
+        ])
+        .unwrap();
+        assert!(text.contains("session: 2 batches = 6 vectors served"), "{text}");
+    }
+
+    #[test]
     fn throughput_reports_cache_reuse() {
         let text = run_cmd(&[
             "throughput", "--dim", "8", "--backend", "bitserial", "--threads", "1", "--batch",
@@ -749,9 +836,38 @@ mod tests {
         assert!(text.contains("vectors served and verified"), "{text}");
         assert!(text.contains("MATCHES"), "{text}");
         assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("server: cache"), "{text}");
         let stats = server.shutdown();
         assert!(stats.requests > 0);
         assert_eq!(stats.matrices, 1);
+    }
+
+    #[test]
+    fn loadgen_requests_a_backend_in_load_matrix() {
+        let server = smm_server::start(smm_server::ServerConfig::default()).unwrap();
+        let text = run_cmd(&[
+            "loadgen",
+            "--addr",
+            &server.local_addr().to_string(),
+            "--dim",
+            "10",
+            "--sparsity",
+            "0.95",
+            "--backend",
+            "auto",
+            "--clients",
+            "1",
+            "--batch",
+            "4",
+            "--duration",
+            "0.2",
+        ])
+        .unwrap();
+        // The per-request auto choice overrode the server's csr default —
+        // same engine here, but the reply names what the planner chose.
+        assert!(text.contains("engine csr"), "{text}");
+        assert!(text.contains("MATCHES"), "{text}");
+        server.shutdown();
     }
 
     #[test]

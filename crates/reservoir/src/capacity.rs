@@ -2,7 +2,7 @@
 //! reservoir can linearly reconstruct — `MC = Σ_k r²(k)` over delays `k`.
 //!
 //! This quantifies why reservoir sparsity matters (the paper's reference
-//! [10]: sparsity above ~80 % enables "rich interaction among neurons")
+//! \[10\]: sparsity above ~80 % enables "rich interaction among neurons")
 //! and backs the extension experiment `ext2`.
 
 use crate::esn::Esn;

@@ -1,10 +1,10 @@
 //! Multivariate time-series classification with a reservoir — the paper's
-//! Section II baseline scenario (Bianchi et al. [5]: a *fixed* 800×800
+//! Section II baseline scenario (Bianchi et al. \[5\]: a *fixed* 800×800
 //! reservoir at 75 % element sparsity classifies multivariate sequences
 //! with quality comparable to fully-trained RNNs, at a fraction of the
 //! training cost).
 //!
-//! Without the proprietary datasets of [5], sequences are synthesized:
+//! Without the proprietary datasets of \[5\], sequences are synthesized:
 //! each class is a distinct mixture of sinusoids (frequencies + phase
 //! couplings across channels) plus noise. The representation is the
 //! reservoir's mean state over the sequence; the classifier is one-vs-all

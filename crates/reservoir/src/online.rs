@@ -1,5 +1,5 @@
 //! Online learning with recursive least squares (RLS) — the setting of the
-//! paper's reference [3] (Antonik et al.): an FPGA reservoir whose readout
+//! paper's reference \[3\] (Antonik et al.): an FPGA reservoir whose readout
 //! trains *online*, sample by sample, which is ideal when known patterns
 //! arrive periodically (channel equalization with pilot sequences).
 //!

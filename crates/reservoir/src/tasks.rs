@@ -1,6 +1,6 @@
 //! Benchmark tasks from the reservoir-computing literature the paper builds
 //! on: NARMA-10, Mackey–Glass, the Lorenz attractor, nonlinear channel
-//! equalization (the task of the paper's reference [3]), delayed-memory
+//! equalization (the task of the paper's reference \[3\]), delayed-memory
 //! reconstruction, and sine prediction.
 
 use rand::Rng;
@@ -107,7 +107,7 @@ pub fn mackey_glass(len: usize, tau: f64, seed: u64) -> SequenceTask {
     }
 }
 
-/// Nonlinear channel equalization (Jaeger; the paper's reference [3] runs
+/// Nonlinear channel equalization (Jaeger; the paper's reference \[3\] runs
 /// it on an FPGA reservoir): a 4-ary symbol sequence `d(n) ∈ {−3,−1,1,3}`
 /// passes through a linear inter-symbol-interference channel, a memoryless
 /// nonlinearity and additive noise; the task is recovering `d(n−2)` from

@@ -43,6 +43,22 @@ pub trait GemvBackend: Send + Sync {
     fn gemv_batch(&self, batch: &[Vec<i32>]) -> Result<Vec<Vec<i64>>> {
         batch.iter().map(|a| self.gemv(a)).collect()
     }
+
+    /// Streams `frames` into a caller-owned output buffer, reusing its
+    /// row allocations across calls (`out` is resized to `frames.len()`).
+    /// The default computes frame-by-frame; the bit-serial engine
+    /// overrides it to pipeline the whole stream through one continuous
+    /// simulation ([`FixedMatrixMultiplier::run_frames`]).
+    fn stream_into(&self, frames: &[Vec<i32>], out: &mut Vec<Vec<i64>>) -> Result<()> {
+        out.truncate(frames.len());
+        out.resize_with(frames.len(), Vec::new);
+        for (frame, slot) in frames.iter().zip(out.iter_mut()) {
+            let row = self.gemv(frame)?;
+            slot.clear();
+            slot.extend_from_slice(&row);
+        }
+        Ok(())
+    }
 }
 
 /// The dense reference kernel.
@@ -52,14 +68,30 @@ pub struct DenseRef {
 }
 
 impl DenseRef {
-    /// Wraps a dense matrix.
-    pub fn new(matrix: IntMatrix) -> Self {
-        Self { matrix }
+    /// Wraps a copy of a dense matrix. (Callers that already own the
+    /// matrix move it in via `From<IntMatrix>` instead.)
+    pub fn new(matrix: &IntMatrix) -> Self {
+        Self {
+            matrix: matrix.clone(),
+        }
     }
 
     /// The wrapped matrix.
     pub fn matrix(&self) -> &IntMatrix {
         &self.matrix
+    }
+}
+
+impl From<IntMatrix> for DenseRef {
+    /// Moves an owned matrix in without copying.
+    fn from(matrix: IntMatrix) -> Self {
+        Self { matrix }
+    }
+}
+
+impl From<&IntMatrix> for DenseRef {
+    fn from(matrix: &IntMatrix) -> Self {
+        Self::new(matrix)
     }
 }
 
@@ -98,6 +130,18 @@ impl SparseCsr {
     /// Wraps an existing CSR matrix.
     pub fn from_csr(csr: Csr) -> Self {
         Self { csr }
+    }
+}
+
+impl From<&IntMatrix> for SparseCsr {
+    fn from(matrix: &IntMatrix) -> Self {
+        Self::new(matrix)
+    }
+}
+
+impl From<Csr> for SparseCsr {
+    fn from(csr: Csr) -> Self {
+        Self::from_csr(csr)
     }
 }
 
@@ -143,6 +187,28 @@ impl BitSerial {
     }
 }
 
+impl From<Arc<FixedMatrixMultiplier>> for BitSerial {
+    fn from(mul: Arc<FixedMatrixMultiplier>) -> Self {
+        Self::new(mul)
+    }
+}
+
+impl TryFrom<&IntMatrix> for BitSerial {
+    type Error = smm_core::error::Error;
+
+    /// Compiles the matrix with default parameters (8-bit operands,
+    /// plain `Pn` weights) — uncached; serving paths compile through the
+    /// [`crate::MultiplierCache`] instead.
+    fn try_from(matrix: &IntMatrix) -> Result<Self> {
+        use smm_bitserial::multiplier::WeightEncoding;
+        Ok(Self::new(Arc::new(FixedMatrixMultiplier::compile(
+            matrix,
+            8,
+            WeightEncoding::Pn,
+        )?)))
+    }
+}
+
 impl GemvBackend for BitSerial {
     fn name(&self) -> &'static str {
         "bitserial"
@@ -173,6 +239,13 @@ impl GemvBackend for BitSerial {
         self.mul.run_frames(batch, &mut out)?;
         Ok(out)
     }
+
+    /// Full steady-state buffer reuse: the frames pipeline back-to-back
+    /// through one continuous simulation and land in the caller's
+    /// long-lived buffer.
+    fn stream_into(&self, frames: &[Vec<i32>], out: &mut Vec<Vec<i64>>) -> Result<()> {
+        self.mul.run_frames(frames, out)
+    }
 }
 
 #[cfg(test)]
@@ -185,7 +258,7 @@ mod tests {
     fn backends(v: &IntMatrix) -> Vec<Box<dyn GemvBackend>> {
         let mul = FixedMatrixMultiplier::compile(v, 8, WeightEncoding::Pn).unwrap();
         vec![
-            Box::new(DenseRef::new(v.clone())),
+            Box::new(DenseRef::new(v)),
             Box::new(SparseCsr::new(v)),
             Box::new(BitSerial::new(Arc::new(mul))),
         ]

@@ -157,6 +157,26 @@ impl MultiplierCache {
         self.capacity
     }
 
+    /// Whether a circuit for `(matrix, input_bits, encoding)` is
+    /// currently resident — a read-only probe (no compile, no LRU touch,
+    /// no counter bump) used by the planner to tell whether serving
+    /// bit-serially would cost a lookup or a compile. Content-verified
+    /// like a hit, so a digest collision reads as absent.
+    pub fn contains(&self, matrix: &IntMatrix, input_bits: u32, encoding: WeightEncoding) -> bool {
+        let key = CacheKey {
+            digest: matrix.digest(),
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            input_bits,
+            encoding: encoding_key(encoding),
+        };
+        let table = self.table.lock().expect("cache poisoned");
+        table
+            .entries
+            .get(&key)
+            .is_some_and(|entry| entry.matrix == *matrix)
+    }
+
     /// Returns the compiled circuit for `(matrix, input_bits, encoding)`,
     /// compiling at most once per distinct key.
     ///

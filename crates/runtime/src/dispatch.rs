@@ -32,8 +32,11 @@ struct Job {
     reply: Sender<ShardReply>,
 }
 
-/// Worker-pool configuration.
+/// Worker-pool configuration. Construct via [`DispatcherConfig::new`]
+/// or [`Default`]; the struct is `#[non_exhaustive]` so future knobs
+/// (shard sizing, pinning) can land without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub struct DispatcherConfig {
     /// Worker threads. `0` (the default) selects the machine's available
     /// parallelism.
@@ -41,6 +44,12 @@ pub struct DispatcherConfig {
 }
 
 impl DispatcherConfig {
+    /// A pool of `threads` workers (0 = the machine's available
+    /// parallelism).
+    pub fn new(threads: usize) -> Self {
+        Self { threads }
+    }
+
     /// The resolved thread count (>= 1).
     pub fn resolved_threads(&self) -> usize {
         if self.threads > 0 {
@@ -140,7 +149,7 @@ pub struct BatchResult {
 /// use std::sync::Arc;
 ///
 /// let v = IntMatrix::identity(3).unwrap();
-/// let d = Dispatcher::new(Arc::new(DenseRef::new(v)), DispatcherConfig { threads: 2 }).unwrap();
+/// let d = Dispatcher::new(Arc::new(DenseRef::new(&v)), DispatcherConfig::new(2)).unwrap();
 /// let out = d.dispatch(vec![vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
 /// assert_eq!(out.outputs, vec![vec![1, 2, 3], vec![4, 5, 6]]);
 /// ```
@@ -374,8 +383,8 @@ mod tests {
         // An identity matrix echoes inputs, making order mistakes visible.
         let v = IntMatrix::identity(8).unwrap();
         let d = Dispatcher::new(
-            Arc::new(DenseRef::new(v)),
-            DispatcherConfig { threads: 4 },
+            Arc::new(DenseRef::new(&v)),
+            DispatcherConfig::new(4),
         )
         .unwrap();
         let batch: Vec<Vec<i32>> = (0..97i32)
@@ -400,13 +409,13 @@ mod tests {
         let batch = random_batch(13, 16, 2301);
         let expect: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
         let backends: Vec<Arc<dyn GemvBackend>> = vec![
-            Arc::new(DenseRef::new(v.clone())),
+            Arc::new(DenseRef::new(&v)),
             Arc::new(SparseCsr::new(&v)),
             Arc::new(BitSerial::new(mul)),
         ];
         for backend in backends {
             for threads in [1usize, 2, 5] {
-                let d = Dispatcher::new(Arc::clone(&backend), DispatcherConfig { threads }).unwrap();
+                let d = Dispatcher::new(Arc::clone(&backend), DispatcherConfig::new(threads)).unwrap();
                 let got = d.dispatch(batch.clone()).unwrap();
                 assert_eq!(
                     got.outputs,
@@ -422,8 +431,8 @@ mod tests {
     fn empty_and_singleton_batches() {
         let v = IntMatrix::identity(4).unwrap();
         let d = Dispatcher::new(
-            Arc::new(DenseRef::new(v)),
-            DispatcherConfig { threads: 3 },
+            Arc::new(DenseRef::new(&v)),
+            DispatcherConfig::new(3),
         )
         .unwrap();
         let empty = d.dispatch(Vec::new()).unwrap();
@@ -441,8 +450,8 @@ mod tests {
         let mut rng = seeded(2302);
         let v = element_sparse_matrix(8, 8, 8, 0.5, true, &mut rng).unwrap();
         let d = Dispatcher::new(
-            Arc::new(DenseRef::new(v.clone())),
-            DispatcherConfig { threads: 2 },
+            Arc::new(DenseRef::new(&v)),
+            DispatcherConfig::new(2),
         )
         .unwrap();
         // One malformed vector anywhere in the batch fails the batch...
@@ -476,7 +485,7 @@ mod tests {
                 Ok(batch.iter().skip(1).map(|_| vec![0, 0]).collect())
             }
         }
-        let d = Dispatcher::new(Arc::new(RowEater), DispatcherConfig { threads: 2 }).unwrap();
+        let d = Dispatcher::new(Arc::new(RowEater), DispatcherConfig::new(2)).unwrap();
         let err = d.dispatch(vec![vec![0, 0]; 5]).unwrap_err();
         assert!(matches!(err, Error::Runtime { .. }), "{err:?}");
         // The pool is still healthy for a well-behaved follow-up? A
@@ -489,8 +498,8 @@ mod tests {
     fn latency_percentiles_are_ordered_and_bounded() {
         let v = IntMatrix::identity(6).unwrap();
         let d = Dispatcher::new(
-            Arc::new(DenseRef::new(v)),
-            DispatcherConfig { threads: 3 },
+            Arc::new(DenseRef::new(&v)),
+            DispatcherConfig::new(3),
         )
         .unwrap();
         let got = d.dispatch(vec![vec![1, 2, 3, 4, 5, 6]; 50]).unwrap();
@@ -523,8 +532,8 @@ mod tests {
     fn snapshot_counts_served_work() {
         let v = IntMatrix::identity(4).unwrap();
         let d = Dispatcher::new(
-            Arc::new(DenseRef::new(v)),
-            DispatcherConfig { threads: 2 },
+            Arc::new(DenseRef::new(&v)),
+            DispatcherConfig::new(2),
         )
         .unwrap();
         assert_eq!(d.snapshot(), DispatcherStats { batches: 0, vectors: 0, threads: 2 });
@@ -542,10 +551,10 @@ mod tests {
         // `Arc` clone, so the upgrade below can only fail once all worker
         // threads have actually exited (not merely been signalled).
         let v = IntMatrix::identity(8).unwrap();
-        let backend = Arc::new(DenseRef::new(v));
+        let backend = Arc::new(DenseRef::new(&v));
         let weak = Arc::downgrade(&backend);
         let d = Arc::new(
-            Dispatcher::new(backend, DispatcherConfig { threads: 4 }).unwrap(),
+            Dispatcher::new(backend, DispatcherConfig::new(4)).unwrap(),
         );
         // Concurrent submitters: every dispatch issued before teardown
         // must come back complete and in order.
@@ -585,7 +594,7 @@ mod tests {
         let cfg = DispatcherConfig::default();
         assert!(cfg.resolved_threads() >= 1);
         let v = IntMatrix::identity(2).unwrap();
-        let d = Dispatcher::new(Arc::new(DenseRef::new(v)), cfg).unwrap();
+        let d = Dispatcher::new(Arc::new(DenseRef::new(&v)), cfg).unwrap();
         assert!(d.threads() >= 1);
         assert_eq!(
             d.dispatch(vec![vec![1, 2]]).unwrap().outputs,

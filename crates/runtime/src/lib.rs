@@ -6,36 +6,38 @@
 //!
 //! The paper's economics rest on compiling a *fixed* sparse matrix into a
 //! spatial circuit once and amortizing that cost over every product that
-//! follows. This crate makes the amortization explicit end to end:
+//! follows. This crate makes the amortization explicit end to end, and
+//! [`Session`] is the front door every consumer serves through:
 //!
-//! * [`GemvBackend`] — one trait over the three functional engines:
-//!   [`DenseRef`] (reference gemv), [`SparseCsr`] (executed CSR SpMV), and
-//!   [`BitSerial`] (the compiled circuit, simulated cycle-accurately, with
-//!   batches pipelined back-to-back through one continuous framed
-//!   simulation);
-//! * [`MultiplierCache`] — a thread-safe memo table from matrix *content*
-//!   (a stable [`smm_core::matrix::IntMatrix::digest`]) + operand width +
-//!   weight encoding to compiled circuits, so repeated requests against
-//!   the same weights never recompile;
-//! * [`Dispatcher`] — a worker-thread pool that shards request batches,
-//!   preserves submission order, and reports per-batch latency and
-//!   throughput.
+//! * [`EngineSpec`] / [`EngineRegistry`] — serializable engine
+//!   descriptions resolved through pluggable factories ([`spec`]);
+//! * [`Planner`] / [`PlanPolicy`] / [`EnginePlan`] — policy-driven
+//!   backend choice scored from the matrix itself ([`plan`]);
+//! * [`Session`] — the resolved engine + [`MultiplierCache`] +
+//!   [`Dispatcher`] behind one submission surface ([`session`]);
+//! * [`GemvBackend`] — the engine trait with the three built-ins:
+//!   [`DenseRef`], [`SparseCsr`], and [`BitSerial`] ([`backend`]);
+//! * [`MultiplierCache`] — content-digest-keyed compile memoization with
+//!   an optional LRU bound ([`cache`]);
+//! * [`Dispatcher`] — the sharding, order-preserving worker pool
+//!   ([`dispatch`]).
 //!
-//! ## Serving in four lines
+//! ## Serving in three lines
 //!
 //! ```
 //! use smm_core::matrix::IntMatrix;
-//! use smm_runtime::{BitSerial, Dispatcher, DispatcherConfig, MultiplierCache};
-//! use smm_bitserial::multiplier::WeightEncoding;
-//! use std::sync::Arc;
+//! use smm_runtime::Session;
 //!
 //! let v = IntMatrix::from_vec(2, 2, vec![1, -2, 3, 4]).unwrap();
-//! let cache = MultiplierCache::new();
-//! let circuit = cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap();
-//! let pool = Dispatcher::new(Arc::new(BitSerial::new(circuit)), DispatcherConfig { threads: 2 }).unwrap();
-//! let served = pool.dispatch(vec![vec![5, 6], vec![1, 0]]).unwrap();
-//! assert_eq!(served.outputs, vec![vec![23, 14], vec![1, -2]]);
+//! let session = Session::auto(v).unwrap();
+//! assert_eq!(session.run_batch(vec![vec![5, 6], vec![1, 0]]).unwrap().outputs,
+//!            vec![vec![23, 14], vec![1, -2]]);
 //! ```
+//!
+//! The session auto-planned an engine from the matrix (dimensions,
+//! density, circuit cache-residency — see [`Session::plan`] for the
+//! rationale); pass an explicit [`EngineSpec`] via
+//! [`Session::with_spec`] to overrule it.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -43,7 +45,13 @@
 pub mod backend;
 pub mod cache;
 pub mod dispatch;
+pub mod plan;
+pub mod session;
+pub mod spec;
 
 pub use backend::{BitSerial, DenseRef, GemvBackend, SparseCsr};
 pub use cache::{CacheStats, MultiplierCache};
 pub use dispatch::{BatchResult, BatchStats, Dispatcher, DispatcherConfig, DispatcherStats};
+pub use plan::{AutoOptions, EnginePlan, PlanCandidate, PlanPolicy, Planner};
+pub use session::{Session, SessionBuilder, SessionStats};
+pub use spec::{EngineContext, EngineFactory, EngineRegistry, EngineSpec, BUILTIN_KINDS};

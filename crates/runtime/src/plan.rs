@@ -1,0 +1,400 @@
+//! Backend planning: choosing the right engine for a matrix.
+//!
+//! Backend choice used to be a manual flag at every call site. This
+//! module makes it a *property of the matrix*: a [`Planner`] inspects the
+//! matrix the caller wants served — its dimensions, its element density
+//! (via [`smm_sparse::stats::SparsityProfile`]), and whether a compiled
+//! spatial circuit for it is already resident in the
+//! [`MultiplierCache`] — and emits a scored [`EnginePlan`] naming the
+//! winning [`EngineSpec`] with a human-readable rationale.
+//!
+//! Callers that know better say so with [`PlanPolicy::Explicit`], which
+//! always wins: the planner validates the requested kind against the
+//! registry and skips scoring entirely.
+//!
+//! The scoring model is deliberately simple and fully deterministic (the
+//! rationale string is pinned by a golden test):
+//!
+//! * `dense` scores `0.9 × density` — the reference kernel pays for every
+//!   element, zero or not;
+//! * `csr` scores `0.9 × sparsity` — SpMV work shrinks with the zeros;
+//! * `bitserial` scores `0.95` when the compiled circuit is already
+//!   cache-resident (serving costs a lookup) and `0.10` otherwise (the
+//!   spatial compile dominates until it has been paid once).
+//!
+//! Candidates are evaluated in [`BUILTIN_KINDS`] order and ties keep the
+//! earliest candidate, so planning is reproducible across runs. Custom
+//! registry entries are reachable through [`PlanPolicy::Explicit`]; once
+//! cost models for the fpga/gpu/cgra layers land they can join the
+//! scored candidate set.
+
+use crate::cache::MultiplierCache;
+use crate::spec::{EngineRegistry, EngineSpec, BUILTIN_KINDS};
+use smm_bitserial::multiplier::WeightEncoding;
+use smm_core::error::{Error, Result};
+use smm_core::matrix::IntMatrix;
+use smm_sparse::{Csr, SparsityProfile};
+
+/// Options the auto-planner stamps into whichever spec wins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoOptions {
+    /// Signed input operand width for the planned engine.
+    pub input_bits: u32,
+    /// Weight encoding for circuit engines (also the cache-residency
+    /// probe key).
+    pub encoding: WeightEncoding,
+    /// Dispatcher worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for AutoOptions {
+    fn default() -> Self {
+        Self {
+            input_bits: 8,
+            encoding: WeightEncoding::Pn,
+            threads: 0,
+        }
+    }
+}
+
+/// How a [`Planner`] chooses the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanPolicy {
+    /// The caller picked; planning only validates the kind exists.
+    Explicit(EngineSpec),
+    /// Score the built-in candidates against the matrix and pick the
+    /// best.
+    Auto(AutoOptions),
+}
+
+impl Default for PlanPolicy {
+    /// Auto planning with default options.
+    fn default() -> Self {
+        PlanPolicy::Auto(AutoOptions::default())
+    }
+}
+
+impl PlanPolicy {
+    /// The policy named by CLI/config text: `"auto"`, or any engine spec
+    /// accepted by [`EngineSpec`]'s parser (`"csr"`, `"bitserial@8b/pn/t2"`,
+    /// `"sparse"`, ...).
+    pub fn parse(text: &str) -> Result<PlanPolicy> {
+        if text == "auto" {
+            Ok(PlanPolicy::default())
+        } else {
+            Ok(PlanPolicy::Explicit(text.parse()?))
+        }
+    }
+}
+
+impl std::str::FromStr for PlanPolicy {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        PlanPolicy::parse(s)
+    }
+}
+
+/// One scored contender from an auto plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCandidate {
+    /// Engine kind name.
+    pub kind: String,
+    /// Score in `[0, 1]`; highest wins.
+    pub score: f64,
+    /// Why this candidate scored what it did.
+    pub reason: String,
+}
+
+/// The planner's verdict: the winning spec, its score, the human-readable
+/// rationale, and every candidate considered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnginePlan {
+    /// The spec the session will resolve through the registry.
+    pub spec: EngineSpec,
+    /// The winner's score (1.0 for explicit policies).
+    pub score: f64,
+    /// One sentence a human can read in a log and believe.
+    pub rationale: String,
+    /// All candidates considered, in evaluation order.
+    pub candidates: Vec<PlanCandidate>,
+}
+
+/// Scores engine candidates for a matrix against a registry.
+#[derive(Debug, Clone, Copy)]
+pub struct Planner<'a> {
+    registry: &'a EngineRegistry,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner over this registry's engine kinds.
+    pub fn new(registry: &'a EngineRegistry) -> Self {
+        Self { registry }
+    }
+
+    /// Plans an engine for `matrix` under `policy`, probing `cache` for
+    /// circuit residency. Fails when the policy names an unregistered
+    /// kind; auto planning over a registry with none of the built-in
+    /// kinds fails likewise.
+    pub fn plan(
+        &self,
+        matrix: &IntMatrix,
+        policy: &PlanPolicy,
+        cache: &MultiplierCache,
+    ) -> Result<EnginePlan> {
+        let options = match policy {
+            PlanPolicy::Explicit(spec) => {
+                if !self.registry.contains(spec.kind()) {
+                    return Err(Error::Runtime {
+                        context: format!(
+                            "explicit plan names unregistered engine '{}' (have: {})",
+                            spec.kind(),
+                            self.registry.kinds().collect::<Vec<_>>().join(", ")
+                        ),
+                    });
+                }
+                return Ok(EnginePlan {
+                    candidates: vec![PlanCandidate {
+                        kind: spec.kind().to_string(),
+                        score: 1.0,
+                        reason: "explicitly requested".into(),
+                    }],
+                    rationale: format!(
+                        "explicit policy: {} requested, planning skipped",
+                        spec.kind()
+                    ),
+                    score: 1.0,
+                    spec: spec.clone(),
+                });
+            }
+            PlanPolicy::Auto(options) => *options,
+        };
+        self.auto_plan(matrix, options, cache)
+    }
+
+    fn auto_plan(
+        &self,
+        matrix: &IntMatrix,
+        options: AutoOptions,
+        cache: &MultiplierCache,
+    ) -> Result<EnginePlan> {
+        let profile = SparsityProfile::of(&Csr::from_dense(matrix));
+        let sparsity = profile.element_sparsity;
+        let sparse_pct = 100.0 * sparsity;
+        let cached = cache.contains(matrix, options.input_bits, options.encoding);
+
+        let candidates: Vec<PlanCandidate> = BUILTIN_KINDS
+            .iter()
+            .filter(|kind| self.registry.contains(kind))
+            .map(|&kind| {
+                let (score, reason) = match kind {
+                    "dense" => (
+                        0.9 * (1.0 - sparsity),
+                        "dense gemv pays for every element".to_string(),
+                    ),
+                    "csr" => (
+                        0.9 * sparsity,
+                        format!("CSR SpMV skips the {sparse_pct:.1}% zero elements"),
+                    ),
+                    _ => {
+                        if cached {
+                            (
+                                0.95,
+                                "compiled circuit is cache-resident; serving costs a lookup"
+                                    .to_string(),
+                            )
+                        } else {
+                            (0.10, "spatial compile not yet paid".to_string())
+                        }
+                    }
+                };
+                PlanCandidate {
+                    kind: kind.to_string(),
+                    score,
+                    reason,
+                }
+            })
+            .collect();
+
+        // Strict max in evaluation order: ties keep the earliest.
+        let winner = candidates
+            .iter()
+            .reduce(|best, c| if c.score > best.score { c } else { best })
+            .ok_or_else(|| Error::Runtime {
+                context: "auto planning needs at least one built-in engine registered".into(),
+            })?;
+
+        let runners_up: Vec<String> = candidates
+            .iter()
+            .filter(|c| c.kind != winner.kind)
+            .map(|c| format!("{} {:.2} ({})", c.kind, c.score, c.reason))
+            .collect();
+        let rationale = format!(
+            "auto plan for {}x{} ({sparse_pct:.1}% sparse, circuit {}): {} scored {:.2} — {}; \
+             runners-up: {}",
+            matrix.rows(),
+            matrix.cols(),
+            if cached { "cached" } else { "not cached" },
+            winner.kind,
+            winner.score,
+            winner.reason,
+            if runners_up.is_empty() {
+                "none".to_string()
+            } else {
+                runners_up.join(", ")
+            },
+        );
+        Ok(EnginePlan {
+            spec: EngineSpec::new(winner.kind.clone())
+                .input_bits(options.input_bits)
+                .encoding(options.encoding)
+                .threads(options.threads),
+            score: winner.score,
+            rationale,
+            candidates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_core::generate::element_sparse_matrix;
+    use smm_core::rng::seeded;
+
+    fn plan(matrix: &IntMatrix, policy: &PlanPolicy, cache: &MultiplierCache) -> EnginePlan {
+        let registry = EngineRegistry::builtin();
+        Planner::new(&registry).plan(matrix, policy, cache).unwrap()
+    }
+
+    /// 4x5 with exactly 4 zeros: 20% sparse, so dense must win.
+    fn mostly_dense() -> IntMatrix {
+        IntMatrix::from_vec(
+            4,
+            5,
+            vec![1, 2, 3, 4, 0, 5, 6, 7, 0, 8, 9, 0, 10, 11, 12, 0, 13, 14, 15, 16],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_matrix_plans_dense() {
+        let plan = plan(&mostly_dense(), &PlanPolicy::default(), &MultiplierCache::new());
+        assert_eq!(plan.spec.kind(), "dense");
+        assert!(plan.score > 0.7, "{plan:?}");
+        assert_eq!(plan.candidates.len(), 3);
+    }
+
+    #[test]
+    fn high_sparsity_plans_csr() {
+        let mut rng = seeded(2800);
+        let v = element_sparse_matrix(40, 40, 8, 0.95, true, &mut rng).unwrap();
+        let plan = plan(&v, &PlanPolicy::default(), &MultiplierCache::new());
+        assert_eq!(plan.spec.kind(), "csr", "{}", plan.rationale);
+        assert!(plan.rationale.contains("CSR SpMV"), "{}", plan.rationale);
+    }
+
+    #[test]
+    fn cache_resident_circuit_plans_bitserial() {
+        let mut rng = seeded(2801);
+        let v = element_sparse_matrix(16, 16, 8, 0.9, true, &mut rng).unwrap();
+        let cache = MultiplierCache::new();
+        // Before the compile: csr. After: the paid-for circuit wins.
+        assert_eq!(plan(&v, &PlanPolicy::default(), &cache).spec.kind(), "csr");
+        cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap();
+        let replanned = plan(&v, &PlanPolicy::default(), &cache);
+        assert_eq!(replanned.spec.kind(), "bitserial");
+        assert!(replanned.rationale.contains("cache-resident"), "{}", replanned.rationale);
+        // Residency is probed per compile key: other options still miss.
+        let other_bits = Planner::new(&EngineRegistry::builtin())
+            .plan(
+                &v,
+                &PlanPolicy::Auto(AutoOptions {
+                    input_bits: 12,
+                    ..AutoOptions::default()
+                }),
+                &cache,
+            )
+            .unwrap();
+        assert_eq!(other_bits.spec.kind(), "csr");
+        assert_eq!(other_bits.spec.input_bits, 12);
+    }
+
+    #[test]
+    fn explicit_policy_always_wins() {
+        let mut rng = seeded(2802);
+        // A 95%-sparse matrix auto-plans csr; explicit dense overrides.
+        let v = element_sparse_matrix(30, 30, 8, 0.95, true, &mut rng).unwrap();
+        let spec = EngineSpec::dense().threads(2);
+        let plan = plan(&v, &PlanPolicy::Explicit(spec.clone()), &MultiplierCache::new());
+        assert_eq!(plan.spec, spec);
+        assert_eq!(plan.score, 1.0);
+        assert_eq!(
+            plan.rationale,
+            "explicit policy: dense requested, planning skipped"
+        );
+    }
+
+    #[test]
+    fn explicit_unknown_kind_fails_cleanly() {
+        let registry = EngineRegistry::builtin();
+        let err = Planner::new(&registry)
+            .plan(
+                &IntMatrix::identity(2).unwrap(),
+                &PlanPolicy::Explicit(EngineSpec::new("tpu")),
+                &MultiplierCache::new(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("tpu"), "{err}");
+    }
+
+    #[test]
+    fn golden_rationale_is_pinned() {
+        // The rationale is part of the operator-facing surface (logs, the
+        // CLI, the serve reply); pin it exactly so drift is deliberate.
+        let plan = plan(&mostly_dense(), &PlanPolicy::default(), &MultiplierCache::new());
+        assert_eq!(
+            plan.rationale,
+            "auto plan for 4x5 (20.0% sparse, circuit not cached): dense scored 0.72 — \
+             dense gemv pays for every element; runners-up: \
+             csr 0.18 (CSR SpMV skips the 20.0% zero elements), \
+             bitserial 0.10 (spatial compile not yet paid)"
+        );
+    }
+
+    #[test]
+    fn policies_parse_from_text() {
+        assert_eq!(PlanPolicy::parse("auto").unwrap(), PlanPolicy::default());
+        assert_eq!(
+            PlanPolicy::parse("csr").unwrap(),
+            PlanPolicy::Explicit(EngineSpec::csr())
+        );
+        assert_eq!(
+            "bitserial@8b/pn/t2".parse::<PlanPolicy>().unwrap(),
+            PlanPolicy::Explicit(EngineSpec::bitserial().threads(2))
+        );
+        assert!(PlanPolicy::parse("").is_err());
+    }
+
+    #[test]
+    fn trimmed_registry_still_plans_and_empty_fails() {
+        let mut registry = EngineRegistry::empty();
+        registry.register("dense", |ctx| {
+            Ok(std::sync::Arc::new(crate::DenseRef::new(ctx.matrix))
+                as std::sync::Arc<dyn crate::GemvBackend>)
+        });
+        let cache = MultiplierCache::new();
+        let mut rng = seeded(2803);
+        let v = element_sparse_matrix(10, 10, 8, 0.95, true, &mut rng).unwrap();
+        // csr would win, but only dense is registered.
+        let plan = Planner::new(&registry)
+            .plan(&v, &PlanPolicy::default(), &cache)
+            .unwrap();
+        assert_eq!(plan.spec.kind(), "dense");
+        assert_eq!(plan.candidates.len(), 1);
+        let empty = EngineRegistry::empty();
+        assert!(Planner::new(&empty)
+            .plan(&v, &PlanPolicy::default(), &cache)
+            .is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! The serving session: one matrix, one planned engine, one front door.
+//!
+//! A [`Session`] is the unit every entry point in the repo serves
+//! through — the CLI's `throughput`/`serve`/`loadgen`, the TCP server's
+//! per-matrix state, the examples, and the tests. It owns the resolved
+//! engine (built through an [`EngineRegistry`]), the shared
+//! [`MultiplierCache`], and a [`Dispatcher`] worker pool, and exposes one
+//! submission surface:
+//!
+//! * [`Session::run`] — one product `o = aᵀV`;
+//! * [`Session::run_batch`] — a sharded, order-preserving batch with
+//!   timing;
+//! * [`Session::stream`] — framed streaming into a caller-owned buffer
+//!   (the bit-serial engine pipelines the frames back-to-back through one
+//!   continuous simulation via
+//!   [`FixedMatrixMultiplier::run_frames`](smm_bitserial::multiplier::FixedMatrixMultiplier::run_frames));
+//! * [`Session::stats`] — cache and dispatcher counters in one struct.
+//!
+//! Construction is a builder ([`Session::builder`]): pick a
+//! [`PlanPolicy`] (default: auto-plan from the matrix itself), optionally
+//! share a cache or a custom registry, and `build()`. The plan that chose
+//! the engine stays attached ([`Session::plan`]) so operators can always
+//! ask *why* this engine is serving.
+//!
+//! ```
+//! use smm_core::matrix::IntMatrix;
+//! use smm_runtime::Session;
+//!
+//! let v = IntMatrix::from_vec(2, 2, vec![1, -2, 3, 4]).unwrap();
+//! let session = Session::auto(v).unwrap();
+//! assert_eq!(session.run(&[5, 6]).unwrap(), vec![23, 14]);
+//! assert_eq!(session.plan().spec.kind(), session.engine().name());
+//! ```
+
+use crate::backend::GemvBackend;
+use crate::cache::{CacheStats, MultiplierCache};
+use crate::dispatch::{BatchResult, Dispatcher, DispatcherConfig, DispatcherStats};
+use crate::plan::{EnginePlan, PlanPolicy, Planner};
+use crate::spec::{EngineRegistry, EngineSpec};
+use smm_core::error::Result;
+use smm_core::matrix::IntMatrix;
+use std::sync::Arc;
+
+/// Cache + dispatcher counters of one session, in one struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Compiled-multiplier cache counters (shared across sessions when
+    /// the cache is).
+    pub cache: CacheStats,
+    /// Served-work counters of this session's worker pool.
+    pub dispatcher: DispatcherStats,
+}
+
+/// Configures and builds a [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    matrix: IntMatrix,
+    policy: PlanPolicy,
+    registry: Arc<EngineRegistry>,
+    cache: Option<Arc<MultiplierCache>>,
+}
+
+impl SessionBuilder {
+    /// How the engine is chosen (default: auto-plan from the matrix).
+    pub fn policy(mut self, policy: PlanPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Shorthand for an explicit-spec policy.
+    pub fn spec(self, spec: EngineSpec) -> Self {
+        self.policy(PlanPolicy::Explicit(spec))
+    }
+
+    /// The engine factories to resolve through (default: the built-ins).
+    pub fn registry(mut self, registry: Arc<EngineRegistry>) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// A shared compiled-multiplier cache. Long-lived callers serving
+    /// many matrices (the TCP server) share one cache across every
+    /// session; the default is a fresh unbounded cache per session.
+    pub fn cache(mut self, cache: Arc<MultiplierCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Plans, resolves, and spawns the session.
+    pub fn build(self) -> Result<Session> {
+        let cache = self.cache.unwrap_or_default();
+        let plan = Planner::new(&self.registry).plan(&self.matrix, &self.policy, &cache)?;
+        let engine = self.registry.build(&self.matrix, &plan.spec, &cache)?;
+        let dispatcher = Dispatcher::new(
+            Arc::clone(&engine),
+            DispatcherConfig::new(plan.spec.threads),
+        )?;
+        Ok(Session {
+            plan,
+            cache,
+            dispatcher,
+        })
+    }
+}
+
+/// One matrix behind one planned engine and worker pool — the unified
+/// serving surface. See the [module docs](crate::session).
+///
+/// The matrix itself is not retained: the engine holds whatever
+/// representation it needs (dense copy, CSR, compiled circuit), so a
+/// server with many loaded matrices pays for one representation each,
+/// not two. Shape is available via [`Session::rows`]/[`Session::cols`].
+pub struct Session {
+    plan: EnginePlan,
+    cache: Arc<MultiplierCache>,
+    dispatcher: Dispatcher,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("matrix", &(self.rows(), self.cols()))
+            .field("engine", &self.engine().name())
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Starts configuring a session over `matrix`.
+    pub fn builder(matrix: IntMatrix) -> SessionBuilder {
+        SessionBuilder {
+            matrix,
+            policy: PlanPolicy::default(),
+            registry: Arc::new(EngineRegistry::builtin()),
+            cache: None,
+        }
+    }
+
+    /// An auto-planned session with all defaults.
+    pub fn auto(matrix: IntMatrix) -> Result<Session> {
+        Self::builder(matrix).build()
+    }
+
+    /// A session serving through exactly this engine spec.
+    pub fn with_spec(matrix: IntMatrix, spec: EngineSpec) -> Result<Session> {
+        Self::builder(matrix).spec(spec).build()
+    }
+
+    /// Matrix rows — the required input-vector length.
+    pub fn rows(&self) -> usize {
+        self.engine().rows()
+    }
+
+    /// Matrix columns — the produced output-vector length.
+    pub fn cols(&self) -> usize {
+        self.engine().cols()
+    }
+
+    /// The live engine, shareable with consumers that take an
+    /// `Arc<dyn GemvBackend>` (e.g. the integer reservoir's
+    /// `attach_backend`).
+    pub fn engine(&self) -> &Arc<dyn GemvBackend> {
+        self.dispatcher.backend()
+    }
+
+    /// The plan that chose the engine, rationale included.
+    pub fn plan(&self) -> &EnginePlan {
+        &self.plan
+    }
+
+    /// The compiled-multiplier cache this session compiles through.
+    pub fn cache(&self) -> &Arc<MultiplierCache> {
+        &self.cache
+    }
+
+    /// Worker threads in the session's pool.
+    pub fn threads(&self) -> usize {
+        self.dispatcher.threads()
+    }
+
+    /// Computes one product `o = aᵀV`, through the worker pool so the
+    /// served-work counters see every vector.
+    pub fn run(&self, a: &[i32]) -> Result<Vec<i64>> {
+        let mut batch = self.dispatcher.dispatch(vec![a.to_vec()])?;
+        Ok(batch.outputs.remove(0))
+    }
+
+    /// Executes one batch, sharded across the pool, outputs in
+    /// submission order with timing. Accepts a `Vec` or an
+    /// `Arc<Vec<..>>`; pass `Arc::clone(&batch)` to re-dispatch without
+    /// copying request data.
+    pub fn run_batch(&self, batch: impl Into<Arc<Vec<Vec<i32>>>>) -> Result<BatchResult> {
+        self.dispatcher.dispatch(batch)
+    }
+
+    /// Streams `frames` through the engine into a caller-owned output
+    /// buffer, reusing its allocations across calls. On the bit-serial
+    /// engine the frames pipeline back-to-back through one continuous
+    /// cycle-accurate simulation; other engines compute frame-by-frame.
+    pub fn stream(&self, frames: &[Vec<i32>], out: &mut Vec<Vec<i64>>) -> Result<()> {
+        self.engine().stream_into(frames, out)
+    }
+
+    /// Cache and dispatcher counters in one struct.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            cache: self.cache.stats(),
+            dispatcher: self.dispatcher_stats(),
+        }
+    }
+
+    /// Just the served-work counters — no cache lock. Aggregators over
+    /// many sessions sharing one cache read the cache once and sum
+    /// these.
+    pub fn dispatcher_stats(&self) -> DispatcherStats {
+        self.dispatcher.snapshot()
+    }
+
+    /// Graceful teardown: joins the worker pool. `Drop` does the same;
+    /// this makes a drain explicit.
+    pub fn shutdown(self) {
+        self.dispatcher.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_core::generate::{element_sparse_matrix, random_vector};
+    use smm_core::gemv::vecmat;
+    use smm_core::rng::seeded;
+
+    fn sparse(seed: u64, dim: usize, sparsity: f64) -> IntMatrix {
+        let mut rng = seeded(seed);
+        element_sparse_matrix(dim, dim, 8, sparsity, true, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn auto_session_serves_bit_identically() {
+        let v = sparse(2900, 20, 0.9);
+        let session = Session::auto(v.clone()).unwrap();
+        assert_eq!(session.engine().name(), "csr");
+        let mut rng = seeded(2901);
+        let a = random_vector(20, 8, true, &mut rng).unwrap();
+        assert_eq!(session.run(&a).unwrap(), vecmat(&a, &v).unwrap());
+        let batch: Vec<Vec<i32>> = (0..7)
+            .map(|_| random_vector(20, 8, true, &mut rng).unwrap())
+            .collect();
+        let expect: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
+        let served = session.run_batch(batch).unwrap();
+        assert_eq!(served.outputs, expect);
+        let stats = session.stats();
+        assert_eq!((stats.dispatcher.batches, stats.dispatcher.vectors), (2, 8));
+    }
+
+    #[test]
+    fn every_spec_serves_the_same_outputs() {
+        let v = sparse(2902, 14, 0.6);
+        let mut rng = seeded(2903);
+        let batch: Vec<Vec<i32>> = (0..9)
+            .map(|_| random_vector(14, 8, true, &mut rng).unwrap())
+            .collect();
+        let expect: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
+        for spec in [
+            EngineSpec::dense(),
+            EngineSpec::csr(),
+            EngineSpec::bitserial().threads(2),
+        ] {
+            let session = Session::with_spec(v.clone(), spec.clone()).unwrap();
+            assert_eq!(session.engine().name(), spec.kind());
+            assert_eq!(
+                session.run_batch(batch.clone()).unwrap().outputs,
+                expect,
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_reuses_the_output_buffer() {
+        let v = sparse(2904, 10, 0.5);
+        let frames: Vec<Vec<i32>> = {
+            let mut rng = seeded(2905);
+            (0..6)
+                .map(|_| random_vector(10, 8, true, &mut rng).unwrap())
+                .collect()
+        };
+        let expect: Vec<Vec<i64>> = frames.iter().map(|a| vecmat(a, &v).unwrap()).collect();
+        for spec in [EngineSpec::dense(), EngineSpec::csr(), EngineSpec::bitserial()] {
+            let session = Session::with_spec(v.clone(), spec.clone()).unwrap();
+            let mut out = Vec::new();
+            session.stream(&frames, &mut out).unwrap();
+            assert_eq!(out, expect, "{spec}");
+            // Second pass into the same buffer: same result, no stale rows.
+            session.stream(&frames[..3], &mut out).unwrap();
+            assert_eq!(out, expect[..3], "{spec} (reused buffer)");
+        }
+    }
+
+    #[test]
+    fn shared_cache_compiles_once_across_sessions() {
+        let v = sparse(2906, 12, 0.8);
+        let cache = Arc::new(MultiplierCache::new());
+        for _ in 0..3 {
+            let session = Session::builder(v.clone())
+                .spec(EngineSpec::bitserial())
+                .cache(Arc::clone(&cache))
+                .build()
+                .unwrap();
+            assert_eq!(session.engine().name(), "bitserial");
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
+        // A *fresh* auto session over the same cache now plans bitserial:
+        // the circuit is resident, so the compile is free.
+        let session = Session::builder(v)
+            .cache(Arc::clone(&cache))
+            .build()
+            .unwrap();
+        assert_eq!(session.engine().name(), "bitserial");
+        assert_eq!(session.stats().cache.misses, 1);
+    }
+
+    #[test]
+    fn build_failures_are_clean_errors() {
+        // Unknown explicit kind.
+        assert!(Session::with_spec(
+            IntMatrix::identity(2).unwrap(),
+            EngineSpec::new("tpu")
+        )
+        .is_err());
+        // A bit-serial compile that cannot succeed (0 operand bits).
+        assert!(Session::with_spec(
+            IntMatrix::identity(2).unwrap(),
+            EngineSpec::bitserial().input_bits(0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn dimension_errors_propagate_through_run() {
+        let session = Session::auto(IntMatrix::identity(4).unwrap()).unwrap();
+        assert!(session.run(&[1, 2]).is_err());
+        assert!(session.run_batch(vec![vec![1; 4], vec![1; 3]]).is_err());
+        let mut out = Vec::new();
+        assert!(session.stream(&[vec![1; 3]], &mut out).is_err());
+        // The pool survives the error.
+        assert_eq!(session.run(&[1, 2, 3, 4]).unwrap(), vec![1, 2, 3, 4]);
+    }
+}

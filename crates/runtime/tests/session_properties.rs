@@ -1,0 +1,79 @@
+//! Property-based tests of the `Session` API: for any matrix shape,
+//! sparsity, and batch, every `EngineSpec` — and the auto plan — serves
+//! bit-identical results. The session is the one front door every entry
+//! point uses, so cross-backend agreement here is the serving stack's
+//! correctness contract.
+
+use proptest::prelude::*;
+use smm_core::generate::{element_sparse_matrix, random_vector};
+use smm_core::gemv::vecmat;
+use smm_core::rng::seeded;
+use smm_runtime::{EngineSpec, MultiplierCache, PlanPolicy, Session};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `Session::run_batch` is bit-identical to the dense reference under
+    /// every engine spec, and under the auto plan, for any shape,
+    /// sparsity, batch size, and thread count.
+    #[test]
+    fn run_batch_is_bit_identical_under_every_spec(
+        seed in any::<u64>(),
+        rows in 1usize..20,
+        cols in 1usize..16,
+        sparsity in 0.0f64..=1.0,
+        batch_size in 0usize..12,
+        threads in 1usize..4,
+    ) {
+        let mut rng = seeded(seed);
+        let v = element_sparse_matrix(rows, cols, 8, sparsity, true, &mut rng).unwrap();
+        let batch: Vec<Vec<i32>> = (0..batch_size)
+            .map(|_| random_vector(rows, 8, true, &mut rng).unwrap())
+            .collect();
+        let expect: Vec<Vec<i64>> =
+            batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
+
+        let cache = Arc::new(MultiplierCache::new());
+        let mut specs = vec![
+            EngineSpec::dense().threads(threads),
+            EngineSpec::csr().threads(threads),
+            EngineSpec::bitserial().threads(threads),
+        ];
+        // Exercise the planner too: whatever engine it picks must agree.
+        let auto = Session::builder(v.clone())
+            .cache(Arc::clone(&cache))
+            .build()
+            .unwrap();
+        specs.push(auto.plan().spec.clone());
+        prop_assert_eq!(auto.run_batch(batch.clone()).unwrap().outputs, expect.clone());
+
+        for spec in specs {
+            let session = Session::builder(v.clone())
+                .spec(spec.clone())
+                .cache(Arc::clone(&cache))
+                .build()
+                .unwrap();
+            let served = session.run_batch(batch.clone()).unwrap();
+            prop_assert_eq!(&served.outputs, &expect, "spec {}", spec);
+            prop_assert_eq!(served.stats.batch, batch_size);
+        }
+        // One matrix, one compile: every bit-serial session shared it.
+        prop_assert!(cache.stats().misses <= 1);
+    }
+
+    /// Explicit policy always beats the planner's own preference.
+    #[test]
+    fn explicit_policy_always_wins(seed in any::<u64>(), sparsity in 0.0f64..=1.0) {
+        let mut rng = seeded(seed);
+        let v = element_sparse_matrix(10, 10, 8, sparsity, true, &mut rng).unwrap();
+        for kind in ["dense", "csr", "bitserial"] {
+            let session = Session::builder(v.clone())
+                .policy(PlanPolicy::Explicit(EngineSpec::new(kind)))
+                .build()
+                .unwrap();
+            prop_assert_eq!(session.engine().name(), kind);
+            prop_assert_eq!(session.plan().score, 1.0);
+        }
+    }
+}

@@ -1,6 +1,9 @@
-//! The blocking client side of the wire protocol.
+//! The blocking client side of the wire protocol (speaks v2).
 
-use crate::protocol::{read_frame, write_frame, FrameError, Reply, Request, StatsSnapshot};
+use crate::protocol::{
+    read_frame, write_frame, BackendKind, FrameError, LoadedInfo, Reply, Request, StatsSnapshot,
+    VERSION,
+};
 use smm_core::matrix::IntMatrix;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -63,8 +66,14 @@ impl Client {
         let opcode = request.opcode();
         let id = self.next_id;
         self.next_id += 1;
-        write_frame(&mut self.stream, opcode as u8, id, &request.encode())
-            .map_err(|e| ServeError::Transport(format!("sending request: {e}")))?;
+        write_frame(
+            &mut self.stream,
+            VERSION,
+            opcode as u8,
+            id,
+            &request.encode(VERSION),
+        )
+        .map_err(|e| ServeError::Transport(format!("sending request: {e}")))?;
         let frame = read_frame(&mut self.stream)?;
         if frame.request_id != id || frame.opcode != opcode as u8 {
             return Err(ServeError::Transport(format!(
@@ -72,7 +81,7 @@ impl Client {
                 frame.request_id, frame.opcode, opcode as u8
             )));
         }
-        let reply = Reply::decode(opcode, &frame.payload)
+        let reply = Reply::decode(frame.version, opcode, &frame.payload)
             .map_err(|e| ServeError::Transport(e.to_string()))?;
         match reply {
             Reply::Busy => Err(ServeError::Busy),
@@ -96,24 +105,42 @@ impl Client {
     }
 
     /// Uploads a matrix for serving and returns the digest it is now
-    /// addressable by. Verifies the server and client agree on the
-    /// digest (same content hash on both ends of the wire).
+    /// addressable by, taking the server's default backend. See
+    /// [`Client::load_matrix_with`] for the full reply.
     pub fn load_matrix(&mut self, matrix: &IntMatrix) -> ServeResult<u64> {
+        Ok(self.load_matrix_with(matrix, None)?.digest)
+    }
+
+    /// Uploads a matrix with an optional backend choice
+    /// (`auto|dense|csr|bitserial`; `None` takes the server default) and
+    /// returns what the server now serves, including the engine it
+    /// planned. Verifies the server and client agree on digest and shape
+    /// (same content hash on both ends of the wire).
+    pub fn load_matrix_with(
+        &mut self,
+        matrix: &IntMatrix,
+        backend: Option<BackendKind>,
+    ) -> ServeResult<LoadedInfo> {
         let local = matrix.digest();
-        match self.call(&Request::LoadMatrix(matrix.clone()))? {
-            Reply::Loaded { digest, rows, cols, .. } => {
-                if digest != local
-                    || rows != matrix.rows() as u64
-                    || cols != matrix.cols() as u64
+        match self.call(&Request::LoadMatrix {
+            matrix: matrix.clone(),
+            backend,
+        })? {
+            Reply::Loaded(info) => {
+                if info.digest != local
+                    || info.rows != matrix.rows() as u64
+                    || info.cols != matrix.cols() as u64
                 {
                     return Err(ServeError::Transport(format!(
-                        "server loaded {rows}x{cols} digest {digest:#x}, \
-                         expected {}x{} digest {local:#x}",
+                        "server loaded {}x{} digest {:#x}, expected {}x{} digest {local:#x}",
+                        info.rows,
+                        info.cols,
+                        info.digest,
                         matrix.rows(),
                         matrix.cols()
                     )));
                 }
-                Ok(digest)
+                Ok(info)
             }
             _ => self.protocol_breach("load"),
         }

@@ -48,5 +48,5 @@ pub mod server;
 pub use client::{Client, ServeError, ServeResult};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use metrics::{LatencyHistogram, ServerMetrics};
-pub use protocol::{Opcode, Reply, Request, StatsSnapshot};
-pub use server::{start, AdmissionQueue, BackendKind, ServerConfig, ServerHandle};
+pub use protocol::{BackendKind, LoadedInfo, Opcode, Reply, Request, StatsSnapshot};
+pub use server::{start, AdmissionQueue, ServerConfig, ServerHandle};

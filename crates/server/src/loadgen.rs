@@ -7,6 +7,7 @@
 
 use crate::client::{Client, ServeError, ServeResult};
 use crate::metrics::LatencyHistogram;
+use crate::protocol::{BackendKind, StatsSnapshot};
 use smm_core::gemv::vecmat;
 use smm_core::matrix::IntMatrix;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,10 +32,13 @@ pub struct LoadgenConfig {
     /// Base seed for request generation (each client derives its own
     /// stream).
     pub seed: u64,
+    /// Backend requested in the `LoadMatrix` (`None` takes the server
+    /// default).
+    pub backend: Option<BackendKind>,
 }
 
 /// Aggregate result of a loadgen run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadgenReport {
     /// Client connections that ran.
     pub clients: usize,
@@ -54,6 +58,11 @@ pub struct LoadgenReport {
     pub p50_latency_ns: u64,
     /// 99th-percentile request latency, nanoseconds.
     pub p99_latency_ns: u64,
+    /// Name of the engine the server planned for the matrix.
+    pub engine: String,
+    /// The server's own metrics snapshot, fetched over the wire after
+    /// the run — cache hit rate and server-side p50/p99 in one struct.
+    pub server: StatsSnapshot,
 }
 
 impl LoadgenReport {
@@ -91,8 +100,11 @@ pub fn run(config: &LoadgenConfig) -> ServeResult<LoadgenReport> {
     if config.batch == 0 {
         return Err(ServeError::Transport("loadgen needs --batch >= 1".into()));
     }
-    // Load (or find already loaded) the matrix before spawning traffic.
-    let digest = Client::connect(config.addr.as_str())?.load_matrix(&config.matrix)?;
+    // Load (or find already loaded) the matrix before spawning traffic,
+    // keeping one client around to read the server's stats afterwards.
+    let mut control = Client::connect(config.addr.as_str())?;
+    let loaded = control.load_matrix_with(&config.matrix, config.backend)?;
+    let digest = loaded.digest;
 
     let tally = Arc::new(Tally::default());
     let latency = Arc::new(LatencyHistogram::new());
@@ -121,6 +133,7 @@ pub fn run(config: &LoadgenConfig) -> ServeResult<LoadgenReport> {
     for w in workers {
         let _ = w.join();
     }
+    let server = control.stats()?;
     Ok(LoadgenReport {
         clients: config.clients,
         requests: tally.requests.load(Ordering::Relaxed),
@@ -131,6 +144,8 @@ pub fn run(config: &LoadgenConfig) -> ServeResult<LoadgenReport> {
         elapsed_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
         p50_latency_ns: latency.quantile_ns(0.50),
         p99_latency_ns: latency.quantile_ns(0.99),
+        engine: loaded.engine,
+        server,
     })
 }
 
@@ -207,6 +222,8 @@ mod tests {
             elapsed_ns: 500_000_000, // 0.5 s
             p50_latency_ns: 1000,
             p99_latency_ns: 2000,
+            engine: "csr".into(),
+            server: StatsSnapshot::default(),
         };
         assert!((report.vectors_per_sec() - 2000.0).abs() < 1e-9);
         let zero = LoadgenReport {
@@ -226,6 +243,7 @@ mod tests {
             matrix: IntMatrix::identity(2).unwrap(),
             input_bits: 8,
             seed: 1,
+            backend: None,
         };
         assert!(run(&config).is_err());
         let config = LoadgenConfig {

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic  "SMM1"      4 bytes
-//! version            1 byte   (currently 1)
+//! version            1 byte   (1 or 2)
 //! opcode             1 byte
 //! request id         8 bytes  little-endian
 //! payload length     4 bytes  little-endian
@@ -13,12 +13,25 @@
 //! ```
 //!
 //! Requests and replies share the frame shape; a reply echoes its
-//! request's opcode and id, and its payload begins with a status byte
-//! ([`STATUS_OK`] / [`STATUS_BUSY`] / [`STATUS_ERROR`]). All multi-byte
-//! integers are little-endian via [`smm_core::wire`]; matrices travel as
-//! MatrixMarket text via [`smm_core::io::matrix_to_bytes`]. The payload
-//! length is capped ([`MAX_FRAME_PAYLOAD`]) so a hostile peer cannot
-//! drive unbounded allocation.
+//! request's opcode, id, **and version**, and its payload begins with a
+//! status byte ([`STATUS_OK`] / [`STATUS_BUSY`] / [`STATUS_ERROR`]). All
+//! multi-byte integers are little-endian via [`smm_core::wire`]; matrices
+//! travel as MatrixMarket text via [`smm_core::io::matrix_to_bytes`]. The
+//! payload length is capped ([`MAX_FRAME_PAYLOAD`]) so a hostile peer
+//! cannot drive unbounded allocation.
+//!
+//! ## Version negotiation
+//!
+//! The version byte is per-frame and the server answers in whatever
+//! version the request arrived under, so v1 clients keep working against
+//! a v2 server unchanged. The differences:
+//!
+//! * **v1** — `LoadMatrix` carries only the matrix; the `Loaded` reply is
+//!   `digest/rows/cols/already_loaded`.
+//! * **v2** — `LoadMatrix` additionally carries a [`BackendKind`] choice
+//!   byte (`auto|dense|csr|bitserial`, or *unspecified* to take the
+//!   server's default), and the `Loaded` reply names the engine the
+//!   server actually planned for the matrix.
 
 use smm_core::error::{Error, Result};
 use smm_core::io::{matrix_from_bytes, matrix_to_bytes};
@@ -28,8 +41,10 @@ use std::io::{self, Read, Write};
 
 /// Frame preamble: the protocol's on-wire signature.
 pub const MAGIC: [u8; 4] = *b"SMM1";
-/// Current protocol version. Bump on any incompatible frame change.
-pub const VERSION: u8 = 1;
+/// Current protocol version: v2 (backend choice in `LoadMatrix`).
+pub const VERSION: u8 = 2;
+/// Oldest version the server still speaks.
+pub const MIN_VERSION: u8 = 1;
 /// Fixed frame header size in bytes.
 pub const HEADER_LEN: usize = 18;
 /// Upper bound on a frame payload; larger length prefixes are rejected
@@ -42,6 +57,81 @@ pub const STATUS_OK: u8 = 0;
 pub const STATUS_BUSY: u8 = 1;
 /// Reply status byte: request failed; payload carries the message.
 pub const STATUS_ERROR: u8 = 2;
+
+/// Which compute engine the server builds for a loaded matrix — the
+/// server-wide default ([`crate::ServerConfig::backend`]) and, since
+/// protocol v2, a per-`LoadMatrix` request choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum BackendKind {
+    /// Let the planner score the matrix (dims, density, circuit
+    /// cache-residency) and pick.
+    Auto,
+    /// Dense reference gemv.
+    Dense,
+    /// Executed CSR SpMV (the default: exact and fast).
+    #[default]
+    Csr,
+    /// The compiled spatial circuit, simulated cycle-accurately. Slowest
+    /// and most faithful; compilations go through the shared
+    /// [`smm_runtime::MultiplierCache`].
+    BitSerial,
+}
+
+impl BackendKind {
+    /// Stable name, matching the CLI's `--backend` values.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Auto => "auto",
+            BackendKind::Dense => "dense",
+            BackendKind::Csr => "csr",
+            BackendKind::BitSerial => "bitserial",
+        }
+    }
+
+    /// Wire byte for `Option<BackendKind>`: 0 = unspecified (take the
+    /// server default).
+    fn option_to_u8(kind: Option<BackendKind>) -> u8 {
+        match kind {
+            None => 0,
+            Some(BackendKind::Auto) => 1,
+            Some(BackendKind::Dense) => 2,
+            Some(BackendKind::Csr) => 3,
+            Some(BackendKind::BitSerial) => 4,
+        }
+    }
+
+    fn option_from_u8(raw: u8) -> Result<Option<BackendKind>> {
+        Ok(match raw {
+            0 => None,
+            1 => Some(BackendKind::Auto),
+            2 => Some(BackendKind::Dense),
+            3 => Some(BackendKind::Csr),
+            4 => Some(BackendKind::BitSerial),
+            other => {
+                return Err(Error::Wire {
+                    context: format!("unknown backend choice byte {other}"),
+                })
+            }
+        })
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "auto" => Ok(BackendKind::Auto),
+            "dense" => Ok(BackendKind::Dense),
+            "csr" | "sparse" => Ok(BackendKind::Csr),
+            "bitserial" => Ok(BackendKind::BitSerial),
+            other => Err(format!(
+                "unknown backend '{other}' (auto|dense|csr|bitserial)"
+            )),
+        }
+    }
+}
 
 /// Request operation codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,11 +169,18 @@ impl Opcode {
 
 /// A client request, decoded.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum Request {
     /// Liveness probe.
     Ping,
     /// Upload a matrix; the reply names its digest.
-    LoadMatrix(IntMatrix),
+    LoadMatrix {
+        /// The matrix to serve.
+        matrix: IntMatrix,
+        /// Requested engine (v2 only; `None` takes the server default —
+        /// and is all a v1 frame can say).
+        backend: Option<BackendKind>,
+    },
     /// One product against the matrix with this digest.
     Gemv {
         /// [`IntMatrix::digest`] of the loaded matrix.
@@ -107,19 +204,26 @@ impl Request {
     pub fn opcode(&self) -> Opcode {
         match self {
             Request::Ping => Opcode::Ping,
-            Request::LoadMatrix(_) => Opcode::LoadMatrix,
+            Request::LoadMatrix { .. } => Opcode::LoadMatrix,
             Request::Gemv { .. } => Opcode::Gemv,
             Request::GemvBatch { .. } => Opcode::GemvBatch,
             Request::Stats => Opcode::Stats,
         }
     }
 
-    /// Serializes the request payload (header excluded).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serializes the request payload (header excluded) as `version`
+    /// lays it out. A v1 `LoadMatrix` cannot carry a backend choice; the
+    /// field is silently dropped (the server default applies).
+    pub fn encode(&self, version: u8) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
             Request::Ping | Request::Stats => {}
-            Request::LoadMatrix(m) => wire::put_bytes(&mut buf, &matrix_to_bytes(m)),
+            Request::LoadMatrix { matrix, backend } => {
+                wire::put_bytes(&mut buf, &matrix_to_bytes(matrix));
+                if version >= 2 {
+                    wire::put_u8(&mut buf, BackendKind::option_to_u8(*backend));
+                }
+            }
             Request::Gemv { digest, vector } => {
                 wire::put_u64(&mut buf, *digest);
                 wire::put_i32_vec(&mut buf, vector);
@@ -135,15 +239,20 @@ impl Request {
         buf
     }
 
-    /// Decodes a request payload for `opcode`.
-    pub fn decode(opcode: Opcode, payload: &[u8]) -> Result<Request> {
+    /// Decodes a request payload for `opcode` as `version` laid it out.
+    pub fn decode(version: u8, opcode: Opcode, payload: &[u8]) -> Result<Request> {
         let mut c = Cursor::new(payload);
         let request = match opcode {
             Opcode::Ping => Request::Ping,
             Opcode::Stats => Request::Stats,
-            Opcode::LoadMatrix => {
-                Request::LoadMatrix(matrix_from_bytes(c.take_bytes("matrix payload")?)?)
-            }
+            Opcode::LoadMatrix => Request::LoadMatrix {
+                matrix: matrix_from_bytes(c.take_bytes("matrix payload")?)?,
+                backend: if version >= 2 {
+                    BackendKind::option_from_u8(c.take_u8("backend choice")?)?
+                } else {
+                    None
+                },
+            },
             Opcode::Gemv => Request::Gemv {
                 digest: c.take_u64("matrix digest")?,
                 vector: c.take_i32_vec("input vector")?,
@@ -267,22 +376,30 @@ impl StatsSnapshot {
     }
 }
 
+/// The body of a [`Reply::Loaded`]: what the server now serves.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoadedInfo {
+    /// Digest the matrix is now addressable by.
+    pub digest: u64,
+    /// Matrix rows (= required input length).
+    pub rows: u64,
+    /// Matrix columns (= produced output length).
+    pub cols: u64,
+    /// `true` if the matrix was already loaded.
+    pub already_loaded: bool,
+    /// Name of the engine the server planned for this matrix (v2 only;
+    /// empty over a v1 connection).
+    pub engine: String,
+}
+
 /// A server reply, decoded.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum Reply {
     /// [`Request::Ping`] answered.
     Pong,
     /// [`Request::LoadMatrix`] accepted.
-    Loaded {
-        /// Digest the matrix is now addressable by.
-        digest: u64,
-        /// Matrix rows (= required input length).
-        rows: u64,
-        /// Matrix columns (= produced output length).
-        cols: u64,
-        /// `true` if the matrix was already loaded.
-        already_loaded: bool,
-    },
+    Loaded(LoadedInfo),
     /// [`Request::Gemv`] result.
     Output(Vec<i64>),
     /// [`Request::GemvBatch`] results, in request order.
@@ -296,8 +413,9 @@ pub enum Reply {
 }
 
 impl Reply {
-    /// Serializes the reply payload: status byte, then the body.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serializes the reply payload (status byte, then the body) as
+    /// `version` lays it out. A v1 `Loaded` omits the engine name.
+    pub fn encode(&self, version: u8) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
             Reply::Busy => wire::put_u8(&mut buf, STATUS_BUSY),
@@ -309,16 +427,14 @@ impl Reply {
                 wire::put_u8(&mut buf, STATUS_OK);
                 match ok {
                     Reply::Pong => {}
-                    Reply::Loaded {
-                        digest,
-                        rows,
-                        cols,
-                        already_loaded,
-                    } => {
-                        wire::put_u64(&mut buf, *digest);
-                        wire::put_u64(&mut buf, *rows);
-                        wire::put_u64(&mut buf, *cols);
-                        wire::put_u8(&mut buf, u8::from(*already_loaded));
+                    Reply::Loaded(info) => {
+                        wire::put_u64(&mut buf, info.digest);
+                        wire::put_u64(&mut buf, info.rows);
+                        wire::put_u64(&mut buf, info.cols);
+                        wire::put_u8(&mut buf, u8::from(info.already_loaded));
+                        if version >= 2 {
+                            wire::put_str(&mut buf, &info.engine);
+                        }
                     }
                     Reply::Output(o) => wire::put_i64_vec(&mut buf, o),
                     Reply::Outputs(rows) => {
@@ -336,20 +452,26 @@ impl Reply {
     }
 
     /// Decodes a reply payload; the body shape is determined by the
-    /// opcode of the request being answered.
-    pub fn decode(request_opcode: Opcode, payload: &[u8]) -> Result<Reply> {
+    /// opcode of the request being answered and the frame version it
+    /// travelled under.
+    pub fn decode(version: u8, request_opcode: Opcode, payload: &[u8]) -> Result<Reply> {
         let mut c = Cursor::new(payload);
         let reply = match c.take_u8("status byte")? {
             STATUS_BUSY => Reply::Busy,
             STATUS_ERROR => Reply::Error(c.take_str("error message")?.to_string()),
             STATUS_OK => match request_opcode {
                 Opcode::Ping => Reply::Pong,
-                Opcode::LoadMatrix => Reply::Loaded {
+                Opcode::LoadMatrix => Reply::Loaded(LoadedInfo {
                     digest: c.take_u64("digest")?,
                     rows: c.take_u64("rows")?,
                     cols: c.take_u64("cols")?,
                     already_loaded: c.take_u8("already-loaded flag")? != 0,
-                },
+                    engine: if version >= 2 {
+                        c.take_str("engine name")?.to_string()
+                    } else {
+                        String::new()
+                    },
+                }),
                 Opcode::Gemv => Reply::Output(c.take_i64_vec("output vector")?),
                 Opcode::GemvBatch => {
                     let count = c.take_u32("output count")? as usize;
@@ -377,9 +499,13 @@ impl Reply {
     }
 }
 
-/// A raw frame off the wire: opcode byte, request id, payload.
+/// A raw frame off the wire: version, opcode byte, request id, payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
+    /// Protocol version the frame travelled under (within
+    /// [`MIN_VERSION`]..=[`VERSION`]); replies echo it so old clients
+    /// get answers they can parse.
+    pub version: u8,
     /// Raw opcode byte (validated by [`Opcode::from_u8`] at decode time).
     pub opcode: u8,
     /// Caller-chosen id, echoed verbatim in the reply frame.
@@ -413,11 +539,13 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// Writes one frame, returning the bytes put on the wire. An oversized
-/// payload is an [`io::ErrorKind::InvalidInput`] error, not a panic —
-/// the client hits this path with user-supplied matrices and batches.
+/// Writes one frame under the given protocol version, returning the
+/// bytes put on the wire. An oversized payload is an
+/// [`io::ErrorKind::InvalidInput`] error, not a panic — the client hits
+/// this path with user-supplied matrices and batches.
 pub fn write_frame(
     w: &mut impl Write,
+    version: u8,
     opcode: u8,
     request_id: u64,
     payload: &[u8],
@@ -434,7 +562,7 @@ pub fn write_frame(
     }
     let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
     frame.extend_from_slice(&MAGIC);
-    frame.push(VERSION);
+    frame.push(version);
     frame.push(opcode);
     frame.extend_from_slice(&request_id.to_le_bytes());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -523,10 +651,10 @@ pub fn read_frame_idle_abort(
             &header[..4]
         )));
     }
-    if header[4] != VERSION {
+    let version = header[4];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(FrameError::Malformed(format!(
-            "unsupported protocol version {}",
-            header[4]
+            "unsupported protocol version {version} (speaking {MIN_VERSION}..={VERSION})"
         )));
     }
     let opcode = header[5];
@@ -543,6 +671,7 @@ pub fn read_frame_idle_abort(
         Fill::CleanEof | Fill::IdleAbort => unreachable!("only legal at a frame boundary"),
     }
     Ok(Some(Frame {
+        version,
         opcode,
         request_id,
         payload,
@@ -561,14 +690,26 @@ mod tests {
     use smm_core::rng::seeded;
 
     fn round_trip_request(req: Request) {
-        let payload = req.encode();
-        let back = Request::decode(req.opcode(), &payload).unwrap();
-        assert_eq!(back, req);
+        for version in [MIN_VERSION, VERSION] {
+            let payload = req.encode(version);
+            let back = Request::decode(version, req.opcode(), &payload).unwrap();
+            match (&back, &req) {
+                // v1 cannot carry a backend choice; it decodes as None.
+                (
+                    Request::LoadMatrix { matrix: b, backend },
+                    Request::LoadMatrix { matrix: m, .. },
+                ) if version == 1 => {
+                    assert_eq!(b, m);
+                    assert_eq!(*backend, None);
+                }
+                _ => assert_eq!(back, req, "v{version}"),
+            }
+        }
     }
 
     fn round_trip_reply(opcode: Opcode, reply: Reply) {
-        let payload = reply.encode();
-        let back = Reply::decode(opcode, &payload).unwrap();
+        let payload = reply.encode(VERSION);
+        let back = Reply::decode(VERSION, opcode, &payload).unwrap();
         assert_eq!(back, reply);
     }
 
@@ -578,7 +719,14 @@ mod tests {
         let m = element_sparse_matrix(7, 9, 8, 0.6, true, &mut rng).unwrap();
         round_trip_request(Request::Ping);
         round_trip_request(Request::Stats);
-        round_trip_request(Request::LoadMatrix(m));
+        round_trip_request(Request::LoadMatrix {
+            matrix: m.clone(),
+            backend: None,
+        });
+        round_trip_request(Request::LoadMatrix {
+            matrix: m,
+            backend: Some(BackendKind::Auto),
+        });
         round_trip_request(Request::Gemv {
             digest: 0xABCD,
             vector: vec![1, -2, 3],
@@ -594,12 +742,13 @@ mod tests {
         round_trip_reply(Opcode::Ping, Reply::Pong);
         round_trip_reply(
             Opcode::LoadMatrix,
-            Reply::Loaded {
+            Reply::Loaded(LoadedInfo {
                 digest: 42,
                 rows: 7,
                 cols: 9,
                 already_loaded: true,
-            },
+                engine: "csr".into(),
+            }),
         );
         round_trip_reply(Opcode::Gemv, Reply::Output(vec![i64::MIN, 0, i64::MAX]));
         round_trip_reply(
@@ -619,17 +768,77 @@ mod tests {
     }
 
     #[test]
+    fn v1_loaded_reply_omits_the_engine_name() {
+        let full = Reply::Loaded(LoadedInfo {
+            digest: 7,
+            rows: 2,
+            cols: 3,
+            already_loaded: false,
+            engine: "bitserial".into(),
+        });
+        let v1 = full.encode(1);
+        let back = Reply::decode(1, Opcode::LoadMatrix, &v1).unwrap();
+        let Reply::Loaded(info) = back else {
+            panic!("wrong reply kind");
+        };
+        assert_eq!((info.digest, info.rows, info.cols), (7, 2, 3));
+        assert_eq!(info.engine, "");
+        // And the v1 body is shorter than the v2 body.
+        assert!(v1.len() < full.encode(2).len());
+    }
+
+    #[test]
+    fn backend_kind_parses_names_and_wire_bytes() {
+        for (text, kind) in [
+            ("auto", BackendKind::Auto),
+            ("dense", BackendKind::Dense),
+            ("csr", BackendKind::Csr),
+            ("sparse", BackendKind::Csr),
+            ("bitserial", BackendKind::BitSerial),
+        ] {
+            assert_eq!(text.parse::<BackendKind>().unwrap(), kind);
+        }
+        assert!("tpu".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Csr.name(), "csr");
+        assert_eq!(BackendKind::Auto.name(), "auto");
+        for kind in [
+            None,
+            Some(BackendKind::Auto),
+            Some(BackendKind::Dense),
+            Some(BackendKind::Csr),
+            Some(BackendKind::BitSerial),
+        ] {
+            let byte = BackendKind::option_to_u8(kind);
+            assert_eq!(BackendKind::option_from_u8(byte).unwrap(), kind);
+        }
+        assert!(BackendKind::option_from_u8(99).is_err());
+    }
+
+    #[test]
     fn frame_round_trip_over_a_buffer() {
         let req = Request::Gemv {
             digest: 99,
             vector: vec![4, 5, 6],
         };
         let mut wire_bytes = Vec::new();
-        let n = write_frame(&mut wire_bytes, req.opcode() as u8, 7, &req.encode()).unwrap();
+        let n = write_frame(
+            &mut wire_bytes,
+            VERSION,
+            req.opcode() as u8,
+            7,
+            &req.encode(VERSION),
+        )
+        .unwrap();
         assert_eq!(n as usize, wire_bytes.len());
         let frame = read_frame(&mut wire_bytes.as_slice()).unwrap();
         assert_eq!(frame.request_id, 7);
-        let back = Request::decode(Opcode::from_u8(frame.opcode).unwrap(), &frame.payload).unwrap();
+        assert_eq!(frame.version, VERSION);
+        let back = Request::decode(
+            frame.version,
+            Opcode::from_u8(frame.opcode).unwrap(),
+            &frame.payload,
+        )
+        .unwrap();
         assert_eq!(back, req);
     }
 
@@ -637,7 +846,7 @@ mod tests {
     fn oversized_write_is_an_error_not_a_panic() {
         let payload = vec![0u8; MAX_FRAME_PAYLOAD + 1];
         let mut sink = Vec::new();
-        let err = write_frame(&mut sink, Opcode::Gemv as u8, 1, &payload).unwrap_err();
+        let err = write_frame(&mut sink, VERSION, Opcode::Gemv as u8, 1, &payload).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         assert!(sink.is_empty(), "nothing may reach the wire");
     }
@@ -645,7 +854,7 @@ mod tests {
     #[test]
     fn bad_magic_version_and_oversize_rejected() {
         let mut good = Vec::new();
-        write_frame(&mut good, Opcode::Ping as u8, 1, &[]).unwrap();
+        write_frame(&mut good, VERSION, Opcode::Ping as u8, 1, &[]).unwrap();
 
         let mut bad_magic = good.clone();
         bad_magic[0] = b'X';
@@ -654,12 +863,14 @@ mod tests {
             Err(FrameError::Malformed(_))
         ));
 
-        let mut bad_version = good.clone();
-        bad_version[4] = 99;
-        assert!(matches!(
-            read_frame(&mut bad_version.as_slice()),
-            Err(FrameError::Malformed(_))
-        ));
+        for bad in [0u8, VERSION + 1, 99] {
+            let mut bad_version = good.clone();
+            bad_version[4] = bad;
+            assert!(matches!(
+                read_frame(&mut bad_version.as_slice()),
+                Err(FrameError::Malformed(_))
+            ));
+        }
 
         let mut oversize = good;
         oversize[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
@@ -670,13 +881,23 @@ mod tests {
     }
 
     #[test]
+    fn both_supported_versions_read_back() {
+        for version in [MIN_VERSION, VERSION] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, version, Opcode::Ping as u8, 5, &[]).unwrap();
+            let frame = read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(frame.version, version);
+        }
+    }
+
+    #[test]
     fn eof_at_boundary_is_closed_but_mid_frame_is_io_error() {
         assert!(matches!(
             read_frame(&mut [].as_slice()),
             Err(FrameError::Closed)
         ));
         let mut good = Vec::new();
-        write_frame(&mut good, Opcode::Ping as u8, 1, &[1, 2, 3]).unwrap();
+        write_frame(&mut good, VERSION, Opcode::Ping as u8, 1, &[1, 2, 3]).unwrap();
         assert!(matches!(
             read_frame(&mut &good[..10]),
             Err(FrameError::Io(_))
@@ -690,12 +911,20 @@ mod tests {
     #[test]
     fn unknown_opcode_and_trailing_garbage_rejected() {
         assert!(Opcode::from_u8(200).is_err());
-        let mut payload = Request::Ping.encode();
+        let mut payload = Request::Ping.encode(VERSION);
         payload.push(0xEE);
-        assert!(Request::decode(Opcode::Ping, &payload).is_err());
-        let mut reply = Reply::Pong.encode();
+        assert!(Request::decode(VERSION, Opcode::Ping, &payload).is_err());
+        let mut reply = Reply::Pong.encode(VERSION);
         reply.push(0xEE);
-        assert!(Reply::decode(Opcode::Ping, &reply).is_err());
+        assert!(Reply::decode(VERSION, Opcode::Ping, &reply).is_err());
+        // A v2 LoadMatrix with a garbage backend byte is rejected.
+        let mut load = Request::LoadMatrix {
+            matrix: IntMatrix::identity(2).unwrap(),
+            backend: None,
+        }
+        .encode(VERSION);
+        *load.last_mut().unwrap() = 0x7F;
+        assert!(Request::decode(VERSION, Opcode::LoadMatrix, &load).is_err());
     }
 
     #[test]
@@ -703,6 +932,6 @@ mod tests {
         let mut buf = Vec::new();
         wire::put_u64(&mut buf, 1); // digest
         wire::put_u32(&mut buf, u32::MAX); // absurd count
-        assert!(Request::decode(Opcode::GemvBatch, &buf).is_err());
+        assert!(Request::decode(VERSION, Opcode::GemvBatch, &buf).is_err());
     }
 }

@@ -2,8 +2,8 @@
 //! graceful shutdown.
 //!
 //! One OS thread per connection reads frames, decodes requests, and
-//! computes inline; heavy batch requests are sharded through a
-//! per-matrix [`Dispatcher`] worker pool. Compute requests must first
+//! computes inline; each loaded matrix is served by a [`Session`]
+//! (planned engine + sharding worker pool). Compute requests must first
 //! clear a server-wide [`AdmissionQueue`] — a bounded concurrency budget.
 //! When the budget is spent the server answers `Busy` *immediately*
 //! instead of buffering: under overload, callers get a clear backpressure
@@ -17,14 +17,14 @@
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    read_frame_idle_abort, write_frame, FrameError, Opcode, Reply, Request, StatsSnapshot,
-    STATUS_ERROR,
+    read_frame_idle_abort, write_frame, BackendKind, FrameError, LoadedInfo, Opcode, Reply,
+    Request, StatsSnapshot, STATUS_ERROR,
 };
 use smm_bitserial::multiplier::WeightEncoding;
 use smm_core::error::{Error, Result};
 use smm_core::matrix::IntMatrix;
 use smm_runtime::{
-    BitSerial, DenseRef, Dispatcher, DispatcherConfig, GemvBackend, MultiplierCache, SparseCsr,
+    AutoOptions, EngineRegistry, EngineSpec, MultiplierCache, PlanPolicy, Session,
 };
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -32,44 +32,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// Which compute engine the server builds for each loaded matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum BackendKind {
-    /// Dense reference gemv.
-    Dense,
-    /// Executed CSR SpMV (the default: exact and fast).
-    #[default]
-    Csr,
-    /// The compiled spatial circuit, simulated cycle-accurately. Slowest
-    /// and most faithful; compilations go through the shared
-    /// [`MultiplierCache`].
-    BitSerial,
-}
-
-impl BackendKind {
-    /// Stable name, matching the CLI's `--backend` values.
-    pub fn name(&self) -> &'static str {
-        match self {
-            BackendKind::Dense => "dense",
-            BackendKind::Csr => "csr",
-            BackendKind::BitSerial => "bitserial",
-        }
-    }
-}
-
-impl std::str::FromStr for BackendKind {
-    type Err = String;
-
-    fn from_str(s: &str) -> std::result::Result<Self, String> {
-        match s {
-            "dense" => Ok(BackendKind::Dense),
-            "csr" | "sparse" => Ok(BackendKind::Csr),
-            "bitserial" => Ok(BackendKind::BitSerial),
-            other => Err(format!("unknown backend '{other}' (dense|csr|bitserial)")),
-        }
-    }
-}
 
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,18 +126,17 @@ impl Drop for AdmissionPermit<'_> {
     }
 }
 
-/// One loaded matrix and its compute machinery. The backend itself is
-/// owned by the dispatcher ([`Dispatcher::backend`]); every request —
-/// singles included — flows through the worker pool.
-struct Served {
-    dispatcher: Dispatcher,
-}
-
-/// State shared by the accept loop and every session thread.
+/// State shared by the accept loop and every connection thread. Each
+/// loaded matrix is served by one [`Session`] (engine + worker pool,
+/// planned per the request's or the server's backend choice); every
+/// request — singles included — flows through its pool.
 struct Shared {
     config: ServerConfig,
-    registry: Mutex<HashMap<u64, Arc<Served>>>,
-    cache: MultiplierCache,
+    registry: Mutex<HashMap<u64, Arc<Session>>>,
+    /// One compiled-multiplier cache shared by every session.
+    cache: Arc<MultiplierCache>,
+    /// Engine factories every session resolves through.
+    engines: Arc<EngineRegistry>,
     admission: AdmissionQueue,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
@@ -189,8 +150,10 @@ impl Shared {
             let registry = self.registry.lock().expect("registry poisoned");
             let mut batches = 0;
             let mut vectors = 0;
-            for served in registry.values() {
-                let s = served.dispatcher.snapshot();
+            for session in registry.values() {
+                // Dispatcher counters only: the shared cache is read
+                // once below, not locked once per session.
+                let s = session.dispatcher_stats();
                 batches += s.batches;
                 vectors += s.vectors;
             }
@@ -216,18 +179,33 @@ impl Shared {
         }
     }
 
-    /// Builds the configured backend for `matrix` (compilations go
-    /// through the shared cache).
-    fn build_backend(&self, matrix: &IntMatrix) -> Result<Arc<dyn GemvBackend>> {
-        Ok(match self.config.backend {
-            BackendKind::Dense => Arc::new(DenseRef::new(matrix.clone())),
-            BackendKind::Csr => Arc::new(SparseCsr::new(matrix)),
-            BackendKind::BitSerial => Arc::new(BitSerial::new(self.cache.get_or_compile(
-                matrix,
-                self.config.input_bits,
-                self.config.encoding,
-            )?)),
-        })
+    /// The plan policy for one load: the request's backend choice when
+    /// given (v2), else the server-wide default.
+    fn policy_for(&self, requested: Option<BackendKind>) -> PlanPolicy {
+        let config = &self.config;
+        match requested.unwrap_or(config.backend) {
+            BackendKind::Auto => PlanPolicy::Auto(AutoOptions {
+                input_bits: config.input_bits,
+                encoding: config.encoding,
+                threads: config.threads,
+            }),
+            explicit => PlanPolicy::Explicit(
+                EngineSpec::new(explicit.name())
+                    .input_bits(config.input_bits)
+                    .encoding(config.encoding)
+                    .threads(config.threads),
+            ),
+        }
+    }
+
+    /// Builds the session serving `matrix` (engine resolved through the
+    /// shared registry, compilations through the shared cache).
+    fn build_session(&self, matrix: IntMatrix, requested: Option<BackendKind>) -> Result<Session> {
+        Session::builder(matrix)
+            .policy(self.policy_for(requested))
+            .registry(Arc::clone(&self.engines))
+            .cache(Arc::clone(&self.cache))
+            .build()
     }
 
     /// Serves one decoded request. `Busy`/`Error` replies are produced
@@ -236,36 +214,41 @@ impl Shared {
         match request {
             Request::Ping => Reply::Pong,
             Request::Stats => Reply::Stats(self.stats()),
-            Request::LoadMatrix(matrix) => self.serve_load(matrix),
-            // Singles go through the dispatcher too (a 1-vector batch):
-            // one code path, and the served-work counters behind `Stats`
-            // see every vector, not just batched ones.
-            Request::Gemv { digest, vector } => self.serve_compute(digest, |served| {
-                let mut batch = served.dispatcher.dispatch(vec![vector])?;
-                Ok(Reply::Output(batch.outputs.remove(0)))
+            Request::LoadMatrix { matrix, backend } => self.serve_load(matrix, backend),
+            // Singles go through the session's pool too (a 1-vector
+            // batch): one code path, and the served-work counters behind
+            // `Stats` see every vector, not just batched ones.
+            Request::Gemv { digest, vector } => self.serve_compute(digest, |session| {
+                Ok(Reply::Output(session.run(&vector)?))
             }),
-            Request::GemvBatch { digest, vectors } => self.serve_compute(digest, |served| {
-                served
-                    .dispatcher
-                    .dispatch(vectors)
+            Request::GemvBatch { digest, vectors } => self.serve_compute(digest, |session| {
+                session
+                    .run_batch(vectors)
                     .map(|batch| Reply::Outputs(batch.outputs))
             }),
         }
     }
 
-    fn serve_load(&self, matrix: IntMatrix) -> Reply {
+    fn serve_load(&self, matrix: IntMatrix, requested: Option<BackendKind>) -> Reply {
         let digest = matrix.digest();
         let rows = matrix.rows() as u64;
         let cols = matrix.cols() as u64;
+        let loaded = |session: &Session, already_loaded: bool| {
+            Reply::Loaded(LoadedInfo {
+                digest,
+                rows,
+                cols,
+                already_loaded,
+                engine: session.engine().name().to_string(),
+            })
+        };
         {
             let registry = self.registry.lock().expect("registry poisoned");
-            if registry.contains_key(&digest) {
-                return Reply::Loaded {
-                    digest,
-                    rows,
-                    cols,
-                    already_loaded: true,
-                };
+            if let Some(session) = registry.get(&digest) {
+                // First load wins: a digest maps to one session, so a
+                // repeat load with a different backend choice reports the
+                // engine that is actually serving.
+                return loaded(session, true);
             }
             // Refuse *before* building: a rejected load must not burn a
             // compile, grow the shared cache, or spin up a worker pool.
@@ -277,46 +260,30 @@ impl Shared {
         // not stall requests against already-loaded matrices. Two racing
         // loaders both build; the first insert wins and the loser's copy
         // is dropped (the compile itself is still shared via the cache).
-        let built = self.build_backend(&matrix).and_then(|backend| {
-            let dispatcher = Dispatcher::new(
-                backend,
-                DispatcherConfig {
-                    threads: self.config.threads,
-                },
-            )?;
-            Ok(Served { dispatcher })
-        });
-        let served = match built {
-            Ok(served) => served,
+        let session = match self.build_session(matrix, requested) {
+            Ok(session) => session,
             Err(e) => return Reply::Error(format!("loading matrix: {e}")),
         };
         let mut registry = self.registry.lock().expect("registry poisoned");
-        let already_loaded = registry.contains_key(&digest);
-        if !already_loaded {
-            // Re-check the bound: other loads may have raced in while
-            // this one was building.
-            if registry.len() >= self.config.max_matrices {
-                return Reply::Error(format!(
-                    "matrix registry full ({} loaded)",
-                    registry.len()
-                ));
-            }
-            registry.insert(digest, Arc::new(served));
+        if let Some(existing) = registry.get(&digest) {
+            return loaded(existing, true);
         }
-        Reply::Loaded {
-            digest,
-            rows,
-            cols,
-            already_loaded,
+        // Re-check the bound: other loads may have raced in while this
+        // one was building.
+        if registry.len() >= self.config.max_matrices {
+            return Reply::Error(format!("matrix registry full ({} loaded)", registry.len()));
         }
+        let reply = loaded(&session, false);
+        registry.insert(digest, Arc::new(session));
+        reply
     }
 
     fn serve_compute(
         &self,
         digest: u64,
-        compute: impl FnOnce(&Served) -> Result<Reply>,
+        compute: impl FnOnce(&Session) -> Result<Reply>,
     ) -> Reply {
-        let Some(served) = self
+        let Some(session) = self
             .registry
             .lock()
             .expect("registry poisoned")
@@ -330,7 +297,7 @@ impl Shared {
             return Reply::Busy;
         };
         let start = Instant::now();
-        let reply = match compute(&served) {
+        let reply = match compute(&session) {
             Ok(reply) => reply,
             Err(e) => return Reply::Error(format!("computing: {e}")),
         };
@@ -396,7 +363,8 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle> {
         context: format!("resolving bound address: {e}"),
     })?;
     let shared = Arc::new(Shared {
-        cache: MultiplierCache::with_capacity(config.cache_capacity),
+        cache: Arc::new(MultiplierCache::with_capacity(config.cache_capacity)),
+        engines: Arc::new(EngineRegistry::builtin()),
         admission: AdmissionQueue::new(config.queue_depth),
         config,
         registry: Mutex::new(HashMap::new()),
@@ -468,9 +436,18 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 // desynchronized so the connection must close either way.
                 // There is no trustworthy request opcode to echo, so the
                 // frame goes out under Ping (Error replies decode under
-                // any opcode).
-                let reply = Reply::Error(format!("protocol violation: {context}")).encode();
-                let _ = write_frame(&mut stream, Opcode::Ping as u8, 0, &reply);
+                // any opcode) and under MIN_VERSION: error payloads are
+                // layout-identical across versions and every client,
+                // v1 included, can read the oldest framing.
+                let reply = Reply::Error(format!("protocol violation: {context}"))
+                    .encode(crate::protocol::MIN_VERSION);
+                let _ = write_frame(
+                    &mut stream,
+                    crate::protocol::MIN_VERSION,
+                    Opcode::Ping as u8,
+                    0,
+                    &reply,
+                );
                 return;
             }
         };
@@ -479,25 +456,35 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             (crate::protocol::HEADER_LEN + frame.payload.len()) as u64,
         );
         ServerMetrics::bump(&shared.metrics.requests, 1);
+        // Version negotiation: decode the request and encode the reply
+        // under the version the frame arrived with, so v1 clients keep
+        // working against this v2 server.
         let reply = match Opcode::from_u8(frame.opcode)
-            .and_then(|op| Request::decode(op, &frame.payload))
+            .and_then(|op| Request::decode(frame.version, op, &frame.payload))
         {
             Ok(request) => shared.serve(request),
             // Undecodable payload: the frame boundary is intact, so
             // answer and keep the session.
             Err(e) => Reply::Error(e.to_string()),
         };
-        let mut payload = reply.encode();
+        let mut payload = reply.encode(frame.version);
         if payload.len() > crate::protocol::MAX_FRAME_PAYLOAD {
             // A maximal batch of i32 inputs can widen into i64 outputs
             // past the frame cap; refuse rather than ship an unreadable
             // frame.
-            payload = Reply::Error("reply exceeds frame capacity; split the batch".into()).encode();
+            payload = Reply::Error("reply exceeds frame capacity; split the batch".into())
+                .encode(frame.version);
         }
         if payload.first() == Some(&STATUS_ERROR) {
             ServerMetrics::bump(&shared.metrics.errors, 1);
         }
-        match write_frame(&mut stream, frame.opcode, frame.request_id, &payload) {
+        match write_frame(
+            &mut stream,
+            frame.version,
+            frame.opcode,
+            frame.request_id,
+            &payload,
+        ) {
             Ok(n) => ServerMetrics::bump(&shared.metrics.bytes_out, n),
             Err(_) => return,
         }
@@ -560,17 +547,39 @@ mod tests {
     }
 
     #[test]
-    fn backend_kind_parses_and_names() {
-        for (text, kind) in [
-            ("dense", BackendKind::Dense),
-            ("csr", BackendKind::Csr),
-            ("sparse", BackendKind::Csr),
-            ("bitserial", BackendKind::BitSerial),
-        ] {
-            assert_eq!(text.parse::<BackendKind>().unwrap(), kind);
+    fn policy_for_maps_backend_choices() {
+        let shared = Shared {
+            cache: Arc::new(MultiplierCache::new()),
+            engines: Arc::new(EngineRegistry::builtin()),
+            admission: AdmissionQueue::new(1),
+            config: ServerConfig {
+                backend: BackendKind::Csr,
+                threads: 3,
+                ..ServerConfig::default()
+            },
+            registry: Mutex::new(HashMap::new()),
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+        };
+        // No request choice: the server default, as an explicit spec
+        // carrying the server's options.
+        match shared.policy_for(None) {
+            PlanPolicy::Explicit(spec) => {
+                assert_eq!(spec.kind(), "csr");
+                assert_eq!(spec.threads, 3);
+            }
+            other => panic!("unexpected policy {other:?}"),
         }
-        assert!("tpu".parse::<BackendKind>().is_err());
-        assert_eq!(BackendKind::Csr.name(), "csr");
+        // A request choice overrides the default.
+        match shared.policy_for(Some(BackendKind::BitSerial)) {
+            PlanPolicy::Explicit(spec) => assert_eq!(spec.kind(), "bitserial"),
+            other => panic!("unexpected policy {other:?}"),
+        }
+        assert!(matches!(
+            shared.policy_for(Some(BackendKind::Auto)),
+            PlanPolicy::Auto(AutoOptions { threads: 3, .. })
+        ));
     }
 
     #[test]

@@ -91,6 +91,7 @@ fn saturating_a_depth_one_queue_returns_busy_and_loses_nothing() {
         matrix: test_matrix(4300, 96, 96),
         input_bits: 8,
         seed: 4301,
+        backend: None,
     })
     .unwrap();
     assert_eq!(report.mismatches, 0, "{report:?}");
@@ -222,6 +223,81 @@ fn graceful_shutdown_drains_and_refuses_new_connections() {
         Client::connect(addr),
         Err(ServeError::Transport(_))
     ));
+}
+
+#[test]
+fn auto_backend_plans_per_matrix_and_serves_verified() {
+    // A --backend auto server: a 95%-sparse matrix plans csr, a dense
+    // one plans dense — and both serve bit-identically under load.
+    let server = smm_server::start(ServerConfig {
+        backend: BackendKind::Auto,
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let sparse = {
+        let mut rng = seeded(4900);
+        smm_core::generate::element_sparse_matrix(32, 32, 8, 0.95, true, &mut rng).unwrap()
+    };
+    let dense = {
+        let mut rng = seeded(4901);
+        smm_core::generate::element_sparse_matrix(16, 16, 8, 0.0, true, &mut rng).unwrap()
+    };
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let loaded_sparse = client.load_matrix_with(&sparse, None).unwrap();
+    assert_eq!(loaded_sparse.engine, "csr", "{loaded_sparse:?}");
+    let loaded_dense = client.load_matrix_with(&dense, None).unwrap();
+    assert_eq!(loaded_dense.engine, "dense", "{loaded_dense:?}");
+
+    let report = smm_server::loadgen::run(&LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        clients: 2,
+        batch: 8,
+        duration: Duration::from_millis(400),
+        matrix: sparse,
+        input_bits: 8,
+        seed: 4902,
+        backend: None,
+    })
+    .unwrap();
+    assert_eq!(report.mismatches, 0, "{report:?}");
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert!(report.requests > 0, "{report:?}");
+    assert_eq!(report.engine, "csr");
+    // The server-side snapshot rides along in the report.
+    assert!(report.server.requests > 0, "{report:?}");
+    assert!(report.server.p50_latency_ns > 0, "{report:?}");
+}
+
+#[test]
+fn per_request_backend_choice_overrides_the_server_default() {
+    let server = smm_server::start(ServerConfig {
+        backend: BackendKind::Csr,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let matrix = test_matrix(4950, 10, 10);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let loaded = client
+        .load_matrix_with(&matrix, Some(BackendKind::BitSerial))
+        .unwrap();
+    assert_eq!(loaded.engine, "bitserial");
+    assert!(!loaded.already_loaded);
+    // The digest is bound to the first loader's engine: a repeat load
+    // asking for something else reports what is actually serving.
+    let again = client
+        .load_matrix_with(&matrix, Some(BackendKind::Dense))
+        .unwrap();
+    assert!(again.already_loaded);
+    assert_eq!(again.engine, "bitserial");
+    // And it serves correctly.
+    let a = vec![1i32; 10];
+    assert_eq!(
+        client.gemv(loaded.digest, &a).unwrap(),
+        vecmat(&a, &matrix).unwrap()
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.cache_misses, 1, "{stats:?}");
 }
 
 #[test]

@@ -1,0 +1,118 @@
+//! Wire-protocol backward compatibility: a v1 client (no backend field
+//! in `LoadMatrix`, no engine name in `Loaded`) against the v2 server.
+//!
+//! These tests speak raw v1 frames over a real TCP connection — exactly
+//! the bytes a binary built before the protocol rev would send — and
+//! assert the round trip is unchanged: same payload layouts, replies
+//! echoed under version 1, and served results bit-identical.
+
+use smm_core::generate::{element_sparse_matrix, random_vector};
+use smm_core::gemv::vecmat;
+use smm_core::matrix::IntMatrix;
+use smm_core::rng::seeded;
+use smm_core::wire::{self, Cursor};
+use smm_server::protocol::{read_frame, write_frame, Opcode, VERSION};
+use smm_server::ServerConfig;
+use std::net::TcpStream;
+
+/// A minimal v1 client: hand-rolled payloads, frames pinned to
+/// version 1. Deliberately *not* built on `Request`/`Reply` so the v1
+/// layouts stay written out literally.
+struct V1Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl V1Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        Self {
+            stream: TcpStream::connect(addr).unwrap(),
+            next_id: 1,
+        }
+    }
+
+    /// Sends a v1 frame and returns the reply payload, asserting the
+    /// reply frame echoes version 1, the opcode, and the id.
+    fn call(&mut self, opcode: Opcode, payload: &[u8]) -> Vec<u8> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, 1, opcode as u8, id, payload).unwrap();
+        let frame = read_frame(&mut self.stream).unwrap();
+        assert_eq!(frame.version, 1, "server must answer a v1 frame in v1");
+        assert_eq!(frame.opcode, opcode as u8);
+        assert_eq!(frame.request_id, id);
+        frame.payload
+    }
+
+    /// v1 `LoadMatrix`: matrix bytes only — no backend field.
+    fn load_matrix(&mut self, matrix: &IntMatrix) -> u64 {
+        let mut payload = Vec::new();
+        wire::put_bytes(&mut payload, &smm_core::io::matrix_to_bytes(matrix));
+        let reply = self.call(Opcode::LoadMatrix, &payload);
+        let mut c = Cursor::new(&reply);
+        assert_eq!(c.take_u8("status").unwrap(), 0, "load must succeed");
+        let digest = c.take_u64("digest").unwrap();
+        assert_eq!(c.take_u64("rows").unwrap(), matrix.rows() as u64);
+        assert_eq!(c.take_u64("cols").unwrap(), matrix.cols() as u64);
+        let _already = c.take_u8("already").unwrap();
+        // The v1 Loaded body ends here: no engine-name field follows.
+        c.expect_end("v1 loaded reply").unwrap();
+        digest
+    }
+
+    /// v1 `Gemv`: digest + vector (unchanged in v2).
+    fn gemv(&mut self, digest: u64, a: &[i32]) -> Vec<i64> {
+        let mut payload = Vec::new();
+        wire::put_u64(&mut payload, digest);
+        wire::put_i32_vec(&mut payload, a);
+        let reply = self.call(Opcode::Gemv, &payload);
+        let mut c = Cursor::new(&reply);
+        assert_eq!(c.take_u8("status").unwrap(), 0, "gemv must succeed");
+        let o = c.take_i64_vec("output").unwrap();
+        c.expect_end("v1 gemv reply").unwrap();
+        o
+    }
+}
+
+#[test]
+fn v1_client_round_trips_load_and_gemv_unchanged() {
+    assert_eq!(VERSION, 2, "this test pins the v1-against-v2 story");
+    let server = smm_server::start(ServerConfig::default()).unwrap();
+    let mut rng = seeded(5000);
+    let matrix = element_sparse_matrix(12, 9, 8, 0.6, true, &mut rng).unwrap();
+
+    let mut v1 = V1Client::connect(server.local_addr());
+    let digest = v1.load_matrix(&matrix);
+    assert_eq!(digest, matrix.digest(), "digest agreement across versions");
+    for _ in 0..5 {
+        let a = random_vector(12, 8, true, &mut rng).unwrap();
+        assert_eq!(v1.gemv(digest, &a), vecmat(&a, &matrix).unwrap());
+    }
+
+    // A load without the backend field lands on the server default —
+    // visible to a v2 peer as the configured engine (csr).
+    let mut v2 = smm_server::Client::connect(server.local_addr()).unwrap();
+    let info = v2.load_matrix_with(&matrix, None).unwrap();
+    assert!(info.already_loaded, "v1 load is the same registry entry");
+    assert_eq!(info.engine, "csr");
+    server.shutdown();
+}
+
+#[test]
+fn v1_and_v2_clients_interleave_on_one_server() {
+    let server = smm_server::start(ServerConfig::default()).unwrap();
+    let mut rng = seeded(5001);
+    let matrix = element_sparse_matrix(8, 8, 8, 0.5, true, &mut rng).unwrap();
+    let mut v2 = smm_server::Client::connect(server.local_addr()).unwrap();
+    let digest = v2.load_matrix(&matrix).unwrap();
+    let mut v1 = V1Client::connect(server.local_addr());
+    for round in 0..4 {
+        let a = random_vector(8, 8, true, &mut rng).unwrap();
+        let expect = vecmat(&a, &matrix).unwrap();
+        assert_eq!(v1.gemv(digest, &a), expect, "v1 round {round}");
+        assert_eq!(v2.gemv(digest, &a).unwrap(), expect, "v2 round {round}");
+    }
+    let stats = v2.stats().unwrap();
+    assert!(stats.requests >= 9, "{stats:?}");
+    server.shutdown();
+}

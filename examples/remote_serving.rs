@@ -1,10 +1,11 @@
 //! Remote serving walkthrough: the full core → runtime → server stack
 //! over a real (loopback) TCP connection.
 //!
-//! 1. Start an `smm-server` with the bit-serial backend — every loaded
-//!    matrix is spatially compiled once, through the shared
-//!    `MultiplierCache`, then amortized across all remote callers.
-//! 2. Upload a weight matrix from a client; address it by content digest.
+//! 1. Start an `smm-server` with `--backend auto` semantics — each
+//!    loaded matrix gets its own planned `Session` (bit-serial compiles
+//!    go through the shared `MultiplierCache`).
+//! 2. Upload a weight matrix, requesting the bit-serial engine
+//!    explicitly in the v2 `LoadMatrix`; the reply names the engine.
 //! 3. Serve single products and batches, verifying against the dense
 //!    reference locally.
 //! 4. Hammer the server with the self-checking load generator.
@@ -21,8 +22,10 @@ use std::time::Duration;
 
 fn main() {
     // -- 1. A server on a kernel-assigned loopback port ------------------
+    // The server default is `auto`: each loaded matrix is planned from
+    // its own dimensions, density, and circuit cache-residency.
     let server = spatial_smm::server::start(ServerConfig {
-        backend: BackendKind::BitSerial,
+        backend: BackendKind::Auto,
         threads: 2,
         queue_depth: 8,
         cache_capacity: 16,
@@ -30,17 +33,23 @@ fn main() {
     })
     .expect("starting server");
     let addr = server.local_addr();
-    println!("serving on {addr} (bit-serial backend, queue depth 8)");
+    println!("serving on {addr} (auto backend, queue depth 8)");
 
     // -- 2. Upload the paper's fixed matrix V ----------------------------
+    // The v2 `LoadMatrix` carries a backend choice; ask for the spatial
+    // circuit explicitly and the reply names the engine that serves.
     let mut rng = seeded(7);
     let v = element_sparse_matrix(32, 24, 8, 0.85, true, &mut rng).expect("generating V");
     let mut client = Client::connect(addr).expect("connecting");
-    let digest = client.load_matrix(&v).expect("loading V");
+    let loaded = client
+        .load_matrix_with(&v, Some(BackendKind::BitSerial))
+        .expect("loading V");
+    let digest = loaded.digest;
     println!(
-        "loaded {}x{} matrix, digest {digest:#018x} (compiled spatially server-side)",
+        "loaded {}x{} matrix, digest {digest:#018x}, engine '{}' (compiled server-side)",
         v.rows(),
-        v.cols()
+        v.cols(),
+        loaded.engine,
     );
 
     // -- 3. Products round-trip bit-identically --------------------------
@@ -67,19 +76,26 @@ fn main() {
         matrix: v,
         input_bits: 8,
         seed: 11,
+        backend: None, // already loaded; the bit-serial session serves
     })
     .expect("load generation");
     assert_eq!(report.mismatches, 0, "served results diverged");
     println!(
-        "loadgen: {} clients, {} requests, {} vectors verified, {:.0} vectors/sec \
+        "loadgen: {} clients, {} requests, {} vectors verified on '{}', {:.0} vectors/sec \
          (p50 {:.1} µs, p99 {:.1} µs, {} busy rejections)",
         report.clients,
         report.requests,
         report.vectors,
+        report.engine,
         report.vectors_per_sec(),
         report.p50_latency_ns as f64 / 1e3,
         report.p99_latency_ns as f64 / 1e3,
         report.busy_rejections,
+    );
+    println!(
+        "loadgen's one-struct server view: cache {:.0}% hits, p99 {:.1} µs",
+        100.0 * report.server.cache_hit_rate(),
+        report.server.p99_latency_ns as f64 / 1e3,
     );
 
     // -- 5. Server-side metrics over the wire, then drain ----------------

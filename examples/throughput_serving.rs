@@ -1,47 +1,26 @@
-//! Throughput serving: compile a fixed sparse matrix **once**, then serve
-//! request batches through the runtime's worker pool on every backend.
+//! Throughput serving through the `Session` front door: let the planner
+//! pick an engine for a fixed sparse matrix, compare it against every
+//! explicit engine spec, and watch the plan flip once the compiled
+//! circuit is cache-resident.
 //!
 //! This is the serving-side counterpart of `quickstart.rs`: where that
 //! example synthesizes one circuit and checks one product, this one runs
-//! the production path — a [`spatial_smm::runtime::MultiplierCache`] so
-//! repeated traffic against the same weights never recompiles, and a
-//! [`spatial_smm::runtime::Dispatcher`] that shards each batch across
-//! worker threads and reports vectors/sec.
+//! the production path — [`spatial_smm::runtime::Session`] owning the
+//! planned engine, the shared [`spatial_smm::runtime::MultiplierCache`],
+//! and the sharding worker pool.
 //!
 //! Run with: `cargo run --release --example throughput_serving`
 
-use spatial_smm::bitserial::multiplier::WeightEncoding;
 use spatial_smm::core::generate::{element_sparse_matrix, random_vector};
 use spatial_smm::core::gemv::vecmat;
 use spatial_smm::core::rng::seeded;
-use spatial_smm::runtime::{
-    BitSerial, DenseRef, Dispatcher, DispatcherConfig, GemvBackend, MultiplierCache, SparseCsr,
-};
+use spatial_smm::runtime::{EngineSpec, MultiplierCache, Session};
 use std::sync::Arc;
-use std::time::Instant;
 
 fn main() {
     // The fixed reservoir weight matrix this service exists to multiply by.
     let mut rng = seeded(42);
     let v = element_sparse_matrix(96, 96, 8, 0.9, true, &mut rng).unwrap();
-
-    // Compile through the cache: the first request pays for compilation,
-    // every later request for the same weights is a lookup.
-    let cache = MultiplierCache::new();
-    let t = Instant::now();
-    let circuit = cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap();
-    let cold = t.elapsed();
-    let t = Instant::now();
-    let again = cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap();
-    let warm = t.elapsed();
-    assert!(Arc::ptr_eq(&circuit, &again));
-    println!(
-        "compile: {:.2} ms cold, {:.1} µs cached ({} hit / {} miss)",
-        cold.as_secs_f64() * 1e3,
-        warm.as_secs_f64() * 1e6,
-        cache.stats().hits,
-        cache.stats().misses
-    );
 
     // A deterministic batch of requests, shared (not copied) across
     // every dispatch below.
@@ -52,23 +31,50 @@ fn main() {
     );
     let reference: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
 
-    // Serve the same traffic on all three backends.
-    let backends: Vec<Arc<dyn GemvBackend>> = vec![
-        Arc::new(DenseRef::new(v.clone())),
-        Arc::new(SparseCsr::new(&v)),
-        Arc::new(BitSerial::new(circuit)),
-    ];
-    for backend in backends {
-        let pool = Dispatcher::new(Arc::clone(&backend), DispatcherConfig::default()).unwrap();
-        let served = pool.dispatch(Arc::clone(&batch)).unwrap();
-        assert_eq!(served.outputs, reference, "{} diverged", backend.name());
+    // One shared compile cache for every session over these weights.
+    let cache = Arc::new(MultiplierCache::new());
+
+    // Let the planner choose: at 90% sparsity with no compiled circuit
+    // in the cache, that is the CSR engine — and it says so.
+    let auto = Session::builder(v.clone())
+        .cache(Arc::clone(&cache))
+        .build()
+        .unwrap();
+    println!("{}", auto.plan().rationale);
+
+    // Serve the same traffic through every explicit engine spec too:
+    // all bit-identical, only the vectors/sec differ.
+    for spec in [EngineSpec::dense(), EngineSpec::csr(), EngineSpec::bitserial()] {
+        let session = Session::builder(v.clone())
+            .spec(spec)
+            .cache(Arc::clone(&cache))
+            .build()
+            .unwrap();
+        let served = session.run_batch(Arc::clone(&batch)).unwrap();
+        assert_eq!(served.outputs, reference, "{} diverged", session.engine().name());
         println!(
             "{:<10} {} vectors in {:>8.2} ms over {} threads = {:>9.0} vectors/sec (bit-exact)",
-            backend.name(),
+            session.engine().name(),
             served.stats.batch,
             served.stats.elapsed.as_secs_f64() * 1e3,
-            pool.threads(),
+            session.threads(),
             served.stats.vectors_per_sec()
         );
     }
+
+    // The bit-serial session above compiled through the shared cache, so
+    // a *replan* now picks the circuit: the compile is already paid.
+    let replanned = Session::builder(v.clone())
+        .cache(Arc::clone(&cache))
+        .build()
+        .unwrap();
+    println!("{}", replanned.plan().rationale);
+    assert_eq!(replanned.engine().name(), "bitserial");
+    let served = replanned.run_batch(Arc::clone(&batch)).unwrap();
+    assert_eq!(served.outputs, reference, "replanned session diverged");
+    let stats = replanned.stats();
+    println!(
+        "replanned session served {} vectors; cache: {} compile(s), {} hit(s)",
+        stats.dispatcher.vectors, stats.cache.misses, stats.cache.hits
+    );
 }

@@ -17,7 +17,22 @@
 //! * [`server`] — the networked serving frontend (wire protocol, TCP
 //!   server, client, load generator)
 //!
-//! ## The serving stack
+//! ## Serving: start with [`Session`]
+//!
+//! The serving API's front door is [`Session`], re-exported here: give
+//! it a matrix and it plans an engine (dimensions, density, circuit
+//! cache-residency — the rationale is attached), builds it through the
+//! pluggable [`EngineRegistry`], and serves through a sharding worker
+//! pool:
+//!
+//! ```
+//! use spatial_smm::{core::matrix::IntMatrix, Session};
+//!
+//! let v = IntMatrix::from_vec(2, 2, vec![1, -2, 3, 4]).unwrap();
+//! let session = Session::auto(v).unwrap();
+//! assert_eq!(session.run(&[5, 6]).unwrap(), vec![23, 14]);
+//! println!("{}", session.plan().rationale);
+//! ```
 //!
 //! Serving is layered core → runtime → server:
 //!
@@ -25,17 +40,21 @@
 //!    matrix container with its stable content digest
 //!    ([`core::matrix::IntMatrix::digest`]), the file formats
 //!    ([`core::io`]), and the binary wire primitives ([`core::wire`]).
-//! 2. [`runtime`] is the in-process serving layer: a
+//! 2. [`runtime`] is the in-process serving layer: [`Session`] over a
 //!    [`runtime::GemvBackend`] trait with dense-reference, CSR, and
-//!    compiled bit-serial engines; a [`runtime::MultiplierCache`] that
-//!    memoizes spatial compilation by matrix content digest (with an
-//!    optional LRU bound) so repeated requests against the same weights
-//!    never recompile; and a [`runtime::Dispatcher`] worker pool that
-//!    shards request batches across threads and returns results in
+//!    compiled bit-serial engines resolved through an
+//!    [`EngineRegistry`] of factories (the extension point for future
+//!    fpga/gpu/cgra engines); a [`Planner`] that scores engines per
+//!    matrix under a [`PlanPolicy`]; a [`runtime::MultiplierCache`]
+//!    that memoizes spatial compilation by matrix content digest (with
+//!    an optional LRU bound); and a [`runtime::Dispatcher`] worker pool
+//!    that shards request batches across threads and returns results in
 //!    submission order with latency statistics (p50/p99 included).
-//! 3. [`server`] puts that behind a TCP boundary: a versioned
-//!    length-prefixed binary protocol (`Ping`/`LoadMatrix`/`Gemv`/
-//!    `GemvBatch`/`Stats`), per-connection sessions resolving matrices
+//! 3. [`server`] puts a `Session` per loaded matrix behind a TCP
+//!    boundary: a versioned length-prefixed binary protocol
+//!    (`Ping`/`LoadMatrix`/`Gemv`/`GemvBatch`/`Stats`; v2 adds a
+//!    per-load `auto|dense|csr|bitserial` backend choice with v1
+//!    clients still served), per-connection sessions resolving matrices
 //!    by digest, a bounded admission queue that answers `Busy` instead
 //!    of buffering under overload, graceful shutdown with connection
 //!    drain, and a self-checking load generator. One compiled circuit is
@@ -46,7 +65,7 @@
 //! `examples/remote_serving.rs` (over TCP), and the CLI's `throughput`,
 //! `serve`, and `loadgen` subcommands for end-to-end uses; the integer
 //! reservoir ([`reservoir::int_esn::IntEsn`]) can route its recurrent
-//! product through any backend.
+//! product through any [`Session::engine`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -61,3 +80,10 @@ pub use smm_runtime as runtime;
 pub use smm_server as server;
 pub use smm_sigma as sigma;
 pub use smm_sparse as sparse;
+
+// The serving API, re-exported at the crate root as the documented
+// entry point.
+pub use smm_runtime::{
+    EnginePlan, EngineRegistry, EngineSpec, PlanPolicy, Planner, Session, SessionBuilder,
+    SessionStats,
+};

@@ -9,9 +9,7 @@ use spatial_smm::core::gemv::vecmat;
 use spatial_smm::core::rng::seeded;
 use spatial_smm::fpga::flow::{synthesize, FlowOptions};
 use spatial_smm::gpu::GpuKernelModel;
-use spatial_smm::runtime::{
-    BitSerial, DenseRef, Dispatcher, DispatcherConfig, GemvBackend, MultiplierCache, SparseCsr,
-};
+use spatial_smm::runtime::{EngineSpec, MultiplierCache, Session};
 use spatial_smm::sigma::Sigma;
 use spatial_smm::sparse::{Csr, SparsityProfile};
 use std::sync::Arc;
@@ -42,21 +40,28 @@ fn all_kernels_agree() {
 }
 
 /// The serving runtime agrees with the reference kernel for **every**
-/// backend, thread count and batch size (including the 0 and 1 edge
-/// cases), on seeded random sparse matrices — and the multiplier cache
-/// hands every bit-serial backend the same compiled circuit.
+/// engine spec, thread count and batch size (including the 0 and 1 edge
+/// cases), on seeded random sparse matrices — all constructed through
+/// the `Session` front door, with one shared multiplier cache handing
+/// every bit-serial session the same compiled circuit.
 #[test]
 fn runtime_backends_agree_for_all_shapes() {
-    let cache = MultiplierCache::new();
+    let cache = Arc::new(MultiplierCache::new());
     for (seed, dim, sparsity) in [(910u64, 1usize, 0.0), (911, 9, 0.5), (912, 26, 0.92)] {
         let mut rng = seeded(seed);
         let v = element_sparse_matrix(dim, dim, 8, sparsity, true, &mut rng).unwrap();
-        let circuit = cache.get_or_compile(&v, 8, WeightEncoding::Pn).unwrap();
-        let backends: Vec<Arc<dyn GemvBackend>> = vec![
-            Arc::new(DenseRef::new(v.clone())),
-            Arc::new(SparseCsr::new(&v)),
-            Arc::new(BitSerial::new(circuit)),
-        ];
+        let sessions: Vec<Session> = ["dense", "csr", "bitserial"]
+            .iter()
+            .flat_map(|kind| {
+                [1usize, 2, 4].map(|threads| {
+                    Session::builder(v.clone())
+                        .spec(EngineSpec::new(*kind).threads(threads))
+                        .cache(Arc::clone(&cache))
+                        .build()
+                        .unwrap()
+                })
+            })
+            .collect();
         for batch_size in [0usize, 1, 5, 17] {
             let batch: Arc<Vec<Vec<i32>>> = Arc::new(
                 (0..batch_size)
@@ -65,27 +70,25 @@ fn runtime_backends_agree_for_all_shapes() {
             );
             let expect: Vec<Vec<i64>> =
                 batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
-            for backend in &backends {
-                for threads in [1usize, 2, 4] {
-                    let pool =
-                        Dispatcher::new(Arc::clone(backend), DispatcherConfig { threads }).unwrap();
-                    let served = pool.dispatch(Arc::clone(&batch)).unwrap();
-                    assert_eq!(
-                        served.outputs,
-                        expect,
-                        "{} dim {dim} batch {batch_size} threads {threads}",
-                        backend.name()
-                    );
-                    assert_eq!(served.stats.batch, batch_size);
-                    assert!(served.stats.shards <= threads.min(batch_size.max(1)));
-                }
+            for session in &sessions {
+                let served = session.run_batch(Arc::clone(&batch)).unwrap();
+                assert_eq!(
+                    served.outputs,
+                    expect,
+                    "{} dim {dim} batch {batch_size} threads {}",
+                    session.engine().name(),
+                    session.threads()
+                );
+                assert_eq!(served.stats.batch, batch_size);
+                assert!(served.stats.shards <= session.threads().min(batch_size.max(1)));
             }
         }
     }
-    // One compile per matrix; every later fetch was a hit.
+    // One compile per matrix; every later session build was a hit.
     let stats = cache.stats();
     assert_eq!(stats.misses, 3);
     assert_eq!(stats.entries, 3);
+    assert_eq!(stats.hits, 6, "two extra bit-serial sessions per matrix");
 }
 
 /// The flow's functional circuit and physical report are mutually
