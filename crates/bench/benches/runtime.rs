@@ -1,28 +1,39 @@
 //! Benchmarks of the serving runtime: backend × thread-count throughput
-//! on one fixed matrix, and the compiled-multiplier cache against cold
-//! recompilation (the amortization the runtime exists for — the cached
-//! path must be orders of magnitude cheaper than compiling per batch).
+//! on one fixed matrix (driven through the flat block path), the flat
+//! `FrameBlock` pipeline against the nested `Vec<Vec<_>>` bridge (the
+//! per-row-allocation overhead the block types exist to remove), and the
+//! compiled-multiplier cache against cold recompilation (the
+//! amortization the runtime exists for — the cached path must be orders
+//! of magnitude cheaper than compiling per batch).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smm_bitserial::multiplier::{FixedMatrixMultiplier, WeightEncoding};
 use smm_core::generate::{element_sparse_matrix, random_vector};
 use smm_core::rng::seeded;
-use smm_runtime::{EngineSpec, MultiplierCache, Session};
+use smm_runtime::{EngineSpec, FrameBlock, MultiplierCache, RowBlock, Session};
 use std::hint::black_box;
 use std::sync::Arc;
+
+/// A deterministic request batch, nested and flat.
+fn request_batch(dim: usize, n: usize, seed: u64) -> (Vec<Vec<i32>>, Arc<FrameBlock>) {
+    let mut rng = seeded(seed);
+    let nested: Vec<Vec<i32>> = (0..n)
+        .map(|_| random_vector(dim, 8, true, &mut rng).unwrap())
+        .collect();
+    let frames = FrameBlock::try_from(nested.as_slice()).unwrap();
+    (nested, Arc::new(frames))
+}
 
 fn bench_backend_dispatch(c: &mut Criterion) {
     let mut rng = seeded(6001);
     let dim = 96usize;
     let v = element_sparse_matrix(dim, dim, 8, 0.9, true, &mut rng).unwrap();
-    let batch: Arc<Vec<Vec<i32>>> = Arc::new(
-        (0..64)
-            .map(|_| random_vector(dim, 8, true, &mut rng).unwrap())
-            .collect(),
-    );
+    let (_, frames) = request_batch(dim, 64, 6003);
 
-    // One shared cache: the bit-serial sessions compile once.
+    // One shared cache (the bit-serial sessions compile once) and one
+    // output block reused by every dispatch.
     let cache = Arc::new(MultiplierCache::new());
+    let mut out = RowBlock::new();
     let mut group = c.benchmark_group("runtime_dispatch");
     for kind in ["dense", "csr", "bitserial"] {
         for threads in [1usize, 2, 4] {
@@ -32,10 +43,43 @@ fn bench_backend_dispatch(c: &mut Criterion) {
                 .build()
                 .unwrap();
             group.bench_with_input(BenchmarkId::new(kind, threads), &threads, |b, _| {
-                b.iter(|| session.run_batch(black_box(Arc::clone(&batch))).unwrap())
+                b.iter(|| {
+                    session
+                        .run_block(black_box(Arc::clone(&frames)), &mut out)
+                        .unwrap()
+                })
             });
         }
     }
+    group.finish();
+}
+
+/// The headline comparison: the same traffic through the flat block
+/// path (`run_block`, zero per-row allocations) and through the nested
+/// `Vec<Vec<_>>` bridge (`run_batch`, which flattens the input and
+/// re-nests the output every call).
+fn bench_block_vs_vecvec(c: &mut Criterion) {
+    let mut rng = seeded(6004);
+    let dim = 96usize;
+    let v = element_sparse_matrix(dim, dim, 8, 0.9, true, &mut rng).unwrap();
+    let (nested, frames) = request_batch(dim, 256, 6005);
+
+    let session = Session::builder(v)
+        .spec(EngineSpec::csr().threads(4))
+        .build()
+        .unwrap();
+    let mut out = RowBlock::new();
+    let mut group = c.benchmark_group("runtime_batch_path");
+    group.bench_function("block", |b| {
+        b.iter(|| {
+            session
+                .run_block(black_box(Arc::clone(&frames)), &mut out)
+                .unwrap()
+        })
+    });
+    group.bench_function("vecvec", |b| {
+        b.iter(|| session.run_batch(black_box(nested.as_slice())).unwrap())
+    });
     group.finish();
 }
 
@@ -58,6 +102,6 @@ fn bench_cache_vs_recompile(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_backend_dispatch, bench_cache_vs_recompile
+    targets = bench_backend_dispatch, bench_block_vs_vecvec, bench_cache_vs_recompile
 }
 criterion_main!(benches);

@@ -285,6 +285,68 @@ impl FixedMatrixMultiplier {
         );
         Ok(())
     }
+
+    /// The flat-batch form of [`FixedMatrixMultiplier::run_frames`]:
+    /// streams frames `start..end` of a
+    /// [`FrameBlock`](smm_core::block::FrameBlock) back-to-back
+    /// through one continuous framed simulation and decodes the results
+    /// straight into a row-major `i64` slice of `(end - start) * cols()`
+    /// elements — no per-frame or per-row allocation at all.
+    ///
+    /// Results are bit-identical to calling
+    /// [`FixedMatrixMultiplier::mul`] per frame.
+    pub fn run_frames_block(
+        &self,
+        frames: &smm_core::block::FrameBlock,
+        start: usize,
+        end: usize,
+        out: &mut [i64],
+    ) -> Result<()> {
+        if start > end || end > frames.frames() {
+            return Err(Error::DimensionMismatch {
+                context: format!(
+                    "frame range {start}..{end} outside block of {} frames",
+                    frames.frames()
+                ),
+            });
+        }
+        let expected = (end - start) * self.cols();
+        if out.len() != expected {
+            return Err(Error::DimensionMismatch {
+                context: format!("output length {} vs {expected} block elements", out.len()),
+            });
+        }
+        if start < end && frames.width() != self.rows {
+            return Err(Error::DimensionMismatch {
+                context: format!(
+                    "frame width {} vs matrix rows {}",
+                    frames.width(),
+                    self.rows
+                ),
+            });
+        }
+        let (lo, hi) = smm_core::matrix::signed_range(self.input_bits)?;
+        for i in start..end {
+            if let Some(&bad) = frames.frame(i).iter().find(|&&x| !(lo..=hi).contains(&x)) {
+                return Err(Error::ValueOutOfRange {
+                    value: bad,
+                    bits: self.input_bits,
+                    signed: true,
+                });
+            }
+        }
+        crate::sim::run_stream_into_flat(
+            &self.circuit,
+            frames,
+            start,
+            end,
+            self.input_bits,
+            self.out_width,
+            self.batch_interval_cycles(),
+            out,
+        );
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -428,6 +490,45 @@ mod tests {
         let mut out = Vec::new();
         assert!(mul.run_frames(&[vec![1, 2, 3]], &mut out).is_err());
         assert!(mul.run_frames(&[vec![0, 0, 0, 99]], &mut out).is_err());
+    }
+
+    #[test]
+    fn run_frames_block_matches_single_shot_over_any_range() {
+        use smm_core::block::FrameBlock;
+        let mut rng = seeded(109);
+        let v = element_sparse_matrix(11, 7, 8, 0.5, true, &mut rng).unwrap();
+        let mul = FixedMatrixMultiplier::compile(&v, 8, WeightEncoding::Pn).unwrap();
+        let inputs: Vec<Vec<i32>> = (0..6)
+            .map(|_| random_vector(11, 8, true, &mut rng).unwrap())
+            .collect();
+        let frames = FrameBlock::try_from(inputs.as_slice()).unwrap();
+        // Full block and two interior shards, all into stale buffers.
+        for (start, end) in [(0usize, 6usize), (0, 3), (2, 6), (4, 4)] {
+            let mut out = vec![-1i64; (end - start) * 7];
+            mul.run_frames_block(&frames, start, end, &mut out).unwrap();
+            for (i, frame) in (start..end).enumerate() {
+                assert_eq!(
+                    &out[i * 7..(i + 1) * 7],
+                    mul.mul(&inputs[frame]).unwrap().as_slice(),
+                    "frame {frame} of shard {start}..{end}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_frames_block_rejects_bad_input() {
+        use smm_core::block::FrameBlock;
+        let v = IntMatrix::identity(4).unwrap();
+        let mul = FixedMatrixMultiplier::compile(&v, 4, WeightEncoding::Pn).unwrap();
+        let frames = FrameBlock::from_rows(&[vec![1, 2, 3, 0]]).unwrap();
+        // Bad range, bad output size, bad width, out-of-range element.
+        assert!(mul.run_frames_block(&frames, 0, 2, &mut [0; 8]).is_err());
+        assert!(mul.run_frames_block(&frames, 0, 1, &mut [0; 3]).is_err());
+        let thin = FrameBlock::from_rows(&[vec![1, 2]]).unwrap();
+        assert!(mul.run_frames_block(&thin, 0, 1, &mut [0; 4]).is_err());
+        let hot = FrameBlock::from_rows(&[vec![0, 0, 0, 99]]).unwrap();
+        assert!(mul.run_frames_block(&hot, 0, 1, &mut [0; 4]).is_err());
     }
 
     #[test]

@@ -239,29 +239,99 @@ pub fn run_stream_into(
     interval: u32,
     out: &mut Vec<Vec<i64>>,
 ) {
+    let rows = circuit.netlist.num_rows();
+    for v in inputs {
+        assert_eq!(v.len(), rows, "one input element per matrix row");
+    }
+    let cols = circuit.netlist.outputs().len();
+    out.truncate(inputs.len());
+    for row in out.iter_mut() {
+        row.clear();
+        row.resize(cols, 0);
+    }
+    out.resize_with(inputs.len(), || vec![0; cols]);
+    run_stream_with(
+        circuit,
+        inputs.len(),
+        &|i| inputs[i].as_slice(),
+        input_bits,
+        out_width,
+        interval,
+        &mut |v, col, weight| out[v][col] |= weight,
+    );
+}
+
+/// [`run_stream_into`] over a range of a flat
+/// [`FrameBlock`](smm_core::block::FrameBlock), decoding
+/// straight into one row-major output slice (`(end - start) * cols`
+/// elements) — the zero-per-row-allocation drive path behind the serving
+/// stack's block pipeline. The slice is zeroed and then accumulated in
+/// place, exactly like the per-row decode.
+#[allow(clippy::too_many_arguments)]
+pub fn run_stream_into_flat(
+    circuit: &crate::builder::BuiltCircuit,
+    frames: &smm_core::block::FrameBlock,
+    start: usize,
+    end: usize,
+    input_bits: u32,
+    out_width: u32,
+    interval: u32,
+    out: &mut [i64],
+) {
+    assert!(
+        start <= end && end <= frames.frames(),
+        "frame range {start}..{end} of {}",
+        frames.frames()
+    );
+    let n = end - start;
+    let cols = circuit.netlist.outputs().len();
+    assert_eq!(out.len(), n * cols, "one output row per frame");
+    out.fill(0);
+    if n == 0 {
+        return;
+    }
+    assert_eq!(
+        frames.width(),
+        circuit.netlist.num_rows(),
+        "one input element per matrix row"
+    );
+    run_stream_with(
+        circuit,
+        n,
+        &|i| frames.frame(start + i),
+        input_bits,
+        out_width,
+        interval,
+        &mut |v, col, weight| out[v * cols + col] |= weight,
+    );
+}
+
+/// The shared framed-streaming engine: simulates `n` back-to-back frames
+/// (fetched by index via `frame_at`) and reports every set output bit to
+/// `store(frame, col, weight)`. Both decode layouts — per-row `Vec`s and
+/// one flat block — are closures over this loop.
+fn run_stream_with<'f>(
+    circuit: &crate::builder::BuiltCircuit,
+    n: usize,
+    frame_at: &dyn Fn(usize) -> &'f [i32],
+    input_bits: u32,
+    out_width: u32,
+    interval: u32,
+    store: &mut dyn FnMut(usize, usize, i64),
+) {
     assert!(
         interval >= out_width,
         "interval {interval} shorter than output window {out_width}"
     );
-    let net = &circuit.netlist;
-    let rows = net.num_rows();
-    for v in inputs {
-        assert_eq!(v.len(), rows, "one input element per matrix row");
-    }
-    let outputs = net.outputs();
-    out.truncate(inputs.len());
-    for row in out.iter_mut() {
-        row.clear();
-        row.resize(outputs.len(), 0);
-    }
-    out.resize_with(inputs.len(), || vec![0; outputs.len()]);
-    if inputs.is_empty() {
+    if n == 0 {
         return;
     }
-
+    let net = &circuit.netlist;
+    let rows = net.num_rows();
+    let outputs = net.outputs();
     let anchor = u64::from(circuit.output_anchor);
     let interval = u64::from(interval);
-    let batch = inputs.len() as u64;
+    let batch = n as u64;
     let total_cycles = (batch - 1) * interval + anchor + u64::from(out_width);
     let mut sim = Simulator::new(net);
     let mut bits = vec![false; rows];
@@ -274,7 +344,7 @@ pub fn run_stream_into(
         } else {
             (t % interval).min(u64::from(u32::MAX)) as u32
         };
-        for (r, &a) in inputs[frame].iter().enumerate() {
+        for (r, &a) in frame_at(frame).iter().enumerate() {
             bits[r] = crate::bits::stream_bit(i64::from(a), input_bits, j);
         }
         sim.step_framed(&bits, &circuit.anchors, &circuit.mask_at_start, interval);
@@ -284,7 +354,6 @@ pub fn run_stream_into(
             let v = (now - anchor) / interval;
             let k = (now - anchor) % interval;
             if v < batch && k < u64::from(out_width) {
-                let row = &mut out[v as usize];
                 // Bit k of the two's-complement result: the final bit is
                 // the sign bit, so it carries weight −2^k (equivalently,
                 // sign extension to 64 bits).
@@ -296,7 +365,7 @@ pub fn run_stream_into(
                 for (col, o) in outputs.iter().enumerate() {
                     if let Some(id) = o {
                         if sim.value(*id) {
-                            row[col] |= weight;
+                            store(v as usize, col, weight);
                         }
                     }
                 }

@@ -11,12 +11,38 @@ use crate::matrix::IntMatrix;
 
 /// Computes `o = aᵀV`: `o[j] = Σ_i a[i] · V[i][j]`.
 pub fn vecmat(a: &[i32], v: &IntMatrix) -> Result<Vec<i64>> {
+    check_vecmat_dims(a, v)?;
+    let mut out = vec![0i64; v.cols()];
+    accumulate_vecmat(a, v, &mut out);
+    Ok(out)
+}
+
+/// [`vecmat`] into a caller-owned output slice of exactly `v.cols()`
+/// elements — the allocation-free kernel behind the flat batch path.
+/// The slice is zeroed first, so stale contents are overwritten.
+pub fn vecmat_into(a: &[i32], v: &IntMatrix, out: &mut [i64]) -> Result<()> {
+    check_vecmat_dims(a, v)?;
+    if out.len() != v.cols() {
+        return Err(Error::DimensionMismatch {
+            context: format!("output length {} vs matrix cols {}", out.len(), v.cols()),
+        });
+    }
+    out.fill(0);
+    accumulate_vecmat(a, v, out);
+    Ok(())
+}
+
+fn check_vecmat_dims(a: &[i32], v: &IntMatrix) -> Result<()> {
     if a.len() != v.rows() {
         return Err(Error::DimensionMismatch {
             context: format!("vector length {} vs matrix rows {}", a.len(), v.rows()),
         });
     }
-    let mut out = vec![0i64; v.cols()];
+    Ok(())
+}
+
+/// Accumulates `aᵀV` into an already-zeroed `out` of `v.cols()` elements.
+fn accumulate_vecmat(a: &[i32], v: &IntMatrix, out: &mut [i64]) {
     for (i, &ai) in a.iter().enumerate() {
         if ai == 0 {
             continue;
@@ -27,7 +53,6 @@ pub fn vecmat(a: &[i32], v: &IntMatrix) -> Result<Vec<i64>> {
             *o += ai * i64::from(w);
         }
     }
-    Ok(out)
 }
 
 /// Computes the conventional `o = V·x`: `o[i] = Σ_j V[i][j] · x[j]`.
@@ -97,6 +122,15 @@ mod tests {
         assert!(matvec(&v, &[1, 2, 3]).is_err());
         let a = IntMatrix::zeros(2, 5).unwrap();
         assert!(matmat(&a, &v).is_err());
+        assert!(vecmat_into(&[1, 2, 3], &v, &mut [0; 3]).is_err());
+    }
+
+    #[test]
+    fn vecmat_into_overwrites_stale_output() {
+        let v = IntMatrix::from_vec(2, 2, vec![1, 2, 3, 4]).unwrap();
+        let mut out = vec![-99i64; 2];
+        vecmat_into(&[5, 6], &v, &mut out).unwrap();
+        assert_eq!(out, vec![23, 34]);
     }
 
     #[test]

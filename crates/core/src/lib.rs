@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod block;
 pub mod csd;
 pub mod error;
 pub mod generate;
@@ -44,6 +45,7 @@ pub mod signsplit;
 pub mod sparsity;
 pub mod wire;
 
+pub use block::{FrameBlock, RowBlock};
 pub use error::{Error, Result};
 pub use matrix::IntMatrix;
 pub use signsplit::SignSplit;

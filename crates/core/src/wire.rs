@@ -173,6 +173,36 @@ impl<'a> Cursor<'a> {
         (0..len).map(|_| self.take_i64(what)).collect()
     }
 
+    /// Reads a length-prefixed `i32` vector by appending its elements to
+    /// `out`, returning the element count. The flat-batch decode path:
+    /// many wire vectors land in one caller-owned buffer instead of one
+    /// `Vec` each.
+    pub fn take_i32_extend(&mut self, out: &mut Vec<i32>, what: &str) -> Result<usize> {
+        let len = self.take_len(what)?;
+        if self.remaining() < len.saturating_mul(4) {
+            return Err(wire_err(format!("truncated {what}: {len} elements promised")));
+        }
+        out.reserve(len);
+        for _ in 0..len {
+            out.push(self.take_i32(what)?);
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed `i64` vector by appending its elements to
+    /// `out`, returning the element count.
+    pub fn take_i64_extend(&mut self, out: &mut Vec<i64>, what: &str) -> Result<usize> {
+        let len = self.take_len(what)?;
+        if self.remaining() < len.saturating_mul(8) {
+            return Err(wire_err(format!("truncated {what}: {len} elements promised")));
+        }
+        out.reserve(len);
+        for _ in 0..len {
+            out.push(self.take_i64(what)?);
+        }
+        Ok(len)
+    }
+
     /// Fails unless every byte has been consumed.
     pub fn expect_end(&self, what: &str) -> Result<()> {
         if self.remaining() != 0 {
@@ -247,6 +277,32 @@ mod tests {
         put_i32(&mut buf, 5); // delivers one
         let mut c = Cursor::new(&buf);
         assert!(c.take_i32_vec("vector").is_err());
+    }
+
+    #[test]
+    fn extend_variants_append_and_report_counts() {
+        let mut buf = Vec::new();
+        put_i32_vec(&mut buf, &[1, -2]);
+        put_i32_vec(&mut buf, &[3, 4]);
+        put_i64_vec(&mut buf, &[i64::MIN, 7]);
+        let mut c = Cursor::new(&buf);
+        let mut flat32 = Vec::new();
+        assert_eq!(c.take_i32_extend(&mut flat32, "a").unwrap(), 2);
+        assert_eq!(c.take_i32_extend(&mut flat32, "b").unwrap(), 2);
+        assert_eq!(flat32, vec![1, -2, 3, 4]);
+        let mut flat64 = vec![99i64];
+        assert_eq!(c.take_i64_extend(&mut flat64, "c").unwrap(), 2);
+        assert_eq!(flat64, vec![99, i64::MIN, 7]);
+        c.expect_end("frame").unwrap();
+
+        // A lying length prefix is rejected before any element is pushed.
+        let mut lying = Vec::new();
+        put_u32(&mut lying, 1000);
+        put_i32(&mut lying, 5);
+        let mut c = Cursor::new(&lying);
+        let mut out = Vec::new();
+        assert!(c.take_i32_extend(&mut out, "v").is_err());
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Property-based tests for `smm_core::block`: the flat batch containers
+//! must round-trip `Vec<Vec<_>>` losslessly (the serving stack bridges
+//! between both representations at its edges), reject ragged input, and
+//! keep their per-row slice views consistent with the nested form.
+
+use proptest::prelude::*;
+use smm_core::block::{FrameBlock, RowBlock};
+
+/// A random uniform batch: `frames` rows of `width` small values.
+fn batch(frames: usize, width: usize, seed: u64) -> Vec<Vec<i32>> {
+    (0..frames)
+        .map(|i| {
+            (0..width)
+                .map(|j| {
+                    let mixed = seed.wrapping_add(((i * width + j) as u64).wrapping_mul(2_654_435_761));
+                    (mixed % 255) as i32 - 127
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    /// `Vec<Vec<i32>>` → `FrameBlock` → `Vec<Vec<i32>>` is the identity
+    /// for any uniform batch, including empty and zero-width ones, and
+    /// the slice views agree with the nested rows.
+    #[test]
+    fn frame_block_round_trip(
+        frames in 0usize..24,
+        width in 0usize..24,
+        seed in any::<u64>(),
+    ) {
+        let rows = batch(frames, width, seed);
+        let block = FrameBlock::try_from(rows.clone()).unwrap();
+        prop_assert_eq!(block.frames(), frames);
+        prop_assert_eq!(block.width(), if frames == 0 { 0 } else { width });
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(block.frame(i), row.as_slice());
+        }
+        prop_assert_eq!(Vec::<Vec<i32>>::from(&block), rows);
+    }
+
+    /// Incremental construction (`push_frame`) produces the same block
+    /// as the bulk bridge, and `clear` resets the count without touching
+    /// the width.
+    #[test]
+    fn push_frame_matches_bulk_conversion(
+        frames in 1usize..16,
+        width in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        let rows = batch(frames, width, seed);
+        let bulk = FrameBlock::try_from(rows.as_slice()).unwrap();
+        let mut incremental = FrameBlock::with_capacity(width, frames);
+        for row in &rows {
+            incremental.push_frame(row).unwrap();
+        }
+        prop_assert_eq!(&incremental, &bulk);
+        incremental.clear();
+        prop_assert_eq!(incremental.frames(), 0);
+        prop_assert_eq!(incremental.width(), width);
+    }
+
+    /// Any genuinely ragged batch is rejected by the bridge.
+    #[test]
+    fn ragged_batches_rejected(
+        frames in 2usize..12,
+        width in 1usize..12,
+        victim in 0usize..12,
+        shrink in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rows = batch(frames, width, seed);
+        let victim = victim % frames;
+        rows[victim].truncate(width.saturating_sub(shrink.min(width)));
+        if rows.iter().any(|r| r.len() != rows[0].len()) {
+            prop_assert!(FrameBlock::try_from(rows).is_err());
+        }
+    }
+
+    /// `Vec<Vec<i64>>` → `RowBlock` → `Vec<Vec<i64>>` is the identity,
+    /// and `reset` reshapes to a zero-filled block of the new shape.
+    #[test]
+    fn row_block_round_trip_and_reset(
+        rows in 0usize..16,
+        width in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        let nested: Vec<Vec<i64>> = batch(rows, width, seed)
+            .into_iter()
+            .map(|r| r.into_iter().map(i64::from).collect())
+            .collect();
+        let mut block = RowBlock::try_from(nested.clone()).unwrap();
+        prop_assert_eq!(Vec::<Vec<i64>>::from(&block), nested);
+        block.reset(width, rows).unwrap();
+        prop_assert_eq!((block.rows(), block.width()), (width, rows));
+        prop_assert!(block.as_slice().iter().all(|&x| x == 0));
+    }
+}

@@ -16,11 +16,39 @@
 //! faithful).
 
 use smm_bitserial::multiplier::FixedMatrixMultiplier;
-use smm_core::error::Result;
-use smm_core::gemv::vecmat;
+use smm_core::block::{FrameBlock, RowBlock};
+use smm_core::error::{Error, Result};
+use smm_core::gemv::{vecmat, vecmat_into};
 use smm_core::matrix::IntMatrix;
 use smm_sparse::Csr;
 use std::sync::Arc;
+
+/// Validates a shard call: `start..end` must lie inside `frames` and
+/// `out_len` must be exactly `(end - start) * cols`. Shared by every
+/// [`GemvBackend::run_rows`] implementation.
+pub(crate) fn check_shard(
+    frames: &FrameBlock,
+    start: usize,
+    end: usize,
+    cols: usize,
+    out_len: usize,
+) -> Result<()> {
+    if start > end || end > frames.frames() {
+        return Err(Error::DimensionMismatch {
+            context: format!(
+                "shard {start}..{end} outside block of {} frames",
+                frames.frames()
+            ),
+        });
+    }
+    let expected = (end - start) * cols;
+    if out_len != expected {
+        return Err(Error::DimensionMismatch {
+            context: format!("output length {out_len} vs {expected} shard elements"),
+        });
+    }
+    Ok(())
+}
 
 /// A fixed-matrix `o = aᵀV` compute engine, shareable across worker
 /// threads.
@@ -58,6 +86,49 @@ pub trait GemvBackend: Send + Sync {
             slot.extend_from_slice(&row);
         }
         Ok(())
+    }
+
+    /// Computes frames `start..end` of a flat [`FrameBlock`] into a
+    /// row-major output slice of `(end - start) * cols()` elements — the
+    /// shard hook the [`crate::Dispatcher`] drives, and the kernel behind
+    /// [`GemvBackend::run_block`].
+    ///
+    /// The default bridges to [`GemvBackend::gemv`] per frame (one
+    /// allocation per row); all three built-in engines override it to
+    /// write rows in place with no per-row allocation. Implementations
+    /// must validate the shard (see the built-ins) rather than panic on a
+    /// mis-sized `out`.
+    fn run_rows(
+        &self,
+        frames: &FrameBlock,
+        start: usize,
+        end: usize,
+        out: &mut [i64],
+    ) -> Result<()> {
+        let cols = self.cols();
+        check_shard(frames, start, end, cols, out.len())?;
+        for (i, frame) in (start..end).enumerate() {
+            let row = self.gemv(frames.frame(frame))?;
+            if row.len() != cols {
+                return Err(Error::Runtime {
+                    context: format!(
+                        "backend returned {} elements for a {cols}-column row",
+                        row.len()
+                    ),
+                });
+            }
+            out[i * cols..(i + 1) * cols].copy_from_slice(&row);
+        }
+        Ok(())
+    }
+
+    /// Computes a whole [`FrameBlock`] into a caller-owned [`RowBlock`],
+    /// which is reshaped to `frames.frames() x cols()` (reusing its
+    /// allocation) and filled in place. Bit-identical to mapping
+    /// [`GemvBackend::gemv`] over the frames.
+    fn run_block(&self, frames: &FrameBlock, out: &mut RowBlock) -> Result<()> {
+        out.reset(frames.frames(), self.cols())?;
+        self.run_rows(frames, 0, frames.frames(), out.as_mut_slice())
     }
 }
 
@@ -111,6 +182,27 @@ impl GemvBackend for DenseRef {
     fn gemv(&self, a: &[i32]) -> Result<Vec<i64>> {
         vecmat(a, &self.matrix)
     }
+
+    /// Writes each product row in place via [`vecmat_into`] — no
+    /// allocation per row or per shard.
+    fn run_rows(
+        &self,
+        frames: &FrameBlock,
+        start: usize,
+        end: usize,
+        out: &mut [i64],
+    ) -> Result<()> {
+        let cols = self.matrix.cols();
+        check_shard(frames, start, end, cols, out.len())?;
+        for (i, frame) in (start..end).enumerate() {
+            vecmat_into(
+                frames.frame(frame),
+                &self.matrix,
+                &mut out[i * cols..(i + 1) * cols],
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// The executed CSR SpMV kernel.
@@ -160,6 +252,24 @@ impl GemvBackend for SparseCsr {
 
     fn gemv(&self, a: &[i32]) -> Result<Vec<i64>> {
         self.csr.vecmat(a)
+    }
+
+    /// Writes each product row in place via [`Csr::vecmat_into`] — no
+    /// allocation per row or per shard.
+    fn run_rows(
+        &self,
+        frames: &FrameBlock,
+        start: usize,
+        end: usize,
+        out: &mut [i64],
+    ) -> Result<()> {
+        let cols = self.csr.cols();
+        check_shard(frames, start, end, cols, out.len())?;
+        for (i, frame) in (start..end).enumerate() {
+            self.csr
+                .vecmat_into(frames.frame(frame), &mut out[i * cols..(i + 1) * cols])?;
+        }
+        Ok(())
     }
 }
 
@@ -246,6 +356,20 @@ impl GemvBackend for BitSerial {
     fn stream_into(&self, frames: &[Vec<i32>], out: &mut Vec<Vec<i64>>) -> Result<()> {
         self.mul.run_frames(frames, out)
     }
+
+    /// The whole shard pipelines back-to-back through one continuous
+    /// simulation and decodes straight into the flat output slice
+    /// ([`FixedMatrixMultiplier::run_frames_block`]) — no per-frame or
+    /// per-row allocation.
+    fn run_rows(
+        &self,
+        frames: &FrameBlock,
+        start: usize,
+        end: usize,
+        out: &mut [i64],
+    ) -> Result<()> {
+        self.mul.run_frames_block(frames, start, end, out)
+    }
 }
 
 #[cfg(test)]
@@ -299,5 +423,70 @@ mod tests {
             assert!(b.gemv(&[1, 2, 3]).is_err(), "{}", b.name());
             assert!(b.gemv_batch(&[vec![0; 6], vec![1, 2]]).is_err(), "{}", b.name());
         }
+    }
+
+    #[test]
+    fn block_paths_agree_with_gemv_including_shards() {
+        let mut rng = seeded(2103);
+        let v = element_sparse_matrix(10, 8, 8, 0.5, true, &mut rng).unwrap();
+        let batch: Vec<Vec<i32>> = (0..7)
+            .map(|_| random_vector(10, 8, true, &mut rng).unwrap())
+            .collect();
+        let frames = FrameBlock::try_from(batch.as_slice()).unwrap();
+        let expect: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
+        for b in backends(&v) {
+            // Whole block, into a stale reused buffer.
+            let mut out = RowBlock::zeros(1, 1).unwrap();
+            b.run_block(&frames, &mut out).unwrap();
+            assert_eq!(Vec::<Vec<i64>>::from(&out), expect, "{}", b.name());
+            // An interior shard lands rows 2..5 exactly.
+            let mut shard = vec![-9i64; 3 * 8];
+            b.run_rows(&frames, 2, 5, &mut shard).unwrap();
+            for (i, frame) in (2..5).enumerate() {
+                assert_eq!(&shard[i * 8..(i + 1) * 8], expect[frame].as_slice(), "{}", b.name());
+            }
+            // Empty blocks are valid.
+            b.run_block(&FrameBlock::default(), &mut out).unwrap();
+            assert!(out.is_empty(), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn block_paths_reject_bad_shards_and_widths() {
+        let mut rng = seeded(2104);
+        let v = element_sparse_matrix(5, 4, 8, 0.5, true, &mut rng).unwrap();
+        let frames = FrameBlock::from_rows(&[vec![1; 5], vec![2; 5]]).unwrap();
+        let thin = FrameBlock::from_rows(&[vec![1; 3]]).unwrap();
+        for b in backends(&v) {
+            let name = b.name();
+            assert!(b.run_rows(&frames, 0, 3, &mut [0; 12]).is_err(), "{name}");
+            assert!(b.run_rows(&frames, 0, 2, &mut [0; 7]).is_err(), "{name}");
+            let mut out = RowBlock::new();
+            assert!(b.run_block(&thin, &mut out).is_err(), "{name}");
+        }
+    }
+
+    #[test]
+    fn default_run_rows_holds_gemv_to_the_row_length_contract() {
+        /// A broken backend whose rows are one element short.
+        struct ShortRow;
+        impl GemvBackend for ShortRow {
+            fn name(&self) -> &'static str {
+                "short-row"
+            }
+            fn rows(&self) -> usize {
+                2
+            }
+            fn cols(&self) -> usize {
+                2
+            }
+            fn gemv(&self, _a: &[i32]) -> Result<Vec<i64>> {
+                Ok(vec![0])
+            }
+        }
+        let frames = FrameBlock::from_rows(&[vec![0, 0]]).unwrap();
+        let mut out = RowBlock::new();
+        let err = ShortRow.run_block(&frames, &mut out).unwrap_err();
+        assert!(matches!(err, Error::Runtime { .. }), "{err:?}");
     }
 }

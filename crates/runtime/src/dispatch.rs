@@ -1,16 +1,22 @@
 //! The batch dispatcher: shards request batches across a worker pool.
 //!
 //! A [`Dispatcher`] owns a set of long-lived worker threads, each holding
-//! a shared handle to one [`GemvBackend`]. A call to
-//! [`Dispatcher::dispatch`] splits the batch into contiguous shards, fans
-//! them out over a channel, and reassembles the results **in submission
-//! order**, returning per-batch latency and throughput statistics.
+//! a shared handle to one [`GemvBackend`]. The primary entry point is
+//! [`Dispatcher::dispatch_block`]: the batch travels as one flat
+//! [`FrameBlock`], each worker computes a contiguous row range in place
+//! (via [`GemvBackend::run_rows`]), and the results land **in submission
+//! order** in one caller-owned preallocated [`RowBlock`] — no per-row
+//! `Vec`, no `Option<Vec>` reassembly buffer, a constant number of
+//! allocations per batch regardless of batch size.
+//! [`Dispatcher::dispatch`] keeps the nested `Vec<Vec<_>>` surface as a
+//! thin bridge over the block path.
 //!
 //! Plain `std` threads and channels, no unsafe; workers park on the job
 //! channel between batches, so an idle dispatcher costs nothing but
 //! memory.
 
 use crate::backend::GemvBackend;
+use smm_core::block::{FrameBlock, RowBlock};
 use smm_core::error::{Error, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -18,16 +24,31 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A shard's reply: its `(start, end)` range plus the computed rows.
-type ShardReply = (usize, usize, Result<Vec<Vec<i64>>>);
+/// A shard's reply.
+struct ShardReply {
+    /// The shard's half-open row range.
+    start: usize,
+    end: usize,
+    /// Worker-side completion timestamp, measured against the batch's
+    /// dispatch start *before* the reply enters the channel — so a shard
+    /// that finishes early reports its true latency even when the
+    /// reassembler is still busy copying earlier replies.
+    completed: Duration,
+    /// The shard's rows, flat row-major (`(end - start) * cols`
+    /// elements) — one buffer per shard, not one per row.
+    rows: Result<Vec<i64>>,
+}
 
 /// One shard of a dispatched batch.
 struct Job {
-    /// The whole batch (shared, immutable).
-    vectors: Arc<Vec<Vec<i32>>>,
+    /// The whole batch (shared, immutable, flat).
+    frames: Arc<FrameBlock>,
     /// This shard's half-open range of batch indices.
     start: usize,
     end: usize,
+    /// When the batch was dispatched — the clock base for
+    /// [`ShardReply::completed`].
+    submitted: Instant,
     /// Where to deliver the reply.
     reply: Sender<ShardReply>,
 }
@@ -72,7 +93,8 @@ pub struct BatchStats {
     /// Wall-clock time from submission to full reassembly.
     pub elapsed: Duration,
     /// Median per-vector completion latency (submission to the vector's
-    /// shard finishing), nearest-rank over the batch.
+    /// shard finishing, stamped worker-side), nearest-rank over the
+    /// batch.
     pub p50_latency: Duration,
     /// 99th-percentile per-vector completion latency. For batches under
     /// 100 vectors this is the slowest shard's latency.
@@ -150,7 +172,7 @@ pub struct BatchResult {
 ///
 /// let v = IntMatrix::identity(3).unwrap();
 /// let d = Dispatcher::new(Arc::new(DenseRef::new(&v)), DispatcherConfig::new(2)).unwrap();
-/// let out = d.dispatch(vec![vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
+/// let out = d.dispatch(&[vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
 /// assert_eq!(out.outputs, vec![vec![1, 2, 3], vec![4, 5, 6]]);
 /// ```
 pub struct Dispatcher {
@@ -230,30 +252,69 @@ impl Dispatcher {
         }
     }
 
-    /// Executes one batch, returning outputs in submission order.
+    /// Executes one batch through the flat block path, returning nested
+    /// outputs in submission order.
     ///
-    /// Accepts a `Vec` or an `Arc<Vec<..>>` — callers that re-dispatch
-    /// the same batch (benchmarks, repeated serving rounds) should pass
-    /// `Arc::clone(&batch)` so no request data is copied per call.
+    /// A thin bridge: the batch is copied once into a [`FrameBlock`]
+    /// (rejecting ragged batches), dispatched via
+    /// [`Dispatcher::dispatch_block`], and the output block is split back
+    /// into per-row `Vec`s. Callers on the hot path should hold blocks
+    /// themselves and call `dispatch_block` directly — it performs no
+    /// per-row allocation at all.
+    pub fn dispatch(&self, batch: &[Vec<i32>]) -> Result<BatchResult> {
+        let frames = FrameBlock::try_from(batch)?;
+        let mut out = RowBlock::new();
+        let stats = self.dispatch_block(frames, &mut out)?;
+        Ok(BatchResult {
+            outputs: out.into(),
+            stats,
+        })
+    }
+
+    /// Executes one flat batch, sharded by contiguous row ranges across
+    /// the pool, writing the outputs in submission order into the
+    /// caller-owned `out` block (reshaped to `frames x cols`, reusing its
+    /// allocation).
+    ///
+    /// Accepts a [`FrameBlock`] or an `Arc<FrameBlock>` — callers that
+    /// re-dispatch the same batch should pass `Arc::clone(&frames)` so no
+    /// request data is copied per call. Excluding the caller-owned
+    /// blocks, the whole dispatch performs a constant number of heap
+    /// allocations (one flat row buffer per shard, bounded by the worker
+    /// count), independent of batch size.
     ///
     /// The batch is split into one contiguous shard per worker (fewer for
     /// small batches). The first shard error, if any, is returned after
-    /// all shards settle; an empty batch is valid and returns empty
-    /// outputs.
-    pub fn dispatch(&self, batch: impl Into<Arc<Vec<Vec<i32>>>>) -> Result<BatchResult> {
+    /// all shards settle; `out` holds unspecified contents on error. An
+    /// empty batch is valid and produces an empty block.
+    pub fn dispatch_block(
+        &self,
+        frames: impl Into<Arc<FrameBlock>>,
+        out: &mut RowBlock,
+    ) -> Result<BatchStats> {
         let start = Instant::now();
-        let vectors: Arc<Vec<Vec<i32>>> = batch.into();
-        let n = vectors.len();
+        let frames: Arc<FrameBlock> = frames.into();
+        let n = frames.frames();
+        let cols = self.backend.cols();
+        out.reset(n, cols)?;
         if n == 0 {
-            return Ok(BatchResult {
-                outputs: Vec::new(),
-                stats: BatchStats {
-                    batch: 0,
-                    shards: 0,
-                    elapsed: start.elapsed(),
-                    p50_latency: Duration::ZERO,
-                    p99_latency: Duration::ZERO,
-                },
+            return Ok(BatchStats {
+                batch: 0,
+                shards: 0,
+                elapsed: start.elapsed(),
+                p50_latency: Duration::ZERO,
+                p99_latency: Duration::ZERO,
+            });
+        }
+        // One uniform width makes the whole-batch shape check O(1); the
+        // engines still validate value ranges shard-side.
+        if frames.width() != self.backend.rows() {
+            return Err(Error::DimensionMismatch {
+                context: format!(
+                    "frame width {} vs matrix rows {}",
+                    frames.width(),
+                    self.backend.rows()
+                ),
             });
         }
         let shards = self.workers.len().min(n);
@@ -270,66 +331,41 @@ impl Dispatcher {
         for s in 0..shards {
             let len = base + usize::from(s < extra);
             let job = Job {
-                vectors: Arc::clone(&vectors),
+                frames: Arc::clone(&frames),
                 start: cursor,
                 end: cursor + len,
+                submitted: start,
                 reply: reply_tx.clone(),
             };
             cursor += len;
-            job_tx
-                .send(job)
-                .map_err(|_| pool_gone())?;
+            job_tx.send(job).map_err(|_| pool_gone())?;
         }
         drop(reply_tx);
 
-        let mut outputs: Vec<Option<Vec<i64>>> = vec![None; n];
         let mut first_error: Option<Error> = None;
-        // A vector's completion latency is submission-to-shard-arrival:
-        // what a caller waiting on just that vector would have observed.
+        // A vector's completion latency is stamped by its worker, so a
+        // shard that finishes while the reassembler is copying another
+        // reply still reports its true latency.
         let mut latencies: Vec<(Duration, usize)> = Vec::with_capacity(shards);
         for _ in 0..shards {
-            let (shard_start, shard_end, result) =
-                reply_rx.recv().map_err(|_| pool_gone())?;
-            latencies.push((start.elapsed(), shard_end - shard_start));
-            match result {
-                // `GemvBackend` is a public trait: hold third-party
-                // implementations to the one-row-per-vector contract
-                // rather than panicking on a miscounted shard.
-                Ok(rows) if rows.len() == shard_end - shard_start => {
-                    for (offset, row) in rows.into_iter().enumerate() {
-                        outputs[shard_start + offset] = Some(row);
-                    }
-                }
-                Ok(rows) => {
-                    first_error = first_error.or(Some(Error::Runtime {
-                        context: format!(
-                            "backend returned {} rows for a {}-vector shard",
-                            rows.len(),
-                            shard_end - shard_start
-                        ),
-                    }));
-                }
+            let reply = reply_rx.recv().map_err(|_| pool_gone())?;
+            latencies.push((reply.completed, reply.end - reply.start));
+            match reply.rows {
+                Ok(rows) => out.rows_mut(reply.start, reply.end).copy_from_slice(&rows),
                 Err(e) => first_error = first_error.or(Some(e)),
             }
         }
         if let Some(e) = first_error {
             return Err(e);
         }
-        let outputs: Vec<Vec<i64>> = outputs
-            .into_iter()
-            .map(|row| row.expect("every shard reported"))
-            .collect();
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.vectors.fetch_add(n as u64, Ordering::Relaxed);
-        Ok(BatchResult {
-            outputs,
-            stats: BatchStats {
-                batch: n,
-                shards,
-                elapsed: start.elapsed(),
-                p50_latency: weighted_percentile(&mut latencies, 0.50),
-                p99_latency: weighted_percentile(&mut latencies, 0.99),
-            },
+        Ok(BatchStats {
+            batch: n,
+            shards,
+            elapsed: start.elapsed(),
+            p50_latency: weighted_percentile(&mut latencies, 0.50),
+            p99_latency: weighted_percentile(&mut latencies, 0.99),
         })
     }
 }
@@ -348,10 +384,22 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, backend: &dyn GemvBackend) {
             Err(_) => return,
         };
         let Ok(job) = job else { return };
-        let result = backend.gemv_batch(&job.vectors[job.start..job.end]);
+        // One flat buffer for the whole shard; the engine writes rows in
+        // place. The completion timestamp is taken before the send so the
+        // reassembler's copy work cannot inflate it.
+        let mut rows = vec![0i64; (job.end - job.start) * backend.cols()];
+        let rows = backend
+            .run_rows(&job.frames, job.start, job.end, &mut rows)
+            .map(|()| rows);
+        let reply = ShardReply {
+            start: job.start,
+            end: job.end,
+            completed: job.submitted.elapsed(),
+            rows,
+        };
         // A send failure means the dispatcher gave up on this batch;
         // keep serving later batches.
-        let _ = job.reply.send((job.start, job.end, result));
+        let _ = job.reply.send(reply);
     }
 }
 
@@ -394,7 +442,7 @@ mod tests {
             .iter()
             .map(|a| a.iter().map(|&x| i64::from(x)).collect())
             .collect();
-        let got = d.dispatch(batch).unwrap();
+        let got = d.dispatch(&batch).unwrap();
         assert_eq!(got.outputs, expect);
         assert_eq!(got.stats.batch, 97);
         assert_eq!(got.stats.shards, 4);
@@ -416,7 +464,7 @@ mod tests {
         for backend in backends {
             for threads in [1usize, 2, 5] {
                 let d = Dispatcher::new(Arc::clone(&backend), DispatcherConfig::new(threads)).unwrap();
-                let got = d.dispatch(batch.clone()).unwrap();
+                let got = d.dispatch(&batch).unwrap();
                 assert_eq!(
                     got.outputs,
                     expect,
@@ -435,12 +483,12 @@ mod tests {
             DispatcherConfig::new(3),
         )
         .unwrap();
-        let empty = d.dispatch(Vec::new()).unwrap();
+        let empty = d.dispatch(&[]).unwrap();
         assert!(empty.outputs.is_empty());
         assert_eq!(empty.stats.batch, 0);
         assert_eq!(empty.stats.vectors_per_sec(), 0.0);
         assert_eq!(empty.stats.mean_latency(), Duration::ZERO);
-        let one = d.dispatch(vec![vec![9, 8, 7, 6]]).unwrap();
+        let one = d.dispatch(&[vec![9, 8, 7, 6]]).unwrap();
         assert_eq!(one.outputs, vec![vec![9, 8, 7, 6]]);
         assert_eq!(one.stats.shards, 1);
     }
@@ -457,20 +505,79 @@ mod tests {
         // One malformed vector anywhere in the batch fails the batch...
         let mut bad = random_batch(6, 8, 2303);
         bad[4] = vec![1, 2, 3];
-        assert!(d.dispatch(bad).is_err());
+        assert!(d.dispatch(&bad).is_err());
         // ...but the pool keeps serving afterwards.
         let good = random_batch(6, 8, 2304);
         let expect: Vec<Vec<i64>> = good.iter().map(|a| vecmat(a, &v).unwrap()).collect();
-        assert_eq!(d.dispatch(good).unwrap().outputs, expect);
+        assert_eq!(d.dispatch(&good).unwrap().outputs, expect);
     }
 
     #[test]
     fn miscounting_backend_is_an_error_not_a_panic() {
-        /// A broken `GemvBackend` that silently drops one result row.
-        struct RowEater;
-        impl GemvBackend for RowEater {
+        /// A broken `GemvBackend` whose rows are one element short —
+        /// the default `run_rows` must hold it to the row-length
+        /// contract instead of panicking in a slice copy.
+        struct ShortRow;
+        impl GemvBackend for ShortRow {
             fn name(&self) -> &'static str {
-                "row-eater"
+                "short-row"
+            }
+            fn rows(&self) -> usize {
+                2
+            }
+            fn cols(&self) -> usize {
+                2
+            }
+            fn gemv(&self, _a: &[i32]) -> Result<Vec<i64>> {
+                Ok(vec![0])
+            }
+        }
+        let d = Dispatcher::new(Arc::new(ShortRow), DispatcherConfig::new(2)).unwrap();
+        let err = d.dispatch(&vec![vec![0, 0]; 5]).unwrap_err();
+        assert!(matches!(err, Error::Runtime { .. }), "{err:?}");
+        // The pool is still healthy for a follow-up: a broken shard
+        // poisons only its own batch.
+        let err2 = d.dispatch(&vec![vec![0, 0]; 3]).unwrap_err();
+        assert!(matches!(err2, Error::Runtime { .. }));
+    }
+
+    #[test]
+    fn dispatch_block_reuses_the_output_block_across_batches() {
+        let mut rng = seeded(2305);
+        let v = element_sparse_matrix(12, 7, 8, 0.5, true, &mut rng).unwrap();
+        let d = Dispatcher::new(
+            Arc::new(SparseCsr::new(&v)),
+            DispatcherConfig::new(3),
+        )
+        .unwrap();
+        let mut out = RowBlock::new();
+        for batch_size in [11usize, 4, 0, 9] {
+            let batch = random_batch(batch_size, 12, 2306 + batch_size as u64);
+            let frames = Arc::new(FrameBlock::try_from(batch.as_slice()).unwrap());
+            let stats = d.dispatch_block(Arc::clone(&frames), &mut out).unwrap();
+            assert_eq!(stats.batch, batch_size);
+            assert_eq!((out.rows(), out.width()), (batch_size, 7));
+            for (i, a) in batch.iter().enumerate() {
+                assert_eq!(out.row(i), vecmat(a, &v).unwrap(), "row {i} of {batch_size}");
+            }
+        }
+        // A width mismatch is refused before any shard is dispatched.
+        let wrong = FrameBlock::from_rows(&[vec![1; 5]]).unwrap();
+        assert!(d.dispatch_block(wrong, &mut out).is_err());
+        let s = d.snapshot();
+        // The empty batch is not served work, matching `dispatch`.
+        assert_eq!((s.batches, s.vectors), (3, 24));
+    }
+
+    #[test]
+    fn shard_latency_is_stamped_at_worker_completion() {
+        /// Sleeps only for the shard holding row 0, so the first
+        /// submitted shard is deliberately slow while the rest finish
+        /// immediately.
+        struct SlowFirstShard;
+        impl GemvBackend for SlowFirstShard {
+            fn name(&self) -> &'static str {
+                "slow-first-shard"
             }
             fn rows(&self) -> usize {
                 2
@@ -481,17 +588,33 @@ mod tests {
             fn gemv(&self, _a: &[i32]) -> Result<Vec<i64>> {
                 Ok(vec![0, 0])
             }
-            fn gemv_batch(&self, batch: &[Vec<i32>]) -> Result<Vec<Vec<i64>>> {
-                Ok(batch.iter().skip(1).map(|_| vec![0, 0]).collect())
+            fn run_rows(
+                &self,
+                frames: &FrameBlock,
+                start: usize,
+                end: usize,
+                out: &mut [i64],
+            ) -> Result<()> {
+                crate::backend::check_shard(frames, start, end, 2, out.len())?;
+                if start == 0 {
+                    std::thread::sleep(Duration::from_millis(40));
+                }
+                Ok(())
             }
         }
-        let d = Dispatcher::new(Arc::new(RowEater), DispatcherConfig::new(2)).unwrap();
-        let err = d.dispatch(vec![vec![0, 0]; 5]).unwrap_err();
-        assert!(matches!(err, Error::Runtime { .. }), "{err:?}");
-        // The pool is still healthy for a well-behaved follow-up? A
-        // miscounted shard poisons only its own batch.
-        let err2 = d.dispatch(vec![vec![0, 0]; 3]).unwrap_err();
-        assert!(matches!(err2, Error::Runtime { .. }));
+        let d = Dispatcher::new(Arc::new(SlowFirstShard), DispatcherConfig::new(2)).unwrap();
+        let frames = Arc::new(FrameBlock::from_rows(&vec![vec![0, 0]; 10]).unwrap());
+        let mut out = RowBlock::new();
+        let stats = d.dispatch_block(frames, &mut out).unwrap();
+        assert_eq!(stats.shards, 2);
+        // The fast shard carries half the batch and its latency is its
+        // own completion time, not the time the reassembler got to it:
+        // the weighted p50 stays far below the slow shard's sleep even
+        // though the whole batch took at least that long.
+        assert!(stats.elapsed >= Duration::from_millis(40), "{stats:?}");
+        assert!(stats.p50_latency < Duration::from_millis(20), "{stats:?}");
+        assert!(stats.p99_latency >= Duration::from_millis(40), "{stats:?}");
+        assert!(stats.p99_latency <= stats.elapsed, "{stats:?}");
     }
 
     #[test]
@@ -502,14 +625,14 @@ mod tests {
             DispatcherConfig::new(3),
         )
         .unwrap();
-        let got = d.dispatch(vec![vec![1, 2, 3, 4, 5, 6]; 50]).unwrap();
+        let got = d.dispatch(&vec![vec![1, 2, 3, 4, 5, 6]; 50]).unwrap();
         let s = got.stats;
         assert!(s.p50_latency > Duration::ZERO);
         assert!(s.p50_latency <= s.p99_latency, "{s:?}");
         // Completion latencies are measured inside the batch window.
         assert!(s.p99_latency <= s.elapsed, "{s:?}");
         // Empty batches report zeros.
-        let empty = d.dispatch(Vec::new()).unwrap();
+        let empty = d.dispatch(&[]).unwrap();
         assert_eq!(empty.stats.p50_latency, Duration::ZERO);
         assert_eq!(empty.stats.p99_latency, Duration::ZERO);
     }
@@ -537,10 +660,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(d.snapshot(), DispatcherStats { batches: 0, vectors: 0, threads: 2 });
-        d.dispatch(vec![vec![1, 2, 3, 4]; 7]).unwrap();
-        d.dispatch(vec![vec![1, 2, 3, 4]; 3]).unwrap();
+        d.dispatch(&vec![vec![1, 2, 3, 4]; 7]).unwrap();
+        d.dispatch(&vec![vec![1, 2, 3, 4]; 3]).unwrap();
         // Failed dispatches are not served work.
-        assert!(d.dispatch(vec![vec![1]]).is_err());
+        assert!(d.dispatch(&[vec![1]]).is_err());
         let s = d.snapshot();
         assert_eq!((s.batches, s.vectors), (2, 10));
     }
@@ -570,7 +693,7 @@ mod tests {
                         .map(|a| a.iter().map(|&x| i64::from(x)).collect())
                         .collect();
                     for _ in 0..10 {
-                        let got = d.dispatch(batch.clone()).unwrap();
+                        let got = d.dispatch(&batch).unwrap();
                         assert_eq!(got.outputs, expect);
                     }
                 })
@@ -597,7 +720,7 @@ mod tests {
         let d = Dispatcher::new(Arc::new(DenseRef::new(&v)), cfg).unwrap();
         assert!(d.threads() >= 1);
         assert_eq!(
-            d.dispatch(vec![vec![1, 2]]).unwrap().outputs,
+            d.dispatch(&[vec![1, 2]]).unwrap().outputs,
             vec![vec![1, 2]]
         );
     }

@@ -22,6 +22,11 @@
 //! * [`Dispatcher`] — the sharding, order-preserving worker pool
 //!   ([`dispatch`]).
 //!
+//! Batches travel flat: [`FrameBlock`] (row-major input frames, one
+//! allocation per batch) in, [`RowBlock`] (row-major output rows,
+//! caller-owned and reused) out — [`Session::run_block`] is the hot
+//! path, and the nested `Vec<Vec<_>>` surfaces bridge onto it.
+//!
 //! ## Serving in three lines
 //!
 //! ```
@@ -30,8 +35,23 @@
 //!
 //! let v = IntMatrix::from_vec(2, 2, vec![1, -2, 3, 4]).unwrap();
 //! let session = Session::auto(v).unwrap();
-//! assert_eq!(session.run_batch(vec![vec![5, 6], vec![1, 0]]).unwrap().outputs,
+//! assert_eq!(session.run_batch(&[vec![5, 6], vec![1, 0]]).unwrap().outputs,
 //!            vec![vec![23, 14], vec![1, -2]]);
+//! ```
+//!
+//! The same batch through the flat block path, reusing the output block:
+//!
+//! ```
+//! use smm_core::matrix::IntMatrix;
+//! use smm_runtime::{FrameBlock, RowBlock, Session};
+//!
+//! let v = IntMatrix::from_vec(2, 2, vec![1, -2, 3, 4]).unwrap();
+//! let session = Session::auto(v).unwrap();
+//! let frames = FrameBlock::try_from(vec![vec![5, 6], vec![1, 0]]).unwrap();
+//! let mut out = RowBlock::new();
+//! session.run_block(frames, &mut out).unwrap();
+//! assert_eq!(out.row(0), &[23, 14]);
+//! assert_eq!(out.row(1), &[1, -2]);
 //! ```
 //!
 //! The session auto-planned an engine from the matrix (dimensions,
@@ -52,6 +72,7 @@ pub mod spec;
 pub use backend::{BitSerial, DenseRef, GemvBackend, SparseCsr};
 pub use cache::{CacheStats, MultiplierCache};
 pub use dispatch::{BatchResult, BatchStats, Dispatcher, DispatcherConfig, DispatcherStats};
+pub use smm_core::block::{FrameBlock, RowBlock};
 pub use plan::{AutoOptions, EnginePlan, PlanCandidate, PlanPolicy, Planner};
 pub use session::{Session, SessionBuilder, SessionStats};
 pub use spec::{EngineContext, EngineFactory, EngineRegistry, EngineSpec, BUILTIN_KINDS};

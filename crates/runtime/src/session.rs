@@ -7,14 +7,26 @@
 //! [`MultiplierCache`], and a [`Dispatcher`] worker pool, and exposes one
 //! submission surface:
 //!
-//! * [`Session::run`] — one product `o = aᵀV`;
-//! * [`Session::run_batch`] — a sharded, order-preserving batch with
-//!   timing;
+//! * [`Session::run`] — one product `o = aᵀV`, computed directly on the
+//!   engine (no dispatcher round trip: a single vector should not pay
+//!   batch overhead);
+//! * [`Session::run_block`] — the hot batch path: a flat
+//!   [`FrameBlock`] sharded across the pool into a caller-owned
+//!   [`RowBlock`], with per-batch timing and no per-row allocation;
+//! * [`Session::run_batch`] — the nested `Vec<Vec<_>>` surface, kept as
+//!   a thin bridge over the block path;
 //! * [`Session::stream`] — framed streaming into a caller-owned buffer
 //!   (the bit-serial engine pipelines the frames back-to-back through one
 //!   continuous simulation via
 //!   [`FixedMatrixMultiplier::run_frames`](smm_bitserial::multiplier::FixedMatrixMultiplier::run_frames));
-//! * [`Session::stats`] — cache and dispatcher counters in one struct.
+//! * [`Session::stats`] — cache, dispatcher, and fast-path counters in
+//!   one struct.
+//!
+//! Rule of thumb: `run` for one vector, `run_block` for batches on the
+//! hot path (hold the blocks, reuse them), `run_batch` when the data
+//! already lives in nested `Vec`s and a copy is acceptable, `stream`
+//! when frames should pipeline through one continuous bit-serial
+//! simulation with per-row buffer reuse.
 //!
 //! Construction is a builder ([`Session::builder`]): pick a
 //! [`PlanPolicy`] (default: auto-plan from the matrix itself), optionally
@@ -34,21 +46,26 @@
 
 use crate::backend::GemvBackend;
 use crate::cache::{CacheStats, MultiplierCache};
-use crate::dispatch::{BatchResult, Dispatcher, DispatcherConfig, DispatcherStats};
+use crate::dispatch::{BatchResult, BatchStats, Dispatcher, DispatcherConfig, DispatcherStats};
 use crate::plan::{EnginePlan, PlanPolicy, Planner};
 use crate::spec::{EngineRegistry, EngineSpec};
+use smm_core::block::{FrameBlock, RowBlock};
 use smm_core::error::Result;
 use smm_core::matrix::IntMatrix;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Cache + dispatcher counters of one session, in one struct.
+/// Cache + dispatcher + fast-path counters of one session, in one struct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SessionStats {
     /// Compiled-multiplier cache counters (shared across sessions when
     /// the cache is).
     pub cache: CacheStats,
-    /// Served-work counters of this session's worker pool.
+    /// Served-work counters of this session's worker pool (batches only;
+    /// single-vector products never enter the pool).
     pub dispatcher: DispatcherStats,
+    /// Single-vector products served on the [`Session::run`] fast path.
+    pub singles: u64,
 }
 
 /// Configures and builds a [`Session`].
@@ -99,6 +116,7 @@ impl SessionBuilder {
             plan,
             cache,
             dispatcher,
+            singles: AtomicU64::new(0),
         })
     }
 }
@@ -114,6 +132,8 @@ pub struct Session {
     plan: EnginePlan,
     cache: Arc<MultiplierCache>,
     dispatcher: Dispatcher,
+    /// Single-vector products served on the [`Session::run`] fast path.
+    singles: AtomicU64,
 }
 
 impl std::fmt::Debug for Session {
@@ -179,18 +199,36 @@ impl Session {
         self.dispatcher.threads()
     }
 
-    /// Computes one product `o = aᵀV`, through the worker pool so the
-    /// served-work counters see every vector.
+    /// Computes one product `o = aᵀV` directly on the engine — the
+    /// single-vector fast path. No `Arc`, no channel hop, no worker
+    /// wakeup: a lone vector (the server's single `Gemv` opcode) must
+    /// not pay batch-dispatch overhead. Counted in
+    /// [`SessionStats::singles`]; the dispatcher counters do not move.
     pub fn run(&self, a: &[i32]) -> Result<Vec<i64>> {
-        let mut batch = self.dispatcher.dispatch(vec![a.to_vec()])?;
-        Ok(batch.outputs.remove(0))
+        let out = self.engine().gemv(a)?;
+        self.singles.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
     }
 
-    /// Executes one batch, sharded across the pool, outputs in
-    /// submission order with timing. Accepts a `Vec` or an
-    /// `Arc<Vec<..>>`; pass `Arc::clone(&batch)` to re-dispatch without
-    /// copying request data.
-    pub fn run_batch(&self, batch: impl Into<Arc<Vec<Vec<i32>>>>) -> Result<BatchResult> {
+    /// Executes one flat batch, sharded by row ranges across the pool,
+    /// writing outputs in submission order into the caller-owned `out`
+    /// block (reshaped and reused across calls) — the serving hot path,
+    /// with no per-row allocation. Accepts a [`FrameBlock`] or an
+    /// `Arc<FrameBlock>`; pass `Arc::clone(&frames)` to re-dispatch
+    /// without copying request data.
+    pub fn run_block(
+        &self,
+        frames: impl Into<Arc<FrameBlock>>,
+        out: &mut RowBlock,
+    ) -> Result<BatchStats> {
+        self.dispatcher.dispatch_block(frames, out)
+    }
+
+    /// Executes one nested batch, outputs in submission order with
+    /// timing — a thin bridge that copies the batch into a
+    /// [`FrameBlock`], serves through [`Session::run_block`], and splits
+    /// the output block back into rows. Prefer `run_block` on hot paths.
+    pub fn run_batch(&self, batch: &[Vec<i32>]) -> Result<BatchResult> {
         self.dispatcher.dispatch(batch)
     }
 
@@ -202,12 +240,20 @@ impl Session {
         self.engine().stream_into(frames, out)
     }
 
-    /// Cache and dispatcher counters in one struct.
+    /// Cache, dispatcher, and fast-path counters in one struct.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
             cache: self.cache.stats(),
             dispatcher: self.dispatcher_stats(),
+            singles: self.singles(),
         }
+    }
+
+    /// Single-vector products served on the [`Session::run`] fast path
+    /// (these never enter the dispatcher, so they are not in
+    /// [`DispatcherStats::vectors`]).
+    pub fn singles(&self) -> u64 {
+        self.singles.load(Ordering::Relaxed)
     }
 
     /// Just the served-work counters — no cache lock. Aggregators over
@@ -248,10 +294,50 @@ mod tests {
             .map(|_| random_vector(20, 8, true, &mut rng).unwrap())
             .collect();
         let expect: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
-        let served = session.run_batch(batch).unwrap();
+        let served = session.run_batch(&batch).unwrap();
         assert_eq!(served.outputs, expect);
         let stats = session.stats();
-        assert_eq!((stats.dispatcher.batches, stats.dispatcher.vectors), (2, 8));
+        // The single went down the fast path; only the batch hit the pool.
+        assert_eq!((stats.dispatcher.batches, stats.dispatcher.vectors), (1, 7));
+        assert_eq!(stats.singles, 1);
+    }
+
+    #[test]
+    fn single_vector_fast_path_skips_the_dispatcher() {
+        let session = Session::auto(IntMatrix::identity(4).unwrap()).unwrap();
+        for round in 1..=3u64 {
+            assert_eq!(session.run(&[1, 2, 3, 4]).unwrap(), vec![1, 2, 3, 4]);
+            let stats = session.stats();
+            assert_eq!(stats.singles, round);
+            // Regression: singles must not move the dispatcher counters.
+            assert_eq!((stats.dispatcher.batches, stats.dispatcher.vectors), (0, 0));
+        }
+        // A failed single is not counted as served.
+        assert!(session.run(&[1]).is_err());
+        assert_eq!(session.stats().singles, 3);
+    }
+
+    #[test]
+    fn run_block_serves_bit_identically_and_reuses_the_output() {
+        use smm_core::block::{FrameBlock, RowBlock};
+        let v = sparse(2907, 16, 0.7);
+        let mut rng = seeded(2908);
+        let batch: Vec<Vec<i32>> = (0..10)
+            .map(|_| random_vector(16, 8, true, &mut rng).unwrap())
+            .collect();
+        let expect: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
+        let frames = Arc::new(FrameBlock::try_from(batch.as_slice()).unwrap());
+        let mut out = RowBlock::new();
+        for spec in [EngineSpec::dense(), EngineSpec::csr(), EngineSpec::bitserial().threads(2)] {
+            let session = Session::with_spec(v.clone(), spec.clone()).unwrap();
+            // Two rounds into the same block: no stale rows, stats count.
+            for _ in 0..2 {
+                let stats = session.run_block(Arc::clone(&frames), &mut out).unwrap();
+                assert_eq!(stats.batch, 10);
+                assert_eq!(Vec::<Vec<i64>>::from(&out), expect, "{spec}");
+            }
+            assert_eq!(session.stats().dispatcher.vectors, 20, "{spec}");
+        }
     }
 
     #[test]
@@ -270,7 +356,7 @@ mod tests {
             let session = Session::with_spec(v.clone(), spec.clone()).unwrap();
             assert_eq!(session.engine().name(), spec.kind());
             assert_eq!(
-                session.run_batch(batch.clone()).unwrap().outputs,
+                session.run_batch(&batch).unwrap().outputs,
                 expect,
                 "{spec}"
             );
@@ -342,7 +428,7 @@ mod tests {
     fn dimension_errors_propagate_through_run() {
         let session = Session::auto(IntMatrix::identity(4).unwrap()).unwrap();
         assert!(session.run(&[1, 2]).is_err());
-        assert!(session.run_batch(vec![vec![1; 4], vec![1; 3]]).is_err());
+        assert!(session.run_batch(&[vec![1; 4], vec![1; 3]]).is_err());
         let mut out = Vec::new();
         assert!(session.stream(&[vec![1; 3]], &mut out).is_err());
         // The pool survives the error.

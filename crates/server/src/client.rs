@@ -1,9 +1,10 @@
 //! The blocking client side of the wire protocol (speaks v2).
 
 use crate::protocol::{
-    read_frame, write_frame, BackendKind, FrameError, LoadedInfo, Reply, Request, StatsSnapshot,
-    VERSION,
+    read_frame, write_frame, BackendKind, FrameError, LoadedInfo, Opcode, Reply, Request,
+    StatsSnapshot, VERSION,
 };
+use smm_core::block::{FrameBlock, RowBlock};
 use smm_core::matrix::IntMatrix;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -14,6 +15,9 @@ pub enum ServeError {
     Busy,
     /// The server answered with an error message.
     Remote(String),
+    /// The request was malformed client-side (e.g. a ragged batch) and
+    /// was never sent; the connection is still healthy.
+    Invalid(String),
     /// The connection or the protocol itself failed; the client is dead.
     Transport(String),
 }
@@ -23,6 +27,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Busy => write!(f, "server busy: admission queue full"),
             ServeError::Remote(message) => write!(f, "server error: {message}"),
+            ServeError::Invalid(context) => write!(f, "invalid request (not sent): {context}"),
             ServeError::Transport(context) => write!(f, "transport failure: {context}"),
         }
     }
@@ -63,17 +68,16 @@ impl Client {
     }
 
     fn call(&mut self, request: &Request) -> ServeResult<Reply> {
-        let opcode = request.opcode();
+        self.call_raw(request.opcode(), &request.encode(VERSION))
+    }
+
+    /// One round trip from an already-encoded payload — lets the batch
+    /// hot path serialize straight from borrowed data.
+    fn call_raw(&mut self, opcode: Opcode, payload: &[u8]) -> ServeResult<Reply> {
         let id = self.next_id;
         self.next_id += 1;
-        write_frame(
-            &mut self.stream,
-            VERSION,
-            opcode as u8,
-            id,
-            &request.encode(VERSION),
-        )
-        .map_err(|e| ServeError::Transport(format!("sending request: {e}")))?;
+        write_frame(&mut self.stream, VERSION, opcode as u8, id, payload)
+            .map_err(|e| ServeError::Transport(format!("sending request: {e}")))?;
         let frame = read_frame(&mut self.stream)?;
         if frame.request_id != id || frame.opcode != opcode as u8 {
             return Err(ServeError::Transport(format!(
@@ -158,19 +162,28 @@ impl Client {
         }
     }
 
-    /// A batch of products, returned in request order.
+    /// A batch of products, returned in request order — a bridge over
+    /// [`Client::gemv_block`] for callers holding nested `Vec`s. A
+    /// ragged batch is refused client-side ([`ServeError::Invalid`])
+    /// instead of burning a round trip the server would reject anyway.
     pub fn gemv_batch(&mut self, digest: u64, vectors: &[Vec<i32>]) -> ServeResult<Vec<Vec<i64>>> {
-        let request = Request::GemvBatch {
-            digest,
-            vectors: vectors.to_vec(),
-        };
-        match self.call(&request)? {
+        let frames =
+            FrameBlock::try_from(vectors).map_err(|e| ServeError::Invalid(e.to_string()))?;
+        Ok(self.gemv_block(digest, &frames)?.into())
+    }
+
+    /// A batch of products as flat blocks: one [`FrameBlock`] request
+    /// in, one [`RowBlock`] of output rows back, in request order. The
+    /// frames are serialized straight from the borrow — no clone.
+    pub fn gemv_block(&mut self, digest: u64, frames: &FrameBlock) -> ServeResult<RowBlock> {
+        let payload = Request::encode_gemv_batch(digest, frames);
+        match self.call_raw(Opcode::GemvBatch, &payload)? {
             Reply::Outputs(rows) => {
-                if rows.len() != vectors.len() {
+                if rows.rows() != frames.frames() {
                     return Err(ServeError::Transport(format!(
-                        "server returned {} outputs for {} inputs",
-                        rows.len(),
-                        vectors.len()
+                        "server returned {} output rows for {} input frames",
+                        rows.rows(),
+                        frames.frames()
                     )));
                 }
                 Ok(rows)
@@ -204,5 +217,8 @@ mod tests {
     fn serve_error_displays() {
         assert!(ServeError::Busy.to_string().contains("busy"));
         assert!(ServeError::Remote("x".into()).to_string().contains("x"));
+        assert!(ServeError::Invalid("ragged".into())
+            .to_string()
+            .contains("not sent"));
     }
 }

@@ -8,6 +8,7 @@
 use crate::client::{Client, ServeError, ServeResult};
 use crate::metrics::LatencyHistogram;
 use crate::protocol::{BackendKind, StatsSnapshot};
+use smm_core::block::FrameBlock;
 use smm_core::gemv::vecmat;
 use smm_core::matrix::IntMatrix;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -170,26 +171,27 @@ fn client_loop(
         }
     };
     let mut rng = smm_core::rng::derived(seed, stream_id.wrapping_add(1));
+    // One flat request block, refilled in place every round.
+    let mut frames = FrameBlock::with_capacity(matrix.rows(), batch);
     while Instant::now() < deadline {
-        let vectors: Vec<Vec<i32>> = match (0..batch)
-            .map(|_| smm_core::generate::random_vector(matrix.rows(), input_bits, true, &mut rng))
-            .collect::<smm_core::error::Result<_>>()
-        {
-            Ok(v) => v,
-            Err(_) => {
+        frames.clear();
+        for _ in 0..batch {
+            let filled = smm_core::generate::random_vector(matrix.rows(), input_bits, true, &mut rng)
+                .and_then(|v| frames.push_frame(&v));
+            if filled.is_err() {
                 tally.errors.fetch_add(1, Ordering::Relaxed);
                 return;
             }
-        };
+        }
         let sent = Instant::now();
-        match client.gemv_batch(digest, &vectors) {
+        match client.gemv_block(digest, &frames) {
             Ok(outputs) => {
                 latency.record(sent.elapsed());
                 tally.requests.fetch_add(1, Ordering::Relaxed);
                 tally.vectors.fetch_add(batch as u64, Ordering::Relaxed);
-                for (a, served) in vectors.iter().zip(&outputs) {
+                for (a, served) in frames.iter().zip(outputs.iter()) {
                     let reference = vecmat(a, matrix).expect("reference gemv on valid input");
-                    if *served != reference {
+                    if served != reference {
                         tally.mismatches.fetch_add(1, Ordering::Relaxed);
                     }
                 }

@@ -68,8 +68,12 @@ impl LatencyHistogram {
         for (i, &n) in counts.iter().enumerate() {
             covered += n;
             if covered >= target {
-                // Midpoint of [2^i, 2^(i+1)): 1.5 * 2^i.
-                return (3u64 << i) >> 1;
+                // Midpoint of [2^i, 2^(i+1)): 1.5 * 2^i, written as
+                // 2^i + 2^(i-1). The naive `(3 << i) >> 1` wraps for the
+                // last bucket (3 << 63 overflows u64) and reported 2^62 —
+                // *below* that bucket's own 2^63 lower bound; this form
+                // stays exact for every bucket, i = 63 included.
+                return (1u64 << i) + ((1u64 << i) >> 1);
             }
         }
         unreachable!("covered reaches total");
@@ -156,6 +160,17 @@ mod tests {
         h.record(Duration::from_secs(u64::MAX / 2));
         assert_eq!(h.count(), 2);
         assert!(h.quantile_ns(1.0) > 0);
+    }
+
+    #[test]
+    fn last_bucket_quantile_stays_inside_the_bucket() {
+        // Regression: a sample in the top bucket [2^63, 2^64) used to
+        // report 2^62 because the midpoint computation wrapped.
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(u64::MAX / 2)); // saturates to u64::MAX ns
+        let q = h.quantile_ns(1.0);
+        assert!(q >= 1u64 << 63, "{q} below the bucket's lower bound");
+        assert_eq!(q, (1u64 << 63) + (1u64 << 62), "geometric midpoint");
     }
 
     #[test]

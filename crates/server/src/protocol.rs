@@ -33,6 +33,7 @@
 //!   server's default), and the `Loaded` reply names the engine the
 //!   server actually planned for the matrix.
 
+use smm_core::block::{FrameBlock, RowBlock};
 use smm_core::error::{Error, Result};
 use smm_core::io::{matrix_from_bytes, matrix_to_bytes};
 use smm_core::matrix::IntMatrix;
@@ -192,8 +193,12 @@ pub enum Request {
     GemvBatch {
         /// [`IntMatrix::digest`] of the loaded matrix.
         digest: u64,
-        /// The input vectors, served in order.
-        vectors: Vec<Vec<i32>>,
+        /// The input frames, served in order. Decoded straight off the
+        /// wire into one flat block; the unchanged wire layout (count,
+        /// then per-vector length-prefixed `i32`s) requires every vector
+        /// of a batch to have the same length, which was already the
+        /// only shape a batch could compute.
+        frames: FrameBlock,
     },
     /// Server-wide metrics snapshot.
     Stats,
@@ -228,13 +233,23 @@ impl Request {
                 wire::put_u64(&mut buf, *digest);
                 wire::put_i32_vec(&mut buf, vector);
             }
-            Request::GemvBatch { digest, vectors } => {
-                wire::put_u64(&mut buf, *digest);
-                wire::put_u32(&mut buf, vectors.len() as u32);
-                for v in vectors {
-                    wire::put_i32_vec(&mut buf, v);
-                }
+            Request::GemvBatch { digest, frames } => {
+                return Self::encode_gemv_batch(*digest, frames);
             }
+        }
+        buf
+    }
+
+    /// Encodes a `GemvBatch` payload straight from a borrowed block —
+    /// the client's batch hot path serializes without cloning the
+    /// frames into an owned [`Request`]. The layout is identical in
+    /// every protocol version.
+    pub fn encode_gemv_batch(digest: u64, frames: &FrameBlock) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(12 + frames.frames() * (4 + frames.width() * 4));
+        wire::put_u64(&mut buf, digest);
+        wire::put_u32(&mut buf, frames.frames() as u32);
+        for frame in frames.iter() {
+            wire::put_i32_vec(&mut buf, frame);
         }
         buf
     }
@@ -265,10 +280,27 @@ impl Request {
                         context: format!("batch count {count} exceeds frame capacity"),
                     });
                 }
-                let vectors = (0..count)
-                    .map(|_| c.take_i32_vec("batch vector"))
-                    .collect::<Result<_>>()?;
-                Request::GemvBatch { digest, vectors }
+                // All vectors land in one flat buffer — no allocation
+                // per vector on the server's hottest decode path.
+                let mut data = Vec::new();
+                let mut width = 0usize;
+                for i in 0..count {
+                    let len = c.take_i32_extend(&mut data, "batch vector")?;
+                    if i == 0 {
+                        width = len;
+                        data.reserve(width.saturating_mul(count - 1));
+                    } else if len != width {
+                        return Err(Error::Wire {
+                            context: format!(
+                                "ragged batch: vector {i} has length {len}, expected {width}"
+                            ),
+                        });
+                    }
+                }
+                Request::GemvBatch {
+                    digest,
+                    frames: FrameBlock::from_vec(count, width, data)?,
+                }
             }
         };
         c.expect_end("request payload")?;
@@ -402,8 +434,10 @@ pub enum Reply {
     Loaded(LoadedInfo),
     /// [`Request::Gemv`] result.
     Output(Vec<i64>),
-    /// [`Request::GemvBatch`] results, in request order.
-    Outputs(Vec<Vec<i64>>),
+    /// [`Request::GemvBatch`] results, in request order — one flat
+    /// block, encoded straight onto the wire (layout unchanged: count,
+    /// then per-row length-prefixed `i64`s).
+    Outputs(RowBlock),
     /// [`Request::Stats`] snapshot.
     Stats(StatsSnapshot),
     /// Admission queue full; retry later.
@@ -438,8 +472,8 @@ impl Reply {
                     }
                     Reply::Output(o) => wire::put_i64_vec(&mut buf, o),
                     Reply::Outputs(rows) => {
-                        wire::put_u32(&mut buf, rows.len() as u32);
-                        for o in rows {
+                        wire::put_u32(&mut buf, rows.rows() as u32);
+                        for o in rows.iter() {
                             wire::put_i64_vec(&mut buf, o);
                         }
                     }
@@ -480,11 +514,22 @@ impl Reply {
                             context: format!("output count {count} exceeds frame capacity"),
                         });
                     }
-                    Reply::Outputs(
-                        (0..count)
-                            .map(|_| c.take_i64_vec("output vector"))
-                            .collect::<Result<_>>()?,
-                    )
+                    let mut data = Vec::new();
+                    let mut width = 0usize;
+                    for i in 0..count {
+                        let len = c.take_i64_extend(&mut data, "output vector")?;
+                        if i == 0 {
+                            width = len;
+                            data.reserve(width.saturating_mul(count - 1));
+                        } else if len != width {
+                            return Err(Error::Wire {
+                                context: format!(
+                                    "ragged reply: row {i} has length {len}, expected {width}"
+                                ),
+                            });
+                        }
+                    }
+                    Reply::Outputs(RowBlock::from_vec(count, width, data)?)
                 }
                 Opcode::Stats => Reply::Stats(StatsSnapshot::decode(&mut c)?),
             },
@@ -733,8 +778,27 @@ mod tests {
         });
         round_trip_request(Request::GemvBatch {
             digest: u64::MAX,
-            vectors: vec![vec![5; 4], vec![-6; 4], vec![]],
+            frames: FrameBlock::from_rows(&[vec![5; 4], vec![-6; 4], vec![7, 0, -7, 1]])
+                .unwrap(),
         });
+        // Empty batches round-trip too.
+        round_trip_request(Request::GemvBatch {
+            digest: 3,
+            frames: FrameBlock::default(),
+        });
+    }
+
+    #[test]
+    fn ragged_batch_payloads_are_rejected_at_decode() {
+        // Hand-rolled wire bytes a flat block cannot represent: two
+        // vectors of different lengths.
+        let mut buf = Vec::new();
+        wire::put_u64(&mut buf, 9); // digest
+        wire::put_u32(&mut buf, 2); // count
+        wire::put_i32_vec(&mut buf, &[1, 2, 3]);
+        wire::put_i32_vec(&mut buf, &[4]);
+        let err = Request::decode(VERSION, Opcode::GemvBatch, &buf).unwrap_err();
+        assert!(err.to_string().contains("ragged"), "{err}");
     }
 
     #[test]
@@ -753,8 +817,9 @@ mod tests {
         round_trip_reply(Opcode::Gemv, Reply::Output(vec![i64::MIN, 0, i64::MAX]));
         round_trip_reply(
             Opcode::GemvBatch,
-            Reply::Outputs(vec![vec![1, 2], vec![-3, -4]]),
+            Reply::Outputs(RowBlock::try_from(vec![vec![1, 2], vec![-3, -4]]).unwrap()),
         );
+        round_trip_reply(Opcode::GemvBatch, Reply::Outputs(RowBlock::default()));
         let stats = StatsSnapshot {
             requests: 11,
             p99_latency_ns: 12345,

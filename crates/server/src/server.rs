@@ -151,11 +151,12 @@ impl Shared {
             let mut batches = 0;
             let mut vectors = 0;
             for session in registry.values() {
-                // Dispatcher counters only: the shared cache is read
-                // once below, not locked once per session.
+                // Dispatcher counters plus the single-vector fast path
+                // (singles never enter the pool); the shared cache is
+                // read once below, not locked once per session.
                 let s = session.dispatcher_stats();
                 batches += s.batches;
-                vectors += s.vectors;
+                vectors += s.vectors + session.singles();
             }
             (registry.len() as u64, batches, vectors)
         };
@@ -215,16 +216,18 @@ impl Shared {
             Request::Ping => Reply::Pong,
             Request::Stats => Reply::Stats(self.stats()),
             Request::LoadMatrix { matrix, backend } => self.serve_load(matrix, backend),
-            // Singles go through the session's pool too (a 1-vector
-            // batch): one code path, and the served-work counters behind
-            // `Stats` see every vector, not just batched ones.
+            // A single rides the session's fast path (no dispatcher
+            // round trip); it is still counted — `Stats` sums the pool
+            // counters plus the fast-path singles.
             Request::Gemv { digest, vector } => self.serve_compute(digest, |session| {
                 Ok(Reply::Output(session.run(&vector)?))
             }),
-            Request::GemvBatch { digest, vectors } => self.serve_compute(digest, |session| {
-                session
-                    .run_batch(vectors)
-                    .map(|batch| Reply::Outputs(batch.outputs))
+            // The batch arrives as a flat block straight off the wire
+            // and the reply is encoded straight out of the output block.
+            Request::GemvBatch { digest, frames } => self.serve_compute(digest, |session| {
+                let mut out = smm_runtime::RowBlock::new();
+                session.run_block(frames, &mut out)?;
+                Ok(Reply::Outputs(out))
             }),
         }
     }

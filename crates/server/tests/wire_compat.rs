@@ -72,6 +72,28 @@ impl V1Client {
         c.expect_end("v1 gemv reply").unwrap();
         o
     }
+
+    /// v1 `GemvBatch`: digest + count + per-vector `i32` vectors, the
+    /// reply a count + per-row `i64` vectors (both unchanged in v2, and
+    /// unchanged by the server's flat-block internals).
+    fn gemv_batch(&mut self, digest: u64, batch: &[Vec<i32>]) -> Vec<Vec<i64>> {
+        let mut payload = Vec::new();
+        wire::put_u64(&mut payload, digest);
+        wire::put_u32(&mut payload, batch.len() as u32);
+        for a in batch {
+            wire::put_i32_vec(&mut payload, a);
+        }
+        let reply = self.call(Opcode::GemvBatch, &payload);
+        let mut c = Cursor::new(&reply);
+        assert_eq!(c.take_u8("status").unwrap(), 0, "batch must succeed");
+        let count = c.take_u32("count").unwrap() as usize;
+        assert_eq!(count, batch.len(), "one output row per input vector");
+        let rows: Vec<Vec<i64>> = (0..count)
+            .map(|_| c.take_i64_vec("output row").unwrap())
+            .collect();
+        c.expect_end("v1 batch reply").unwrap();
+        rows
+    }
 }
 
 #[test]
@@ -88,6 +110,12 @@ fn v1_client_round_trips_load_and_gemv_unchanged() {
         let a = random_vector(12, 8, true, &mut rng).unwrap();
         assert_eq!(v1.gemv(digest, &a), vecmat(&a, &matrix).unwrap());
     }
+    // The batch opcode's raw layout is also unchanged.
+    let batch: Vec<Vec<i32>> = (0..4)
+        .map(|_| random_vector(12, 8, true, &mut rng).unwrap())
+        .collect();
+    let expect: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &matrix).unwrap()).collect();
+    assert_eq!(v1.gemv_batch(digest, &batch), expect);
 
     // A load without the backend field lands on the server default —
     // visible to a v2 peer as the configured engine (csr).

@@ -99,12 +99,39 @@ impl Csr {
     /// row by `a[r]` — the natural access pattern for CSR with a transposed
     /// product).
     pub fn vecmat(&self, a: &[i32]) -> Result<Vec<i64>> {
+        self.check_vecmat_len(a)?;
+        let mut out = vec![0i64; self.cols];
+        self.accumulate_vecmat(a, &mut out);
+        Ok(out)
+    }
+
+    /// [`Csr::vecmat`] into a caller-owned output slice of exactly
+    /// [`Csr::cols`] elements — the allocation-free kernel behind the
+    /// flat batch path. The slice is zeroed first, so stale contents
+    /// are overwritten.
+    pub fn vecmat_into(&self, a: &[i32], out: &mut [i64]) -> Result<()> {
+        self.check_vecmat_len(a)?;
+        if out.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                context: format!("output length {} vs cols {}", out.len(), self.cols),
+            });
+        }
+        out.fill(0);
+        self.accumulate_vecmat(a, out);
+        Ok(())
+    }
+
+    fn check_vecmat_len(&self, a: &[i32]) -> Result<()> {
         if a.len() != self.rows {
             return Err(Error::DimensionMismatch {
                 context: format!("vector length {} vs rows {}", a.len(), self.rows),
             });
         }
-        let mut out = vec![0i64; self.cols];
+        Ok(())
+    }
+
+    /// Accumulates `aᵀV` into an already-zeroed `out` of `cols` elements.
+    fn accumulate_vecmat(&self, a: &[i32], out: &mut [i64]) {
         for (r, &ar) in a.iter().enumerate() {
             if ar == 0 {
                 continue;
@@ -113,7 +140,6 @@ impl Csr {
                 out[c] += i64::from(ar) * i64::from(v);
             }
         }
-        Ok(out)
     }
 
     /// Conventional `o = V·x` SpMV.
@@ -170,6 +196,19 @@ mod tests {
         let x = random_vector(25, 8, true, &mut rng).unwrap();
         assert_eq!(csr.vecmat(&a).unwrap(), vecmat(&a, &d).unwrap());
         assert_eq!(csr.matvec(&x).unwrap(), matvec(&d, &x).unwrap());
+    }
+
+    #[test]
+    fn vecmat_into_overwrites_stale_output() {
+        let mut rng = seeded(43);
+        let d = element_sparse_matrix(12, 9, 8, 0.5, true, &mut rng).unwrap();
+        let csr = Csr::from_dense(&d);
+        let a = random_vector(12, 8, true, &mut rng).unwrap();
+        let mut out = vec![-77i64; 9];
+        csr.vecmat_into(&a, &mut out).unwrap();
+        assert_eq!(out, vecmat(&a, &d).unwrap());
+        assert!(csr.vecmat_into(&a, &mut [0; 3]).is_err());
+        assert!(csr.vecmat_into(&[1, 2], &mut out).is_err());
     }
 
     #[test]

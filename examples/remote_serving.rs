@@ -58,14 +58,22 @@ fn main() {
     assert_eq!(served, vecmat(&a, &v).expect("reference"));
     println!("single product: {} outputs, matches the dense reference", served.len());
 
-    let batch: Vec<Vec<i32>> = (0..16)
-        .map(|_| random_vector(32, 8, true, &mut rng).expect("generating batch"))
-        .collect();
-    let outputs = client.gemv_batch(digest, &batch).expect("remote batch");
-    for (a, o) in batch.iter().zip(&outputs) {
-        assert_eq!(o, &vecmat(a, &v).expect("reference"));
+    // Batches travel as flat blocks end to end: a `FrameBlock` of 16
+    // frames goes out in one request, a `RowBlock` of 16 rows comes back.
+    let batch = {
+        let mut frames = spatial_smm::core::block::FrameBlock::with_capacity(32, 16);
+        for _ in 0..16 {
+            frames
+                .push_frame(&random_vector(32, 8, true, &mut rng).expect("generating batch"))
+                .expect("uniform batch");
+        }
+        frames
+    };
+    let outputs = client.gemv_block(digest, &batch).expect("remote batch");
+    for (a, o) in batch.iter().zip(outputs.iter()) {
+        assert_eq!(o, vecmat(a, &v).expect("reference").as_slice());
     }
-    println!("batch of {}: every row matches", batch.len());
+    println!("batch of {}: every row matches", batch.frames());
 
     // -- 4. Load generation, self-checking -------------------------------
     let report = spatial_smm::server::loadgen::run(&LoadgenConfig {

@@ -14,7 +14,7 @@
 use spatial_smm::core::generate::{element_sparse_matrix, random_vector};
 use spatial_smm::core::gemv::vecmat;
 use spatial_smm::core::rng::seeded;
-use spatial_smm::runtime::{EngineSpec, MultiplierCache, Session};
+use spatial_smm::runtime::{EngineSpec, FrameBlock, MultiplierCache, RowBlock, Session};
 use std::sync::Arc;
 
 fn main() {
@@ -22,17 +22,24 @@ fn main() {
     let mut rng = seeded(42);
     let v = element_sparse_matrix(96, 96, 8, 0.9, true, &mut rng).unwrap();
 
-    // A deterministic batch of requests, shared (not copied) across
-    // every dispatch below.
-    let batch: Arc<Vec<Vec<i32>>> = Arc::new(
-        (0..128)
-            .map(|_| random_vector(96, 8, true, &mut rng).unwrap())
-            .collect(),
-    );
+    // A deterministic batch of requests in one flat block, shared (not
+    // copied) across every dispatch below.
+    let batch: Arc<FrameBlock> = {
+        let mut frames = FrameBlock::with_capacity(96, 128);
+        for _ in 0..128 {
+            frames
+                .push_frame(&random_vector(96, 8, true, &mut rng).unwrap())
+                .unwrap();
+        }
+        Arc::new(frames)
+    };
     let reference: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
 
-    // One shared compile cache for every session over these weights.
+    // One shared compile cache for every session over these weights,
+    // and one output block reused by every dispatch: the steady state
+    // performs no per-row allocation.
     let cache = Arc::new(MultiplierCache::new());
+    let mut outputs = RowBlock::new();
 
     // Let the planner choose: at 90% sparsity with no compiled circuit
     // in the cache, that is the CSR engine — and it says so.
@@ -50,15 +57,20 @@ fn main() {
             .cache(Arc::clone(&cache))
             .build()
             .unwrap();
-        let served = session.run_batch(Arc::clone(&batch)).unwrap();
-        assert_eq!(served.outputs, reference, "{} diverged", session.engine().name());
+        let stats = session.run_block(Arc::clone(&batch), &mut outputs).unwrap();
+        assert_eq!(
+            Vec::<Vec<i64>>::from(&outputs),
+            reference,
+            "{} diverged",
+            session.engine().name()
+        );
         println!(
             "{:<10} {} vectors in {:>8.2} ms over {} threads = {:>9.0} vectors/sec (bit-exact)",
             session.engine().name(),
-            served.stats.batch,
-            served.stats.elapsed.as_secs_f64() * 1e3,
+            stats.batch,
+            stats.elapsed.as_secs_f64() * 1e3,
             session.threads(),
-            served.stats.vectors_per_sec()
+            stats.vectors_per_sec()
         );
     }
 
@@ -70,8 +82,12 @@ fn main() {
         .unwrap();
     println!("{}", replanned.plan().rationale);
     assert_eq!(replanned.engine().name(), "bitserial");
-    let served = replanned.run_batch(Arc::clone(&batch)).unwrap();
-    assert_eq!(served.outputs, reference, "replanned session diverged");
+    replanned.run_block(Arc::clone(&batch), &mut outputs).unwrap();
+    assert_eq!(
+        Vec::<Vec<i64>>::from(&outputs),
+        reference,
+        "replanned session diverged"
+    );
     let stats = replanned.stats();
     println!(
         "replanned session served {} vectors; cache: {} compile(s), {} hit(s)",

@@ -38,8 +38,10 @@
 //!
 //! 1. [`core`] provides the product itself ([`core::gemv::vecmat`]), the
 //!    matrix container with its stable content digest
-//!    ([`core::matrix::IntMatrix::digest`]), the file formats
-//!    ([`core::io`]), and the binary wire primitives ([`core::wire`]).
+//!    ([`core::matrix::IntMatrix::digest`]), the flat batch containers
+//!    the hot path moves requests in ([`core::block::FrameBlock`] /
+//!    [`core::block::RowBlock`]), the file formats ([`core::io`]), and
+//!    the binary wire primitives ([`core::wire`]).
 //! 2. [`runtime`] is the in-process serving layer: [`Session`] over a
 //!    [`runtime::GemvBackend`] trait with dense-reference, CSR, and
 //!    compiled bit-serial engines resolved through an
@@ -48,8 +50,10 @@
 //!    matrix under a [`PlanPolicy`]; a [`runtime::MultiplierCache`]
 //!    that memoizes spatial compilation by matrix content digest (with
 //!    an optional LRU bound); and a [`runtime::Dispatcher`] worker pool
-//!    that shards request batches across threads and returns results in
-//!    submission order with latency statistics (p50/p99 included).
+//!    that shards flat batch blocks by row range across threads into
+//!    one preallocated output block, in submission order with
+//!    worker-stamped latency statistics (p50/p99 included) — while
+//!    single vectors ride a direct fast path past the pool.
 //! 3. [`server`] puts a `Session` per loaded matrix behind a TCP
 //!    boundary: a versioned length-prefixed binary protocol
 //!    (`Ping`/`LoadMatrix`/`Gemv`/`GemvBatch`/`Stats`; v2 adds a

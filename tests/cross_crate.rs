@@ -9,7 +9,7 @@ use spatial_smm::core::gemv::vecmat;
 use spatial_smm::core::rng::seeded;
 use spatial_smm::fpga::flow::{synthesize, FlowOptions};
 use spatial_smm::gpu::GpuKernelModel;
-use spatial_smm::runtime::{EngineSpec, MultiplierCache, Session};
+use spatial_smm::runtime::{EngineSpec, FrameBlock, MultiplierCache, RowBlock, Session};
 use spatial_smm::sigma::Sigma;
 use spatial_smm::sparse::{Csr, SparsityProfile};
 use std::sync::Arc;
@@ -62,16 +62,18 @@ fn runtime_backends_agree_for_all_shapes() {
                 })
             })
             .collect();
+        let mut block_out = RowBlock::new();
         for batch_size in [0usize, 1, 5, 17] {
             let batch: Arc<Vec<Vec<i32>>> = Arc::new(
                 (0..batch_size)
                     .map(|_| random_vector(dim, 8, true, &mut rng).unwrap())
                     .collect(),
             );
+            let frames = Arc::new(FrameBlock::try_from(batch.as_slice()).unwrap());
             let expect: Vec<Vec<i64>> =
                 batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
             for session in &sessions {
-                let served = session.run_batch(Arc::clone(&batch)).unwrap();
+                let served = session.run_batch(&batch).unwrap();
                 assert_eq!(
                     served.outputs,
                     expect,
@@ -81,6 +83,16 @@ fn runtime_backends_agree_for_all_shapes() {
                 );
                 assert_eq!(served.stats.batch, batch_size);
                 assert!(served.stats.shards <= session.threads().min(batch_size.max(1)));
+                // The flat block path serves the identical bits into a
+                // reused output block.
+                let stats = session.run_block(Arc::clone(&frames), &mut block_out).unwrap();
+                assert_eq!(stats.batch, batch_size);
+                assert_eq!(
+                    Vec::<Vec<i64>>::from(&block_out),
+                    expect,
+                    "block path, {} dim {dim} batch {batch_size}",
+                    session.engine().name()
+                );
             }
         }
     }

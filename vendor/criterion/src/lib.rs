@@ -28,11 +28,18 @@ const WARMUP_BUDGET: Duration = Duration::from_millis(80);
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
+    /// Quick mode (upstream's `cargo bench -- --test`): run every
+    /// benchmark routine exactly once, untimed, and report "ok" — a
+    /// compile-and-run gate cheap enough for CI.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 20 }
+        Self {
+            sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
@@ -58,7 +65,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let label = id.into().label;
-        run_benchmark(&label, self.sample_size, &mut f);
+        run_benchmark(&label, self.sample_size, self.test_mode, &mut f);
     }
 }
 
@@ -109,7 +116,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_benchmark(&label, self.criterion.sample_size, &mut f);
+        run_benchmark(&label, self.criterion.sample_size, self.criterion.test_mode, &mut f);
         self
     }
 
@@ -124,9 +131,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_benchmark(&label, self.criterion.sample_size, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_benchmark(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            &mut |b: &mut Bencher| f(b, input),
+        );
         self
     }
 
@@ -162,7 +172,18 @@ fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
     b.elapsed
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    test_mode: bool,
+    f: &mut F,
+) {
+    if test_mode {
+        // Quick mode: one untimed execution proves the routine runs.
+        run_once(f, 1);
+        println!("Testing {label} ... ok");
+        return;
+    }
     // Warm up and estimate the per-iteration cost.
     let mut iters = 1u64;
     let mut per_iter;
@@ -256,7 +277,17 @@ mod tests {
     #[test]
     fn harness_runs() {
         let mut c = Criterion::default().sample_size(3);
+        c.test_mode = false;
         quick(&mut c);
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut c = Criterion::default().sample_size(3);
+        c.test_mode = true;
+        let mut calls = 0u64;
+        c.bench_function("counted", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1, "quick mode runs the routine exactly once");
     }
 
     #[test]
