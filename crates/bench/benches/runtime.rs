@@ -35,7 +35,7 @@ fn bench_backend_dispatch(c: &mut Criterion) {
     let cache = Arc::new(MultiplierCache::new());
     let mut out = RowBlock::new();
     let mut group = c.benchmark_group("runtime_dispatch");
-    for kind in ["dense", "csr", "bitserial"] {
+    for kind in ["dense", "csr", "bitserial", "sigma"] {
         for threads in [1usize, 2, 4] {
             let session = Session::builder(v.clone())
                 .spec(EngineSpec::new(kind).threads(threads))

@@ -28,7 +28,10 @@
 //! assert!(report.swap.fpga_ns / report.swap.cgra_ns > 10_000.0);
 //! ```
 
-#![warn(missing_docs)]
+// A public planner input (the serving runtime prices cache-resident
+// circuits through `estimate_compiled`), so the API surface must stay
+// fully documented.
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cost;

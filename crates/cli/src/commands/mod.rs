@@ -712,7 +712,7 @@ mod tests {
 
     #[test]
     fn throughput_serves_each_backend() {
-        for backend in ["dense", "csr", "bitserial"] {
+        for backend in ["dense", "csr", "bitserial", "sigma"] {
             let text = run_cmd(&[
                 "throughput", "--dim", "12", "--backend", backend, "--threads", "2", "--batch",
                 "9", "--repeat", "1",
@@ -870,6 +870,43 @@ mod tests {
         assert!(text.contains("engine csr"), "{text}");
         assert!(text.contains("MATCHES"), "{text}");
         server.shutdown();
+    }
+
+    #[test]
+    fn loadgen_drives_the_sigma_backend_end_to_end() {
+        // The acceptance gate: a multi-client loadgen run against a
+        // sigma-backed session completes with zero mismatches against
+        // the dense reference.
+        let server = smm_server::start(smm_server::ServerConfig::default()).unwrap();
+        let text = run_cmd(&[
+            "loadgen",
+            "--addr",
+            &server.local_addr().to_string(),
+            "--dim",
+            "16",
+            "--backend",
+            "sigma",
+            "--clients",
+            "2",
+            "--batch",
+            "6",
+            "--duration",
+            "0.3",
+        ])
+        .unwrap();
+        assert!(text.contains("engine sigma"), "{text}");
+        assert!(text.contains("vectors served and verified"), "{text}");
+        assert!(text.contains("MATCHES"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_accepts_the_sigma_backend() {
+        let text = run_cmd(&[
+            "serve", "--addr", "127.0.0.1:0", "--backend", "sigma", "--duration", "0.1",
+        ])
+        .unwrap();
+        assert!(text.contains("backend sigma"), "{text}");
     }
 
     #[test]

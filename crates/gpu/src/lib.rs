@@ -19,7 +19,9 @@
 //! assert!(ns > 1000.0); // the GPU cannot break the microsecond barrier
 //! ```
 
-#![warn(missing_docs)]
+// A public planner input (the serving runtime scores engines against
+// these latencies), so the API surface must stay fully documented.
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod model;

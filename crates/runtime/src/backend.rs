@@ -1,25 +1,29 @@
 //! The pluggable compute engines behind the serving runtime.
 //!
 //! A [`GemvBackend`] computes the paper's `o = aᵀV` product for one fixed
-//! matrix `V`. Three implementations cover the repo's three functional
-//! layers:
+//! matrix `V`. Four implementations cover the repo's functional layers:
 //!
 //! * [`DenseRef`] — the dense reference kernel ([`smm_core::gemv::vecmat`]);
 //! * [`SparseCsr`] — the executed CSR SpMV kernel ([`smm_sparse::Csr`]);
 //! * [`BitSerial`] — the compiled spatial circuit, driven in framed
 //!   back-to-back streaming mode so a whole batch pipelines through one
-//!   continuous cycle-accurate simulation.
+//!   continuous cycle-accurate simulation;
+//! * [`SigmaEngine`] — the SIGMA accelerator baseline executed through
+//!   its PE-grid tile mapping ([`smm_sigma::map_tiles`]), weight-stationary
+//!   across a batch.
 //!
-//! All three are bit-identical on every valid input; which one to serve
+//! All four are bit-identical on every valid input; which one to serve
 //! with is purely a throughput/fidelity trade (the bit-serial engine is a
 //! *simulation* of the hardware and therefore the slowest and the most
-//! faithful).
+//! faithful; the sigma engine executes the exact dataflow the SIGMA
+//! timing model prices).
 
 use smm_bitserial::multiplier::FixedMatrixMultiplier;
 use smm_core::block::{FrameBlock, RowBlock};
 use smm_core::error::{Error, Result};
 use smm_core::gemv::{vecmat, vecmat_into};
 use smm_core::matrix::IntMatrix;
+use smm_sigma::{accumulate_tile, map_tiles, SigmaConfig, Tile};
 use smm_sparse::Csr;
 use std::sync::Arc;
 
@@ -53,7 +57,8 @@ pub(crate) fn check_shard(
 /// A fixed-matrix `o = aᵀV` compute engine, shareable across worker
 /// threads.
 pub trait GemvBackend: Send + Sync {
-    /// Short stable name for reports (`"dense"`, `"csr"`, `"bitserial"`).
+    /// Short stable name for reports (`"dense"`, `"csr"`, `"bitserial"`,
+    /// `"sigma"`).
     fn name(&self) -> &'static str;
 
     /// Matrix rows — the required input-vector length.
@@ -94,7 +99,7 @@ pub trait GemvBackend: Send + Sync {
     /// [`GemvBackend::run_block`].
     ///
     /// The default bridges to [`GemvBackend::gemv`] per frame (one
-    /// allocation per row); all three built-in engines override it to
+    /// allocation per row); all four built-in engines override it to
     /// write rows in place with no per-row allocation. Implementations
     /// must validate the shard (see the built-ins) rather than panic on a
     /// mis-sized `out`.
@@ -372,6 +377,148 @@ impl GemvBackend for BitSerial {
     }
 }
 
+/// The SIGMA accelerator baseline (Qin et al., HPCA 2020) as a live
+/// serving engine: the matrix's non-zeros are packed onto the modelled
+/// PE grid **once** at construction ([`map_tiles`]), and every product
+/// executes through that resident tile map — weight-stationary, exactly
+/// the dataflow [`smm_sigma::Sigma`] prices. Bit-identical to the dense
+/// reference (pure integer math through the reduction network).
+///
+/// Batch entry points ([`GemvBackend::run_rows`],
+/// [`GemvBackend::stream_into`], [`GemvBackend::gemv_batch`]) iterate
+/// tiles in the outer loop so each tile's weights stay stationary while
+/// the whole batch streams by — the accelerator's SpMM mode, and one
+/// tile-map traversal per batch instead of one per vector.
+#[derive(Debug, Clone)]
+pub struct SigmaEngine {
+    tiles: Vec<Tile>,
+    config: SigmaConfig,
+    rows: usize,
+    cols: usize,
+}
+
+impl SigmaEngine {
+    /// Maps the matrix onto the paper's default 128×128 PE grid.
+    pub fn new(matrix: &IntMatrix) -> Self {
+        Self::with_config(matrix, SigmaConfig::default())
+    }
+
+    /// Maps the matrix onto a custom grid. The tile map is computed here,
+    /// once, and reused by every product the engine ever serves.
+    pub fn with_config(matrix: &IntMatrix, config: SigmaConfig) -> Self {
+        Self {
+            tiles: map_tiles(matrix, &config),
+            config,
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+        }
+    }
+
+    /// PE-grid tiles the matrix's non-zeros occupy.
+    pub fn tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// The modelled hardware configuration.
+    pub fn config(&self) -> &SigmaConfig {
+        &self.config
+    }
+
+    fn check_width(&self, got: usize) -> Result<()> {
+        if got != self.rows {
+            return Err(Error::DimensionMismatch {
+                context: format!("vector length {got} vs matrix rows {}", self.rows),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl From<&IntMatrix> for SigmaEngine {
+    fn from(matrix: &IntMatrix) -> Self {
+        Self::new(matrix)
+    }
+}
+
+impl GemvBackend for SigmaEngine {
+    fn name(&self) -> &'static str {
+        "sigma"
+    }
+
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn gemv(&self, a: &[i32]) -> Result<Vec<i64>> {
+        self.check_width(a.len())?;
+        let mut out = vec![0i64; self.cols];
+        for tile in &self.tiles {
+            accumulate_tile(tile, a, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Weight-stationary over the shard: tiles outer, frames inner, rows
+    /// accumulated in place — one tile-map traversal for the whole shard
+    /// and no per-row allocation.
+    fn run_rows(
+        &self,
+        frames: &FrameBlock,
+        start: usize,
+        end: usize,
+        out: &mut [i64],
+    ) -> Result<()> {
+        check_shard(frames, start, end, self.cols, out.len())?;
+        if end > start {
+            self.check_width(frames.width())?;
+        }
+        out.fill(0);
+        for tile in &self.tiles {
+            for (i, frame) in (start..end).enumerate() {
+                accumulate_tile(
+                    tile,
+                    frames.frame(frame),
+                    &mut out[i * self.cols..(i + 1) * self.cols],
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Weight-stationary batching via [`GemvBackend::stream_into`] — the
+    /// tile map is traversed once for the whole batch.
+    fn gemv_batch(&self, batch: &[Vec<i32>]) -> Result<Vec<Vec<i64>>> {
+        let mut out = Vec::new();
+        self.stream_into(batch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Streams frames through the resident tile map into the caller's
+    /// long-lived buffer, reusing its row allocations; tiles stay
+    /// stationary across the whole stream.
+    fn stream_into(&self, frames: &[Vec<i32>], out: &mut Vec<Vec<i64>>) -> Result<()> {
+        for frame in frames {
+            self.check_width(frame.len())?;
+        }
+        out.truncate(frames.len());
+        out.resize_with(frames.len(), Vec::new);
+        for slot in out.iter_mut() {
+            slot.clear();
+            slot.resize(self.cols, 0);
+        }
+        for tile in &self.tiles {
+            for (frame, slot) in frames.iter().zip(out.iter_mut()) {
+                accumulate_tile(tile, frame, slot);
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +532,7 @@ mod tests {
             Box::new(DenseRef::new(v)),
             Box::new(SparseCsr::new(v)),
             Box::new(BitSerial::new(Arc::new(mul))),
+            Box::new(SigmaEngine::new(v)),
         ]
     }
 

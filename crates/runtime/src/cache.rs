@@ -163,6 +163,21 @@ impl MultiplierCache {
     /// bit-serially would cost a lookup or a compile. Content-verified
     /// like a hit, so a digest collision reads as absent.
     pub fn contains(&self, matrix: &IntMatrix, input_bits: u32, encoding: WeightEncoding) -> bool {
+        self.peek(matrix, input_bits, encoding).is_some()
+    }
+
+    /// Returns the resident circuit for `(matrix, input_bits, encoding)`
+    /// without compiling — a read-only probe like
+    /// [`MultiplierCache::contains`] (no LRU touch, no counter bump),
+    /// but handing back the circuit itself so the planner can price the
+    /// already-paid compile (e.g. through the CGRA cost model) without
+    /// perturbing the cache's books.
+    pub fn peek(
+        &self,
+        matrix: &IntMatrix,
+        input_bits: u32,
+        encoding: WeightEncoding,
+    ) -> Option<Arc<FixedMatrixMultiplier>> {
         let key = CacheKey {
             digest: matrix.digest(),
             rows: matrix.rows(),
@@ -174,7 +189,8 @@ impl MultiplierCache {
         table
             .entries
             .get(&key)
-            .is_some_and(|entry| entry.matrix == *matrix)
+            .filter(|entry| entry.matrix == *matrix)
+            .map(|entry| Arc::clone(&entry.circuit))
     }
 
     /// Returns the compiled circuit for `(matrix, input_bits, encoding)`,
@@ -339,6 +355,21 @@ mod tests {
         assert!(!Arc::ptr_eq(&base, &csd));
         assert_eq!(cache.stats().entries, 4);
         assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn peek_returns_the_resident_circuit_without_touching_the_books() {
+        let cache = MultiplierCache::new();
+        let v = IntMatrix::identity(4).unwrap();
+        assert!(cache.peek(&v, 4, WeightEncoding::Pn).is_none());
+        let compiled = cache.get_or_compile(&v, 4, WeightEncoding::Pn).unwrap();
+        let peeked = cache.peek(&v, 4, WeightEncoding::Pn).unwrap();
+        assert!(Arc::ptr_eq(&compiled, &peeked));
+        // Other compile keys still read as absent.
+        assert!(cache.peek(&v, 8, WeightEncoding::Pn).is_none());
+        // Peeks moved no counter.
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
     }
 
     #[test]

@@ -387,10 +387,30 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, backend: &dyn GemvBackend) {
         // One flat buffer for the whole shard; the engine writes rows in
         // place. The completion timestamp is taken before the send so the
         // reassembler's copy work cannot inflate it.
-        let mut rows = vec![0i64; (job.end - job.start) * backend.cols()];
-        let rows = backend
-            .run_rows(&job.frames, job.start, job.end, &mut rows)
-            .map(|()| rows);
+        //
+        // A panicking backend is contained here: if the worker thread
+        // died instead, shards still queued behind it would never be
+        // served and their dispatcher would wait forever on replies that
+        // cannot arrive. Catching the unwind turns the fault into an
+        // ordinary shard error — the batch fails, sibling batches and
+        // this worker keep going.
+        let rows = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rows = vec![0i64; (job.end - job.start) * backend.cols()];
+            backend
+                .run_rows(&job.frames, job.start, job.end, &mut rows)
+                .map(|()| rows)
+        }))
+        .unwrap_or_else(|panic| {
+            Err(Error::Runtime {
+                context: format!(
+                    "backend '{}' panicked serving shard {}..{}: {}",
+                    backend.name(),
+                    job.start,
+                    job.end,
+                    panic_message(&*panic)
+                ),
+            })
+        });
         let reply = ShardReply {
             start: job.start,
             end: job.end,
@@ -400,6 +420,19 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, backend: &dyn GemvBackend) {
         // A send failure means the dispatcher gave up on this batch;
         // keep serving later batches.
         let _ = job.reply.send(reply);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// string literal or a formatted `String` covers every panic the engines
+/// can raise).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 

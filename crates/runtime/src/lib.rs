@@ -15,8 +15,9 @@
 //!   backend choice scored from the matrix itself ([`plan`]);
 //! * [`Session`] — the resolved engine + [`MultiplierCache`] +
 //!   [`Dispatcher`] behind one submission surface ([`session`]);
-//! * [`GemvBackend`] — the engine trait with the three built-ins:
-//!   [`DenseRef`], [`SparseCsr`], and [`BitSerial`] ([`backend`]);
+//! * [`GemvBackend`] — the engine trait with the four built-ins:
+//!   [`DenseRef`], [`SparseCsr`], [`BitSerial`], and [`SigmaEngine`]
+//!   ([`backend`]);
 //! * [`MultiplierCache`] — content-digest-keyed compile memoization with
 //!   an optional LRU bound ([`cache`]);
 //! * [`Dispatcher`] — the sharding, order-preserving worker pool
@@ -69,7 +70,7 @@ pub mod plan;
 pub mod session;
 pub mod spec;
 
-pub use backend::{BitSerial, DenseRef, GemvBackend, SparseCsr};
+pub use backend::{BitSerial, DenseRef, GemvBackend, SigmaEngine, SparseCsr};
 pub use cache::{CacheStats, MultiplierCache};
 pub use dispatch::{BatchResult, BatchStats, Dispatcher, DispatcherConfig, DispatcherStats};
 pub use smm_core::block::{FrameBlock, RowBlock};

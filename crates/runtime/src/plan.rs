@@ -12,27 +12,40 @@
 //! always wins: the planner validates the requested kind against the
 //! registry and skips scoring entirely.
 //!
-//! The scoring model is deliberately simple and fully deterministic (the
-//! rationale string is pinned by a golden test):
+//! The scoring model is deterministic (the rationale strings are pinned
+//! by golden tests) and **model-driven**: the accelerator cost models
+//! that used to be report-only crates are live planning inputs.
 //!
 //! * `dense` scores `0.9 × density` — the reference kernel pays for every
 //!   element, zero or not;
 //! * `csr` scores `0.9 × sparsity` — SpMV work shrinks with the zeros;
+//!   its rationale quotes the calibrated GPU baseline
+//!   ([`smm_gpu::GpuKernelModel::spmv_latency_ns`]), the library kernel
+//!   whose math the CSR engine executes;
 //! * `bitserial` scores `0.95` when the compiled circuit is already
-//!   cache-resident (serving costs a lookup) and `0.10` otherwise (the
-//!   spatial compile dominates until it has been paid once).
+//!   cache-resident (serving costs a lookup; the rationale prices the
+//!   resident netlist through the CGRA estimate,
+//!   [`smm_cgra::estimate_compiled`]) and `0.10` otherwise (the spatial
+//!   compile dominates until it has been paid once);
+//! * `sigma` scores `0.6 × gpu_ns / (gpu_ns + sigma_ns)` — the SIGMA
+//!   timing model ([`smm_sigma::Sigma`]) against the GPU baseline on the
+//!   same sparsity profile. Matrices whose non-zeros fit the PE grid sit
+//!   near `0.6` (the accelerator's nanosecond regime) and win the
+//!   mid-density band where neither the dense nor the CSR kernel is
+//!   strong; deep tiling pushes the score toward zero.
 //!
 //! Candidates are evaluated in [`BUILTIN_KINDS`] order and ties keep the
 //! earliest candidate, so planning is reproducible across runs. Custom
-//! registry entries are reachable through [`PlanPolicy::Explicit`]; once
-//! cost models for the fpga/gpu/cgra layers land they can join the
-//! scored candidate set.
+//! registry entries are reachable through [`PlanPolicy::Explicit`].
 
 use crate::cache::MultiplierCache;
 use crate::spec::{EngineRegistry, EngineSpec, BUILTIN_KINDS};
 use smm_bitserial::multiplier::WeightEncoding;
+use smm_cgra::{estimate_compiled, CgraOptions};
 use smm_core::error::{Error, Result};
 use smm_core::matrix::IntMatrix;
+use smm_gpu::GpuKernelModel;
+use smm_sigma::Sigma;
 use smm_sparse::{Csr, SparsityProfile};
 
 /// Options the auto-planner stamps into whichever spec wins.
@@ -181,7 +194,16 @@ impl<'a> Planner<'a> {
         let profile = SparsityProfile::of(&Csr::from_dense(matrix));
         let sparsity = profile.element_sparsity;
         let sparse_pct = 100.0 * sparsity;
-        let cached = cache.contains(matrix, options.input_bits, options.encoding);
+        // The accelerator cost models, evaluated once on the profile:
+        // the GPU baseline is the latency every candidate is priced
+        // against, the SIGMA model prices the tile-mapped dataflow, and
+        // a cache-resident circuit is priced through the CGRA estimate.
+        let gpu_ns = GpuKernelModel::cusparse().spmv_latency_ns(&profile);
+        let sigma = Sigma::default();
+        let sigma_run = sigma.run_gemv(&profile);
+        let sigma_ns = sigma.config().cycles_to_ns(sigma_run.total_cycles());
+        let resident = cache.peek(matrix, options.input_bits, options.encoding);
+        let cached = resident.is_some();
 
         let candidates: Vec<PlanCandidate> = BUILTIN_KINDS
             .iter()
@@ -194,19 +216,39 @@ impl<'a> Planner<'a> {
                     ),
                     "csr" => (
                         0.9 * sparsity,
-                        format!("CSR SpMV skips the {sparse_pct:.1}% zero elements"),
+                        format!(
+                            "CSR SpMV skips the {sparse_pct:.1}% zero elements \
+                             (cuSPARSE model: {gpu_ns:.0} ns/product)"
+                        ),
                     ),
-                    _ => {
-                        if cached {
+                    "sigma" => (
+                        0.6 * gpu_ns / (gpu_ns + sigma_ns),
+                        format!(
+                            "SIGMA model maps {} nnz onto {} tile(s): {sigma_ns:.0} ns \
+                             vs GPU {gpu_ns:.0} ns",
+                            profile.nnz, sigma_run.tiles
+                        ),
+                    ),
+                    "bitserial" => match &resident {
+                        Some(circuit) => {
+                            let report = estimate_compiled(circuit, &CgraOptions::default());
                             (
                                 0.95,
-                                "compiled circuit is cache-resident; serving costs a lookup"
-                                    .to_string(),
+                                format!(
+                                    "compiled circuit is cache-resident (CGRA model: \
+                                     {:.0} ns/product, swap-in {:.0} ns); serving costs \
+                                     a lookup",
+                                    report.latency_ns, report.swap.cgra_ns
+                                ),
                             )
-                        } else {
-                            (0.10, "spatial compile not yet paid".to_string())
                         }
-                    }
+                        None => (0.10, "spatial compile not yet paid".to_string()),
+                    },
+                    // Every BUILTIN_KINDS entry must be scored above; a
+                    // new kind reaching this arm is a planner bug, and a
+                    // loud one beats silently inheriting another
+                    // engine's economics.
+                    other => unreachable!("unscored built-in engine kind '{other}'"),
                 };
                 PlanCandidate {
                     kind: kind.to_string(),
@@ -282,7 +324,21 @@ mod tests {
         let plan = plan(&mostly_dense(), &PlanPolicy::default(), &MultiplierCache::new());
         assert_eq!(plan.spec.kind(), "dense");
         assert!(plan.score > 0.7, "{plan:?}");
-        assert_eq!(plan.candidates.len(), 3);
+        assert_eq!(plan.candidates.len(), 4);
+    }
+
+    #[test]
+    fn mid_density_band_plans_sigma() {
+        // At ~50% sparsity neither the dense kernel (0.9 × density) nor
+        // CSR (0.9 × sparsity) clears ~0.45, while a single-tile SIGMA
+        // mapping sits near its 0.6 ceiling — the accelerator's
+        // nanosecond regime wins the band the software kernels split.
+        let mut rng = seeded(2804);
+        let v = element_sparse_matrix(24, 24, 8, 0.5, true, &mut rng).unwrap();
+        let plan = plan(&v, &PlanPolicy::default(), &MultiplierCache::new());
+        assert_eq!(plan.spec.kind(), "sigma", "{}", plan.rationale);
+        assert!(plan.rationale.contains("SIGMA model maps"), "{}", plan.rationale);
+        assert!(plan.rationale.contains("1 tile(s)"), "{}", plan.rationale);
     }
 
     #[test]
@@ -352,13 +408,38 @@ mod tests {
     fn golden_rationale_is_pinned() {
         // The rationale is part of the operator-facing surface (logs, the
         // CLI, the serve reply); pin it exactly so drift is deliberate.
+        // The model inputs are named: the cuSPARSE baseline latency and
+        // the SIGMA tile mapping are live planning inputs.
         let plan = plan(&mostly_dense(), &PlanPolicy::default(), &MultiplierCache::new());
         assert_eq!(
             plan.rationale,
             "auto plan for 4x5 (20.0% sparse, circuit not cached): dense scored 0.72 — \
              dense gemv pays for every element; runners-up: \
-             csr 0.18 (CSR SpMV skips the 20.0% zero elements), \
-             bitserial 0.10 (spatial compile not yet paid)"
+             csr 0.18 (CSR SpMV skips the 20.0% zero elements (cuSPARSE model: 3005 ns/product)), \
+             bitserial 0.10 (spatial compile not yet paid), \
+             sigma 0.59 (SIGMA model maps 16 nnz onto 1 tile(s): 34 ns vs GPU 3005 ns)"
+        );
+    }
+
+    #[test]
+    fn golden_cached_rationale_names_the_cgra_model() {
+        // Once the circuit is resident, the bitserial candidate's reason
+        // prices the compiled netlist through the CGRA estimate — pinned
+        // exactly, like the uncached rationale above.
+        let cache = MultiplierCache::new();
+        cache
+            .get_or_compile(&mostly_dense(), 8, WeightEncoding::Pn)
+            .unwrap();
+        let plan = plan(&mostly_dense(), &PlanPolicy::default(), &cache);
+        assert_eq!(plan.spec.kind(), "bitserial");
+        assert_eq!(
+            plan.rationale,
+            "auto plan for 4x5 (20.0% sparse, circuit cached): bitserial scored 0.95 — \
+             compiled circuit is cache-resident (CGRA model: 17 ns/product, swap-in \
+             9 ns); serving costs a lookup; runners-up: \
+             dense 0.72 (dense gemv pays for every element), \
+             csr 0.18 (CSR SpMV skips the 20.0% zero elements (cuSPARSE model: 3005 ns/product)), \
+             sigma 0.59 (SIGMA model maps 16 nnz onto 1 tile(s): 34 ns vs GPU 3005 ns)"
         );
     }
 

@@ -2,8 +2,8 @@
 //! registry ([`EngineRegistry`]) that turns them into live engines.
 //!
 //! An [`EngineSpec`] is a plain, serializable *description* of a compute
-//! engine: which kind ("dense", "csr", "bitserial", or anything a custom
-//! factory registers) plus the options every engine family understands —
+//! engine: which kind ("dense", "csr", "bitserial", "sigma", or anything
+//! a custom factory registers) plus the options every engine family understands —
 //! operand width, weight encoding, and dispatcher thread count. Specs are
 //! cheap values: they can be compared, printed, parsed back, stored in a
 //! config file, or shipped over a wire long before any matrix exists.
@@ -16,7 +16,7 @@
 //! driver, a GPU kernel, a CGRA cost model) plug in by registering a
 //! factory under a new name; nothing else in the stack changes.
 
-use crate::backend::{BitSerial, DenseRef, GemvBackend, SparseCsr};
+use crate::backend::{BitSerial, DenseRef, GemvBackend, SigmaEngine, SparseCsr};
 use crate::cache::MultiplierCache;
 use smm_bitserial::multiplier::WeightEncoding;
 use smm_core::error::{Error, Result};
@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The built-in engine kind names, in planning order.
-pub const BUILTIN_KINDS: [&str; 3] = ["dense", "csr", "bitserial"];
+pub const BUILTIN_KINDS: [&str; 4] = ["dense", "csr", "bitserial", "sigma"];
 
 /// A serializable description of a compute engine: kind + options.
 ///
@@ -73,6 +73,12 @@ impl EngineSpec {
     /// The compiled bit-serial spatial circuit.
     pub fn bitserial() -> Self {
         Self::new("bitserial")
+    }
+
+    /// The SIGMA accelerator baseline, executed through its PE-grid tile
+    /// mapping.
+    pub fn sigma() -> Self {
+        Self::new("sigma")
     }
 
     /// The engine family this spec names.
@@ -236,7 +242,8 @@ impl EngineRegistry {
         }
     }
 
-    /// The three built-in engine families: `dense`, `csr`, `bitserial`.
+    /// The four built-in engine families: `dense`, `csr`, `bitserial`,
+    /// `sigma`.
     pub fn builtin() -> Self {
         let mut registry = Self::empty();
         registry.register("dense", |ctx| {
@@ -250,6 +257,9 @@ impl EngineRegistry {
                 ctx.cache
                     .get_or_compile(ctx.matrix, ctx.spec.input_bits, ctx.spec.encoding)?;
             Ok(Arc::new(BitSerial::new(circuit)) as Arc<dyn GemvBackend>)
+        });
+        registry.register("sigma", |ctx| {
+            Ok(Arc::new(SigmaEngine::new(ctx.matrix)) as Arc<dyn GemvBackend>)
         });
         registry
     }

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use smm_core::generate::{element_sparse_matrix, random_vector};
 use smm_core::gemv::vecmat;
 use smm_core::rng::seeded;
-use smm_runtime::{EngineSpec, FrameBlock, MultiplierCache, PlanPolicy, RowBlock, Session};
+use smm_runtime::{EngineSpec, MultiplierCache, PlanPolicy, Session};
 use std::sync::Arc;
 
 proptest! {
@@ -39,6 +39,7 @@ proptest! {
             EngineSpec::dense().threads(threads),
             EngineSpec::csr().threads(threads),
             EngineSpec::bitserial().threads(threads),
+            EngineSpec::sigma().threads(threads),
         ];
         // Exercise the planner too: whatever engine it picks must agree.
         let auto = Session::builder(v.clone())
@@ -62,50 +63,10 @@ proptest! {
         prop_assert!(cache.stats().misses <= 1);
     }
 
-    /// The flat block path is bit-identical to `run_batch`, `stream`,
-    /// and the dense reference for every engine on random sparse
-    /// matrices — with the output block reused across engines, so stale
-    /// rows from one engine would be caught by the next.
-    #[test]
-    fn run_block_is_bit_identical_to_run_batch_and_stream(
-        seed in any::<u64>(),
-        rows in 1usize..18,
-        cols in 1usize..14,
-        sparsity in 0.0f64..=1.0,
-        batch_size in 0usize..10,
-        threads in 1usize..4,
-    ) {
-        let mut rng = seeded(seed);
-        let v = element_sparse_matrix(rows, cols, 8, sparsity, true, &mut rng).unwrap();
-        let batch: Vec<Vec<i32>> = (0..batch_size)
-            .map(|_| random_vector(rows, 8, true, &mut rng).unwrap())
-            .collect();
-        let expect: Vec<Vec<i64>> =
-            batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
-        let frames = Arc::new(FrameBlock::try_from(batch.as_slice()).unwrap());
-
-        let cache = Arc::new(MultiplierCache::new());
-        let mut out = RowBlock::new();
-        let mut streamed = Vec::new();
-        for spec in [
-            EngineSpec::dense().threads(threads),
-            EngineSpec::csr().threads(threads),
-            EngineSpec::bitserial().threads(threads),
-        ] {
-            let session = Session::builder(v.clone())
-                .spec(spec.clone())
-                .cache(Arc::clone(&cache))
-                .build()
-                .unwrap();
-            let stats = session.run_block(Arc::clone(&frames), &mut out).unwrap();
-            prop_assert_eq!(stats.batch, batch_size, "spec {}", &spec);
-            prop_assert_eq!(&Vec::<Vec<i64>>::from(&out), &expect, "block, spec {}", &spec);
-            let batched = session.run_batch(&batch).unwrap();
-            prop_assert_eq!(&batched.outputs, &expect, "batch, spec {}", &spec);
-            session.stream(&batch, &mut streamed).unwrap();
-            prop_assert_eq!(&streamed, &expect, "stream, spec {}", &spec);
-        }
-    }
+    // The run == run_batch == run_block == stream cross-engine identity
+    // property lives in the workspace-level conformance harness
+    // (`tests/engine_conformance.rs`), which drives every registered
+    // engine kind through one table.
 
     /// Explicit policy always beats the planner's own preference.
     #[test]

@@ -1,4 +1,4 @@
-//! The blocking client side of the wire protocol (speaks v2).
+//! The blocking client side of the wire protocol (speaks v3).
 
 use crate::protocol::{
     read_frame, write_frame, BackendKind, FrameError, LoadedInfo, Opcode, Reply, Request,
@@ -116,7 +116,8 @@ impl Client {
     }
 
     /// Uploads a matrix with an optional backend choice
-    /// (`auto|dense|csr|bitserial`; `None` takes the server default) and
+    /// (`auto|dense|csr|bitserial|sigma`; `None` takes the server
+    /// default) and
     /// returns what the server now serves, including the engine it
     /// planned. Verifies the server and client agree on digest and shape
     /// (same content hash on both ends of the wire).

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic  "SMM1"      4 bytes
-//! version            1 byte   (1 or 2)
+//! version            1 byte   (1, 2, or 3)
 //! opcode             1 byte
 //! request id         8 bytes  little-endian
 //! payload length     4 bytes  little-endian
@@ -23,8 +23,8 @@
 //! ## Version negotiation
 //!
 //! The version byte is per-frame and the server answers in whatever
-//! version the request arrived under, so v1 clients keep working against
-//! a v2 server unchanged. The differences:
+//! version the request arrived under, so v1 and v2 clients keep working
+//! against a v3 server unchanged. The differences:
 //!
 //! * **v1** — `LoadMatrix` carries only the matrix; the `Loaded` reply is
 //!   `digest/rows/cols/already_loaded`.
@@ -32,6 +32,12 @@
 //!   byte (`auto|dense|csr|bitserial`, or *unspecified* to take the
 //!   server's default), and the `Loaded` reply names the engine the
 //!   server actually planned for the matrix.
+//! * **v3** — the choice byte additionally admits `sigma`
+//!   ([`BackendKind::Sigma`], wire byte 5). The layout is byte-identical
+//!   to v2; the version bump exists so a v2 frame can never smuggle a
+//!   choice its own generation of peers would reject — byte 5 in a v2
+//!   frame is a decode error, exactly as it was before the engine
+//!   existed.
 
 use smm_core::block::{FrameBlock, RowBlock};
 use smm_core::error::{Error, Result};
@@ -42,8 +48,9 @@ use std::io::{self, Read, Write};
 
 /// Frame preamble: the protocol's on-wire signature.
 pub const MAGIC: [u8; 4] = *b"SMM1";
-/// Current protocol version: v2 (backend choice in `LoadMatrix`).
-pub const VERSION: u8 = 2;
+/// Current protocol version: v3 (the `sigma` backend choice in
+/// `LoadMatrix`; v2 added the choice byte itself).
+pub const VERSION: u8 = 3;
 /// Oldest version the server still speaks.
 pub const MIN_VERSION: u8 = 1;
 /// Fixed frame header size in bytes.
@@ -61,7 +68,8 @@ pub const STATUS_ERROR: u8 = 2;
 
 /// Which compute engine the server builds for a loaded matrix — the
 /// server-wide default ([`crate::ServerConfig::backend`]) and, since
-/// protocol v2, a per-`LoadMatrix` request choice.
+/// protocol v2, a per-`LoadMatrix` request choice (`sigma` requires
+/// protocol v3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
 pub enum BackendKind {
@@ -77,6 +85,9 @@ pub enum BackendKind {
     /// and most faithful; compilations go through the shared
     /// [`smm_runtime::MultiplierCache`].
     BitSerial,
+    /// The SIGMA accelerator baseline executed through its PE-grid tile
+    /// mapping (protocol v3; a v2 frame cannot carry this choice).
+    Sigma,
 }
 
 impl BackendKind {
@@ -87,6 +98,7 @@ impl BackendKind {
             BackendKind::Dense => "dense",
             BackendKind::Csr => "csr",
             BackendKind::BitSerial => "bitserial",
+            BackendKind::Sigma => "sigma",
         }
     }
 
@@ -99,19 +111,24 @@ impl BackendKind {
             Some(BackendKind::Dense) => 2,
             Some(BackendKind::Csr) => 3,
             Some(BackendKind::BitSerial) => 4,
+            Some(BackendKind::Sigma) => 5,
         }
     }
 
-    fn option_from_u8(raw: u8) -> Result<Option<BackendKind>> {
+    /// Decodes a choice byte as `version` defines it: byte 5 (`sigma`)
+    /// exists only from v3 on, so a v2 frame carrying it is rejected the
+    /// same way a v2-era peer would reject it.
+    fn option_from_u8(raw: u8, version: u8) -> Result<Option<BackendKind>> {
         Ok(match raw {
             0 => None,
             1 => Some(BackendKind::Auto),
             2 => Some(BackendKind::Dense),
             3 => Some(BackendKind::Csr),
             4 => Some(BackendKind::BitSerial),
+            5 if version >= 3 => Some(BackendKind::Sigma),
             other => {
                 return Err(Error::Wire {
-                    context: format!("unknown backend choice byte {other}"),
+                    context: format!("unknown backend choice byte {other} for protocol v{version}"),
                 })
             }
         })
@@ -127,8 +144,9 @@ impl std::str::FromStr for BackendKind {
             "dense" => Ok(BackendKind::Dense),
             "csr" | "sparse" => Ok(BackendKind::Csr),
             "bitserial" => Ok(BackendKind::BitSerial),
+            "sigma" => Ok(BackendKind::Sigma),
             other => Err(format!(
-                "unknown backend '{other}' (auto|dense|csr|bitserial)"
+                "unknown backend '{other}' (auto|dense|csr|bitserial|sigma)"
             )),
         }
     }
@@ -178,8 +196,8 @@ pub enum Request {
     LoadMatrix {
         /// The matrix to serve.
         matrix: IntMatrix,
-        /// Requested engine (v2 only; `None` takes the server default —
-        /// and is all a v1 frame can say).
+        /// Requested engine (v2 and later; `sigma` needs v3; `None`
+        /// takes the server default — and is all a v1 frame can say).
         backend: Option<BackendKind>,
     },
     /// One product against the matrix with this digest.
@@ -263,7 +281,7 @@ impl Request {
             Opcode::LoadMatrix => Request::LoadMatrix {
                 matrix: matrix_from_bytes(c.take_bytes("matrix payload")?)?,
                 backend: if version >= 2 {
-                    BackendKind::option_from_u8(c.take_u8("backend choice")?)?
+                    BackendKind::option_from_u8(c.take_u8("backend choice")?, version)?
                 } else {
                     None
                 },
@@ -860,23 +878,50 @@ mod tests {
             ("csr", BackendKind::Csr),
             ("sparse", BackendKind::Csr),
             ("bitserial", BackendKind::BitSerial),
+            ("sigma", BackendKind::Sigma),
         ] {
             assert_eq!(text.parse::<BackendKind>().unwrap(), kind);
         }
         assert!("tpu".parse::<BackendKind>().is_err());
         assert_eq!(BackendKind::Csr.name(), "csr");
         assert_eq!(BackendKind::Auto.name(), "auto");
+        assert_eq!(BackendKind::Sigma.name(), "sigma");
         for kind in [
             None,
             Some(BackendKind::Auto),
             Some(BackendKind::Dense),
             Some(BackendKind::Csr),
             Some(BackendKind::BitSerial),
+            Some(BackendKind::Sigma),
         ] {
             let byte = BackendKind::option_to_u8(kind);
-            assert_eq!(BackendKind::option_from_u8(byte).unwrap(), kind);
+            assert_eq!(BackendKind::option_from_u8(byte, VERSION).unwrap(), kind);
         }
-        assert!(BackendKind::option_from_u8(99).is_err());
+        assert!(BackendKind::option_from_u8(99, VERSION).is_err());
+        // The sigma byte is a v3 citizen only: a v2 frame carrying it is
+        // rejected exactly as a v2-era decoder would.
+        assert!(BackendKind::option_from_u8(5, 2).is_err());
+        assert_eq!(
+            BackendKind::option_from_u8(4, 2).unwrap(),
+            Some(BackendKind::BitSerial)
+        );
+    }
+
+    #[test]
+    fn sigma_choice_round_trips_at_v3_and_is_rejected_at_v2() {
+        let request = Request::LoadMatrix {
+            matrix: IntMatrix::identity(3).unwrap(),
+            backend: Some(BackendKind::Sigma),
+        };
+        let payload = request.encode(3);
+        assert_eq!(
+            Request::decode(3, Opcode::LoadMatrix, &payload).unwrap(),
+            request
+        );
+        // The same bytes under a v2 frame header: decode error, because
+        // byte 5 does not exist in v2's vocabulary.
+        let err = Request::decode(2, Opcode::LoadMatrix, &payload).unwrap_err();
+        assert!(err.to_string().contains("choice byte 5"), "{err}");
     }
 
     #[test]

@@ -460,8 +460,8 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         );
         ServerMetrics::bump(&shared.metrics.requests, 1);
         // Version negotiation: decode the request and encode the reply
-        // under the version the frame arrived with, so v1 clients keep
-        // working against this v2 server.
+        // under the version the frame arrived with, so v1 and v2 clients
+        // keep working against this v3 server.
         let reply = match Opcode::from_u8(frame.opcode)
             .and_then(|op| Request::decode(frame.version, op, &frame.payload))
         {

@@ -1,10 +1,12 @@
-//! Wire-protocol backward compatibility: a v1 client (no backend field
-//! in `LoadMatrix`, no engine name in `Loaded`) against the v2 server.
+//! Wire-protocol backward compatibility: v1 clients (no backend field
+//! in `LoadMatrix`, no engine name in `Loaded`) and v2 clients (backend
+//! choice byte, but no `sigma` in its vocabulary) against the v3 server.
 //!
-//! These tests speak raw v1 frames over a real TCP connection — exactly
-//! the bytes a binary built before the protocol rev would send — and
-//! assert the round trip is unchanged: same payload layouts, replies
-//! echoed under version 1, and served results bit-identical.
+//! These tests speak raw v1/v2 frames over a real TCP connection —
+//! exactly the bytes a binary built before each protocol rev would
+//! send — and assert the round trips are unchanged: same payload
+//! layouts, replies echoed under the request's version, and served
+//! results bit-identical.
 
 use smm_core::generate::{element_sparse_matrix, random_vector};
 use smm_core::gemv::vecmat;
@@ -98,7 +100,7 @@ impl V1Client {
 
 #[test]
 fn v1_client_round_trips_load_and_gemv_unchanged() {
-    assert_eq!(VERSION, 2, "this test pins the v1-against-v2 story");
+    assert_eq!(VERSION, 3, "this test pins the v1-against-v3 story");
     let server = smm_server::start(ServerConfig::default()).unwrap();
     let mut rng = seeded(5000);
     let matrix = element_sparse_matrix(12, 9, 8, 0.6, true, &mut rng).unwrap();
@@ -123,6 +125,132 @@ fn v1_client_round_trips_load_and_gemv_unchanged() {
     let info = v2.load_matrix_with(&matrix, None).unwrap();
     assert!(info.already_loaded, "v1 load is the same registry entry");
     assert_eq!(info.engine, "csr");
+    server.shutdown();
+}
+
+/// A minimal v2 client: hand-rolled payloads pinned to version 2 — the
+/// backend choice byte exists, the `sigma` value does not.
+struct V2Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl V2Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        Self {
+            stream: TcpStream::connect(addr).unwrap(),
+            next_id: 1,
+        }
+    }
+
+    /// Sends a v2 frame and returns the reply payload, asserting the
+    /// reply frame echoes version 2, the opcode, and the id.
+    fn call(&mut self, opcode: Opcode, payload: &[u8]) -> Vec<u8> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, 2, opcode as u8, id, payload).unwrap();
+        let frame = read_frame(&mut self.stream).unwrap();
+        assert_eq!(frame.version, 2, "server must answer a v2 frame in v2");
+        assert_eq!(frame.opcode, opcode as u8);
+        assert_eq!(frame.request_id, id);
+        frame.payload
+    }
+
+    /// v2 `LoadMatrix`: matrix bytes + one backend choice byte; the
+    /// `Loaded` reply carries the engine name (unlike v1).
+    fn load_matrix(&mut self, matrix: &IntMatrix, backend_byte: u8) -> Result<(u64, String), String> {
+        let mut payload = Vec::new();
+        wire::put_bytes(&mut payload, &smm_core::io::matrix_to_bytes(matrix));
+        wire::put_u8(&mut payload, backend_byte);
+        let reply = self.call(Opcode::LoadMatrix, &payload);
+        let mut c = Cursor::new(&reply);
+        match c.take_u8("status").unwrap() {
+            0 => {}
+            2 => return Err(c.take_str("error").unwrap().to_string()),
+            other => panic!("unexpected status {other}"),
+        }
+        let digest = c.take_u64("digest").unwrap();
+        assert_eq!(c.take_u64("rows").unwrap(), matrix.rows() as u64);
+        assert_eq!(c.take_u64("cols").unwrap(), matrix.cols() as u64);
+        let _already = c.take_u8("already").unwrap();
+        let engine = c.take_str("engine").unwrap().to_string();
+        c.expect_end("v2 loaded reply").unwrap();
+        Ok((digest, engine))
+    }
+
+    /// v2 `Gemv`: digest + vector (layout unchanged since v1).
+    fn gemv(&mut self, digest: u64, a: &[i32]) -> Vec<i64> {
+        let mut payload = Vec::new();
+        wire::put_u64(&mut payload, digest);
+        wire::put_i32_vec(&mut payload, a);
+        let reply = self.call(Opcode::Gemv, &payload);
+        let mut c = Cursor::new(&reply);
+        assert_eq!(c.take_u8("status").unwrap(), 0, "gemv must succeed");
+        let o = c.take_i64_vec("output").unwrap();
+        c.expect_end("v2 gemv reply").unwrap();
+        o
+    }
+}
+
+#[test]
+fn v2_client_round_trips_unchanged_and_cannot_say_sigma() {
+    let server = smm_server::start(ServerConfig::default()).unwrap();
+    let mut rng = seeded(5002);
+    let matrix = element_sparse_matrix(10, 8, 8, 0.6, true, &mut rng).unwrap();
+
+    let mut v2 = V2Client::connect(server.local_addr());
+    // Choice byte 1 = auto: the v2 layout is untouched by the v3 rev,
+    // and the Loaded reply still names the planned engine.
+    let (digest, engine) = v2.load_matrix(&matrix, 1).unwrap();
+    assert_eq!(digest, matrix.digest());
+    assert!(!engine.is_empty(), "v2 Loaded names the engine");
+    for _ in 0..3 {
+        let a = random_vector(10, 8, true, &mut rng).unwrap();
+        assert_eq!(v2.gemv(digest, &a), vecmat(&a, &matrix).unwrap());
+    }
+    // Byte 5 (sigma) does not exist in v2's vocabulary: the server must
+    // answer with a decode error, not silently build an engine a v2-era
+    // peer could never have asked for. The connection survives — the
+    // frame boundary was intact.
+    let other = element_sparse_matrix(6, 6, 8, 0.5, true, &mut rng).unwrap();
+    let err = v2.load_matrix(&other, 5).unwrap_err();
+    assert!(err.contains("choice byte 5"), "{err}");
+    let a = random_vector(10, 8, true, &mut rng).unwrap();
+    assert_eq!(v2.gemv(digest, &a), vecmat(&a, &matrix).unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn v3_client_requests_sigma_end_to_end() {
+    let server = smm_server::start(ServerConfig::default()).unwrap();
+    let mut rng = seeded(5003);
+    let matrix = element_sparse_matrix(14, 11, 8, 0.5, true, &mut rng).unwrap();
+
+    // The stock client speaks v3; requesting sigma loads a session
+    // served by the tile-mapped engine, and the reply names it.
+    let mut client = smm_server::Client::connect(server.local_addr()).unwrap();
+    let info = client
+        .load_matrix_with(&matrix, Some(smm_server::BackendKind::Sigma))
+        .unwrap();
+    assert_eq!(info.engine, "sigma");
+    for _ in 0..4 {
+        let a = random_vector(14, 8, true, &mut rng).unwrap();
+        assert_eq!(
+            client.gemv(info.digest, &a).unwrap(),
+            vecmat(&a, &matrix).unwrap()
+        );
+    }
+    let batch: Vec<Vec<i32>> = (0..5)
+        .map(|_| random_vector(14, 8, true, &mut rng).unwrap())
+        .collect();
+    let expect: Vec<Vec<i64>> = batch.iter().map(|a| vecmat(a, &matrix).unwrap()).collect();
+    assert_eq!(client.gemv_batch(info.digest, &batch).unwrap(), expect);
+
+    // A v1 peer can still serve products against the sigma-backed
+    // session it could never have asked for by name.
+    let mut v1 = V1Client::connect(server.local_addr());
+    let a = random_vector(14, 8, true, &mut rng).unwrap();
+    assert_eq!(v1.gemv(info.digest, &a), vecmat(&a, &matrix).unwrap());
     server.shutdown();
 }
 

@@ -1,0 +1,199 @@
+//! Wire-decoder fuzzing: arbitrary, truncated, and length-lying byte
+//! streams against the v1–v3 `Request`/`Reply` decoders and the frame
+//! reader must come back as `Err` — never a panic, never an allocation
+//! driven by a lying length prefix. The generator is the workspace's
+//! seeded ChaCha stream, so every run explores the same inputs and any
+//! failure reproduces exactly.
+
+use rand::RngCore;
+use smm_core::block::{FrameBlock, RowBlock};
+use smm_core::matrix::IntMatrix;
+use smm_core::rng::seeded;
+use smm_core::wire;
+use smm_server::protocol::{
+    read_frame, write_frame, FrameError, Opcode, Reply, Request, MAX_FRAME_PAYLOAD, MIN_VERSION,
+    VERSION,
+};
+
+const OPCODES: [Opcode; 5] = [
+    Opcode::Ping,
+    Opcode::LoadMatrix,
+    Opcode::Gemv,
+    Opcode::GemvBatch,
+    Opcode::Stats,
+];
+
+fn random_bytes(rng: &mut impl RngCore, len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+/// Every valid request payload shape, for the truncation sweep.
+fn sample_requests() -> Vec<Request> {
+    let matrix = IntMatrix::from_vec(3, 2, vec![1, -2, 0, 4, 5, -6]).unwrap();
+    vec![
+        Request::Ping,
+        Request::Stats,
+        Request::LoadMatrix {
+            matrix: matrix.clone(),
+            backend: None,
+        },
+        Request::Gemv {
+            digest: 0xDEAD_BEEF,
+            vector: vec![1, -2, 3, -4],
+        },
+        Request::GemvBatch {
+            digest: 7,
+            frames: FrameBlock::from_rows(&[vec![1, 2, 3], vec![-4, -5, -6]]).unwrap(),
+        },
+    ]
+}
+
+#[test]
+fn random_request_payloads_never_panic() {
+    let mut rng = seeded(7100);
+    for version in MIN_VERSION..=VERSION {
+        for opcode in OPCODES {
+            for _ in 0..400 {
+                let len = (rng.next_u32() % 96) as usize;
+                let payload = random_bytes(&mut rng, len);
+                // Err or an accidental decode are both fine; a panic or
+                // a runaway allocation is the only failure mode.
+                let _ = Request::decode(version, opcode, &payload);
+                let _ = Reply::decode(version, opcode, &payload);
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_request_payloads_are_errors() {
+    for version in MIN_VERSION..=VERSION {
+        for request in sample_requests() {
+            let full = request.encode(version);
+            let decoded = Request::decode(version, request.opcode(), &full);
+            assert!(decoded.is_ok(), "sanity: full payload decodes at v{version}");
+            // Every strict prefix must fail: the decoders consume the
+            // payload exactly, so a cut anywhere leaves either a short
+            // read or trailing-garbage detection.
+            for cut in 0..full.len() {
+                assert!(
+                    Request::decode(version, request.opcode(), &full[..cut]).is_err(),
+                    "v{version} {:?} cut at {cut} of {}",
+                    request.opcode(),
+                    full.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_replies_are_errors() {
+    let replies = vec![
+        (Opcode::Gemv, Reply::Output(vec![i64::MIN, 7, i64::MAX])),
+        (
+            Opcode::GemvBatch,
+            Reply::Outputs(RowBlock::try_from(vec![vec![1, 2], vec![3, 4]]).unwrap()),
+        ),
+        (Opcode::Stats, Reply::Stats(Default::default())),
+        (Opcode::Gemv, Reply::Error("boom".into())),
+    ];
+    for (opcode, reply) in replies {
+        let full = reply.encode(VERSION);
+        assert!(Reply::decode(VERSION, opcode, &full).is_ok());
+        for cut in 0..full.len() {
+            assert!(
+                Reply::decode(VERSION, opcode, &full[..cut]).is_err(),
+                "{opcode:?} cut at {cut} of {}",
+                full.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn lying_length_prefixes_fail_without_allocating() {
+    // A batch whose count passes the count cap but whose first vector
+    // claims 16M elements with no data behind it: `take_i32_extend`
+    // checks the promise against the bytes actually remaining *before*
+    // reserving, so the decode fails fast instead of allocating 64 MiB
+    // on a hostile frame.
+    let mut buf = Vec::new();
+    wire::put_u64(&mut buf, 1); // digest
+    wire::put_u32(&mut buf, 3); // plausible count
+    wire::put_u32(&mut buf, (MAX_FRAME_PAYLOAD / 4) as u32); // lying vector length
+    let err = Request::decode(VERSION, Opcode::GemvBatch, &buf).unwrap_err();
+    assert!(err.to_string().contains("truncated"), "{err}");
+
+    // Same lie on the reply side (`take_i64_extend`).
+    let mut reply = Vec::new();
+    wire::put_u8(&mut reply, 0); // STATUS_OK
+    wire::put_u32(&mut reply, 2); // output count
+    wire::put_u32(&mut reply, (MAX_FRAME_PAYLOAD / 8) as u32); // lying row length
+    let err = Reply::decode(VERSION, Opcode::GemvBatch, &reply).unwrap_err();
+    assert!(err.to_string().contains("truncated"), "{err}");
+
+    // A count above the hard cap is rejected before any element work.
+    let mut absurd = Vec::new();
+    wire::put_u64(&mut absurd, 1);
+    wire::put_u32(&mut absurd, u32::MAX);
+    let err = Request::decode(VERSION, Opcode::GemvBatch, &absurd).unwrap_err();
+    assert!(err.to_string().contains("exceeds"), "{err}");
+}
+
+#[test]
+fn random_byte_streams_never_panic_the_frame_reader() {
+    let mut rng = seeded(7101);
+    for _ in 0..2000 {
+        let len = (rng.next_u32() % 64) as usize;
+        let bytes = random_bytes(&mut rng, len);
+        // Random bytes essentially never start with the magic, so the
+        // reader must reject (or report EOF) without panicking.
+        let _ = read_frame(&mut bytes.as_slice());
+    }
+}
+
+#[test]
+fn truncated_and_corrupted_frames_are_errors() {
+    let mut good = Vec::new();
+    write_frame(
+        &mut good,
+        VERSION,
+        Opcode::Gemv as u8,
+        9,
+        &Request::Gemv {
+            digest: 3,
+            vector: vec![1, 2, 3],
+        }
+        .encode(VERSION),
+    )
+    .unwrap();
+    assert!(read_frame(&mut good.as_slice()).is_ok());
+    // Every strict prefix is Closed (empty), an I/O error (mid-frame
+    // EOF), or malformed — never Ok, never a panic.
+    for cut in 0..good.len() {
+        assert!(
+            read_frame(&mut &good[..cut]).is_err(),
+            "cut at {cut} of {}",
+            good.len()
+        );
+    }
+    // Single-byte corruptions of the header: still no panic, and a
+    // corrupted magic/version/length is malformed (other header bytes
+    // may legitimately still parse).
+    let mut rng = seeded(7102);
+    for pos in 0..good.len().min(18) {
+        let mut bad = good.clone();
+        bad[pos] ^= 1 + (rng.next_u32() % 255) as u8;
+        let _ = read_frame(&mut bad.as_slice());
+    }
+    // A payload length past the cap must be refused before allocation.
+    let mut oversize = good;
+    oversize[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        read_frame(&mut oversize.as_slice()),
+        Err(FrameError::Malformed(_))
+    ));
+}

@@ -54,6 +54,19 @@ pub fn map_tiles(matrix: &IntMatrix, config: &SigmaConfig) -> Vec<Tile> {
     tiles
 }
 
+/// Accumulates one tile's partial products for one broadcast input frame
+/// into `out`: every PE multiplies its stationary weight by its input
+/// element, and the forwarding adder network reduces per output column
+/// into the output SRAM. The caller must have validated `a` against the
+/// source matrix's rows and sized `out` to its columns — this is the
+/// inner weight-stationary step shared by [`execute_gemv`],
+/// [`execute_gemm`], and the serving runtime's sigma engine.
+pub fn accumulate_tile(tile: &Tile, a: &[i32], out: &mut [i64]) {
+    for placed in &tile.weights {
+        out[placed.col] += i64::from(placed.weight) * i64::from(a[placed.row]);
+    }
+}
+
 /// Executes `o = aᵀV` through the tile mapping: per tile, every PE
 /// multiplies its stationary weight by the broadcast input element; the
 /// reduction network sums per output column; tiles accumulate.
@@ -70,11 +83,7 @@ pub fn execute_gemv(matrix: &IntMatrix, a: &[i32], config: &SigmaConfig) -> Resu
     let tiles = map_tiles(matrix, config);
     let mut out = vec![0i64; matrix.cols()];
     for tile in &tiles {
-        // The forwarding adder network: each output column's partial sums
-        // reduce within the tile, then accumulate into the output SRAM.
-        for placed in &tile.weights {
-            out[placed.col] += i64::from(placed.weight) * i64::from(a[placed.row]);
-        }
+        accumulate_tile(tile, a, &mut out);
     }
     Ok(out)
 }
@@ -99,9 +108,7 @@ pub fn execute_gemm(
                     ),
                 });
             }
-            for placed in &tile.weights {
-                outputs[b][placed.col] += i64::from(placed.weight) * i64::from(a[placed.row]);
-            }
+            accumulate_tile(tile, a, &mut outputs[b]);
         }
     }
     Ok(outputs)

@@ -32,4 +32,6 @@ pub mod functional;
 
 pub use config::SigmaConfig;
 pub use engine::{Sigma, SigmaRun};
-pub use functional::{execute_gemv, map_tiles, mapping_stats, MappingStats, Tile};
+pub use functional::{
+    accumulate_tile, execute_gemm, execute_gemv, map_tiles, mapping_stats, MappingStats, Tile,
+};

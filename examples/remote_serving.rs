@@ -9,7 +9,9 @@
 //! 3. Serve single products and batches, verifying against the dense
 //!    reference locally.
 //! 4. Hammer the server with the self-checking load generator.
-//! 5. Read the server's own metrics over the wire, then shut down
+//! 5. Load a second matrix on the SIGMA-modelled engine via the v3
+//!    backend choice byte and verify it serves bit-identically.
+//! 6. Read the server's own metrics over the wire, then shut down
 //!    gracefully.
 //!
 //! Run with: `cargo run --release --example remote_serving`
@@ -106,7 +108,28 @@ fn main() {
         report.server.p99_latency_ns as f64 / 1e3,
     );
 
-    // -- 5. Server-side metrics over the wire, then drain ----------------
+    // -- 5. A second matrix on the SIGMA-modelled engine (protocol v3) ---
+    // The v3 choice byte admits `sigma`: the server builds the
+    // tile-mapped accelerator engine for this matrix, and the replies
+    // are still bit-identical to the dense reference.
+    let w = element_sparse_matrix(24, 24, 8, 0.5, true, &mut rng).expect("generating W");
+    let loaded_w = client
+        .load_matrix_with(&w, Some(BackendKind::Sigma))
+        .expect("loading W");
+    assert_eq!(loaded_w.engine, "sigma");
+    let b = random_vector(24, 8, true, &mut rng).expect("generating b");
+    assert_eq!(
+        client.gemv(loaded_w.digest, &b).expect("remote sigma gemv"),
+        vecmat(&b, &w).expect("reference")
+    );
+    println!(
+        "second matrix ({}x{}) served by '{}': product matches the reference",
+        w.rows(),
+        w.cols(),
+        loaded_w.engine,
+    );
+
+    // -- 6. Server-side metrics over the wire, then drain ----------------
     let stats = client.stats().expect("stats");
     println!(
         "server saw {} requests, {} vectors, cache {:.0}% hits ({} compile(s)), p99 {:.1} µs",

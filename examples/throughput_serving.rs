@@ -50,8 +50,15 @@ fn main() {
     println!("{}", auto.plan().rationale);
 
     // Serve the same traffic through every explicit engine spec too:
-    // all bit-identical, only the vectors/sec differ.
-    for spec in [EngineSpec::dense(), EngineSpec::csr(), EngineSpec::bitserial()] {
+    // all bit-identical, only the vectors/sec differ. (`sigma` executes
+    // the SIGMA accelerator's tile-mapped dataflow, weight-stationary
+    // across the batch.)
+    for spec in [
+        EngineSpec::dense(),
+        EngineSpec::csr(),
+        EngineSpec::bitserial(),
+        EngineSpec::sigma(),
+    ] {
         let session = Session::builder(v.clone())
             .spec(spec)
             .cache(Arc::clone(&cache))

@@ -10,7 +10,8 @@
 //! * [`bitserial`] — the spatial bit-serial multiplier (netlist + simulator)
 //! * [`fpga`] — area/frequency/power models and the synthesis flow
 //! * [`gpu`] — calibrated V100 sparse-library latency models
-//! * [`sigma`] — the SIGMA accelerator baseline model
+//! * [`sigma`] — the SIGMA accelerator baseline model (also a live
+//!   serving engine via [`runtime::SigmaEngine`])
 //! * [`reservoir`] — echo state networks (float and integer)
 //! * [`cgra`] — Section VIII's proposed custom device, modelled
 //! * [`runtime`] — the batched, multi-threaded GEMV serving runtime
@@ -43,11 +44,12 @@
 //!    [`core::block::RowBlock`]), the file formats ([`core::io`]), and
 //!    the binary wire primitives ([`core::wire`]).
 //! 2. [`runtime`] is the in-process serving layer: [`Session`] over a
-//!    [`runtime::GemvBackend`] trait with dense-reference, CSR, and
-//!    compiled bit-serial engines resolved through an
-//!    [`EngineRegistry`] of factories (the extension point for future
-//!    fpga/gpu/cgra engines); a [`Planner`] that scores engines per
-//!    matrix under a [`PlanPolicy`]; a [`runtime::MultiplierCache`]
+//!    [`runtime::GemvBackend`] trait with dense-reference, CSR,
+//!    compiled bit-serial, and SIGMA tile-mapped engines resolved
+//!    through an [`EngineRegistry`] of factories (the extension point
+//!    for future fpga engines); a [`Planner`] that scores engines per
+//!    matrix under a [`PlanPolicy`], fed by the gpu/sigma/cgra
+//!    accelerator cost models; a [`runtime::MultiplierCache`]
 //!    that memoizes spatial compilation by matrix content digest (with
 //!    an optional LRU bound); and a [`runtime::Dispatcher`] worker pool
 //!    that shards flat batch blocks by row range across threads into
@@ -57,7 +59,7 @@
 //! 3. [`server`] puts a `Session` per loaded matrix behind a TCP
 //!    boundary: a versioned length-prefixed binary protocol
 //!    (`Ping`/`LoadMatrix`/`Gemv`/`GemvBatch`/`Stats`; v2 adds a
-//!    per-load `auto|dense|csr|bitserial` backend choice with v1
+//!    per-load backend choice, v3 adds `sigma` to it, with v1/v2
 //!    clients still served), per-connection sessions resolving matrices
 //!    by digest, a bounded admission queue that answers `Busy` instead
 //!    of buffering under overload, graceful shutdown with connection

@@ -1,0 +1,143 @@
+//! The shared engine conformance harness: every engine kind in the
+//! built-in registry — dense, csr, bitserial, sigma, and whatever joins
+//! them later — is held to one contract on proptest-generated matrices
+//! across densities and dimensions:
+//!
+//! ```text
+//! run == run_batch == run_block == stream == dense reference
+//! ```
+//!
+//! bit for bit, through the same `Session` front door every entry point
+//! serves through. The suite is table-driven off
+//! [`EngineRegistry::kinds`], so registering a fifth engine
+//! automatically pins it here; per-engine identity checks elsewhere can
+//! stay focused on engine-specific behavior.
+
+use proptest::prelude::*;
+use spatial_smm::core::block::{FrameBlock, RowBlock};
+use spatial_smm::core::generate::{element_sparse_matrix, random_vector};
+use spatial_smm::core::gemv::vecmat;
+use spatial_smm::core::rng::seeded;
+use spatial_smm::runtime::{MultiplierCache, BUILTIN_KINDS};
+use spatial_smm::{EngineRegistry, EngineSpec, Session};
+use std::sync::Arc;
+
+/// Every registered kind, snapshotted from the live registry so the
+/// suite cannot silently fall out of sync with `builtin()`.
+fn registered_kinds() -> Vec<String> {
+    let registry = EngineRegistry::builtin();
+    let kinds: Vec<String> = registry.kinds().map(str::to_string).collect();
+    // The registry and the planning order must name the same engines.
+    let mut expected: Vec<&str> = BUILTIN_KINDS.to_vec();
+    expected.sort_unstable();
+    assert_eq!(kinds, expected, "registry drifted from BUILTIN_KINDS");
+    kinds
+}
+
+#[test]
+fn all_four_builtin_engines_are_registered() {
+    let kinds = registered_kinds();
+    for kind in ["bitserial", "csr", "dense", "sigma"] {
+        assert!(kinds.iter().any(|k| k == kind), "missing {kind}");
+    }
+    assert_eq!(kinds.len(), 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The conformance contract, per registered engine kind: every
+    /// submission surface produces the dense reference's exact bits on
+    /// matrices spanning the density range (empty through full) and
+    /// non-square shapes, with the output buffers reused across engines
+    /// so stale rows from one would be caught by the next.
+    #[test]
+    fn every_registered_engine_serves_identical_bits(
+        seed in any::<u64>(),
+        rows in 1usize..22,
+        cols in 1usize..16,
+        sparsity in 0.0f64..=1.0,
+        batch_size in 0usize..10,
+        threads in 1usize..4,
+    ) {
+        let mut rng = seeded(seed);
+        let v = element_sparse_matrix(rows, cols, 8, sparsity, true, &mut rng).unwrap();
+        let batch: Vec<Vec<i32>> = (0..batch_size)
+            .map(|_| random_vector(rows, 8, true, &mut rng).unwrap())
+            .collect();
+        let single = random_vector(rows, 8, true, &mut rng).unwrap();
+        let expect: Vec<Vec<i64>> =
+            batch.iter().map(|a| vecmat(a, &v).unwrap()).collect();
+        let expect_single = vecmat(&single, &v).unwrap();
+        let frames = Arc::new(FrameBlock::try_from(batch.as_slice()).unwrap());
+
+        let cache = Arc::new(MultiplierCache::new());
+        let mut out = RowBlock::new();
+        let mut streamed = Vec::new();
+        for kind in registered_kinds() {
+            let session = Session::builder(v.clone())
+                .spec(EngineSpec::new(kind.clone()).threads(threads))
+                .cache(Arc::clone(&cache))
+                .build()
+                .unwrap();
+            prop_assert_eq!(session.engine().name(), kind.as_str());
+            prop_assert_eq!((session.rows(), session.cols()), (rows, cols), "{}", &kind);
+
+            // run: the single-vector fast path.
+            prop_assert_eq!(&session.run(&single).unwrap(), &expect_single, "run, {}", &kind);
+            // run_batch: the nested bridge.
+            let served = session.run_batch(&batch).unwrap();
+            prop_assert_eq!(&served.outputs, &expect, "run_batch, {}", &kind);
+            prop_assert_eq!(served.stats.batch, batch_size, "{}", &kind);
+            // run_block: the flat hot path, into a reused block.
+            let stats = session.run_block(Arc::clone(&frames), &mut out).unwrap();
+            prop_assert_eq!(stats.batch, batch_size, "{}", &kind);
+            prop_assert_eq!(
+                &Vec::<Vec<i64>>::from(&out), &expect, "run_block, {}", &kind
+            );
+            // stream: framed pipelining into a reused buffer.
+            session.stream(&batch, &mut streamed).unwrap();
+            prop_assert_eq!(&streamed, &expect, "stream, {}", &kind);
+        }
+        // One spatial compile, shared: only the bitserial kind touches
+        // the cache.
+        prop_assert_eq!(cache.stats().misses, 1);
+    }
+
+    /// Dimension errors surface as errors — never panics, never silent
+    /// truncation — on every registered engine and every surface.
+    #[test]
+    fn every_registered_engine_rejects_bad_widths(
+        seed in any::<u64>(),
+        rows in 2usize..16,
+        cols in 1usize..12,
+    ) {
+        let mut rng = seeded(seed);
+        let v = element_sparse_matrix(rows, cols, 8, 0.5, true, &mut rng).unwrap();
+        let short = vec![1i32; rows - 1];
+        for kind in registered_kinds() {
+            let session = Session::builder(v.clone())
+                .spec(EngineSpec::new(kind.clone()))
+                .build()
+                .unwrap();
+            prop_assert!(session.run(&short).is_err(), "run, {}", &kind);
+            prop_assert!(
+                session.run_batch(&[vec![1; rows], short.clone()]).is_err(),
+                "run_batch, {}", &kind
+            );
+            let mut out = RowBlock::new();
+            let thin = FrameBlock::from_rows(std::slice::from_ref(&short)).unwrap();
+            prop_assert!(session.run_block(thin, &mut out).is_err(), "run_block, {}", &kind);
+            let mut streamed = Vec::new();
+            prop_assert!(
+                session.stream(std::slice::from_ref(&short), &mut streamed).is_err(),
+                "stream, {}", &kind
+            );
+            // The session survives and still serves a valid product.
+            let a = random_vector(rows, 8, true, &mut rng).unwrap();
+            prop_assert_eq!(
+                session.run(&a).unwrap(), vecmat(&a, &v).unwrap(), "{}", &kind
+            );
+        }
+    }
+}
