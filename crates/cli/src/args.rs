@@ -31,7 +31,8 @@ impl std::error::Error for ParseError {}
 const VALUED: &[&str] = &[
     "seed", "dim", "rows", "cols", "sparsity", "bits", "input-bits", "input", "output",
     "vector", "batch", "module", "policy", "backend", "threads", "repeat", "addr",
-    "clients", "duration", "queue-depth", "cache-capacity",
+    "clients", "duration", "queue-depth", "cache-capacity", "metrics-addr", "json",
+    "bench-json",
 ];
 
 impl Args {

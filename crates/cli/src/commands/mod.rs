@@ -13,6 +13,10 @@ use std::io::Write;
 
 type CmdResult = Result<(), String>;
 
+/// The PR/issue number stamped into `--bench-json` reports (the `6` in
+/// `BENCH_6.json`).
+const BENCH_ISSUE: u32 = 6;
+
 fn encoding_of(args: &Args) -> Result<WeightEncoding, String> {
     if !args.flag("csd") {
         return Ok(WeightEncoding::Pn);
@@ -397,6 +401,7 @@ pub fn serve(args: &Args, out: &mut impl Write) -> CmdResult {
         cache_capacity,
         input_bits,
         encoding: encoding_of(args)?,
+        metrics_addr: args.get("metrics-addr").map(str::to_string),
         ..ServerConfig::default()
     })
     .map_err(|e| format!("starting server: {e}"))?;
@@ -407,6 +412,9 @@ pub fn serve(args: &Args, out: &mut impl Write) -> CmdResult {
         backend.name(),
     )
     .map_err(|e| e.to_string())?;
+    if let Some(metrics) = handle.metrics_addr() {
+        writeln!(out, "metrics on http://{metrics}/metrics").map_err(|e| e.to_string())?;
+    }
     // A backgrounded `serve` (the CI smoke job) needs the address line
     // before the loadgen starts, not when the buffer fills.
     out.flush().map_err(|e| e.to_string())?;
@@ -501,6 +509,34 @@ pub fn loadgen(args: &Args, out: &mut impl Write) -> CmdResult {
         report.server.p99_latency_ns as f64 / 1e3,
     )
     .map_err(|e| e.to_string())?;
+    let stages = report.stage_summaries();
+    if !stages.is_empty() {
+        writeln!(out, "  server stages (count, p50, p99):").map_err(|e| e.to_string())?;
+        for s in &stages {
+            writeln!(
+                out,
+                "    {:<12} {:>9}  {:>9.1} µs  {:>9.1} µs",
+                s.stage,
+                s.count,
+                s.p50_ns as f64 / 1e3,
+                s.p99_ns as f64 / 1e3,
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    // Reports are written before the self-check verdict can fail the
+    // command: a machine-readable record of a bad run is exactly what
+    // the caller asked for.
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        writeln!(out, "wrote self-check report to {path}").map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = args.get("bench-json") {
+        let mut bench = smm_telemetry::BenchReport::new("loadgen", BENCH_ISSUE);
+        bench.push(report.engine_run());
+        std::fs::write(path, bench.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        writeln!(out, "wrote bench report to {path}").map_err(|e| e.to_string())?;
+    }
     let verdict = if report.mismatches == 0 {
         "MATCHES"
     } else {
@@ -518,6 +554,51 @@ pub fn loadgen(args: &Args, out: &mut impl Write) -> CmdResult {
     }
     if report.requests == 0 {
         return Err("no request completed; is the server reachable?".into());
+    }
+    Ok(())
+}
+
+/// `smm stats` — fetch a running server's stats snapshot over the wire
+/// and print it, including the stage-by-stage latency table.
+pub fn stats(args: &Args, out: &mut impl Write) -> CmdResult {
+    use smm_runtime::Stage;
+    use smm_server::Client;
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let s = client.stats().map_err(|e| format!("fetching stats: {e}"))?;
+    let mut w = |s: String| -> CmdResult { writeln!(out, "{s}").map_err(|e| e.to_string()) };
+    w(format!("server {addr}:"))?;
+    w(format!(
+        "  {} requests ({} rejected busy, {} errors); {} vectors in {} batches; {} matrix(es)",
+        s.requests, s.rejected, s.errors, s.vectors, s.batches, s.matrices
+    ))?;
+    w(format!(
+        "  cache: {} entries, {:.0}% hit rate, {} evictions",
+        s.cache_entries,
+        100.0 * s.cache_hit_rate(),
+        s.cache_evictions
+    ))?;
+    w(format!(
+        "  end-to-end compute latency: p50 {:.1} µs, p99 {:.1} µs over {} request(s)",
+        s.p50_latency_ns as f64 / 1e3,
+        s.p99_latency_ns as f64 / 1e3,
+        s.latency_count
+    ))?;
+    w(format!(
+        "  {:<12} {:>9}  {:>12}  {:>12}",
+        "stage", "count", "p50", "p99"
+    ))?;
+    for stage in Stage::ALL {
+        let st = s.stage(stage);
+        w(format!(
+            "  {:<12} {:>9}  {:>9.1} µs  {:>9.1} µs",
+            stage.name(),
+            st.count,
+            st.p50_ns as f64 / 1e3,
+            st.p99_ns as f64 / 1e3,
+        ))?;
     }
     Ok(())
 }
@@ -625,6 +706,7 @@ mod tests {
             "throughput" => throughput(&args, &mut out)?,
             "serve" => serve(&args, &mut out)?,
             "loadgen" => loadgen(&args, &mut out)?,
+            "stats" => stats(&args, &mut out)?,
             "system" => system(&args, &mut out)?,
             "trace" => trace(&args, &mut out)?,
             "mul" => mul(&args, &mut out)?,
@@ -907,6 +989,79 @@ mod tests {
         ])
         .unwrap();
         assert!(text.contains("backend sigma"), "{text}");
+    }
+
+    #[test]
+    fn stats_prints_the_stage_table() {
+        let server = smm_server::start(smm_server::ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        // Put one request through so the stage table has samples.
+        run_cmd(&[
+            "loadgen", "--addr", &addr, "--dim", "8", "--clients", "1", "--batch", "3",
+            "--duration", "0.2",
+        ])
+        .unwrap();
+        let text = run_cmd(&["stats", "--addr", &addr]).unwrap();
+        for stage in ["decode", "queue", "plan", "shard", "reassemble", "compute", "encode"] {
+            assert!(text.contains(stage), "missing {stage}: {text}");
+        }
+        assert!(text.contains("requests"), "{text}");
+        assert!(text.contains("µs"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_fails_cleanly_without_a_server() {
+        let e = run_cmd(&["stats", "--addr", "127.0.0.1:1"]).unwrap_err();
+        assert!(e.contains("connecting"), "{e}");
+    }
+
+    #[test]
+    fn loadgen_writes_json_reports() {
+        let server = smm_server::start(smm_server::ServerConfig::default()).unwrap();
+        let json_path = std::env::temp_dir().join("smm_loadgen_selfcheck.json");
+        let bench_path = std::env::temp_dir().join("smm_loadgen_bench.json");
+        let text = run_cmd(&[
+            "loadgen",
+            "--addr",
+            &server.local_addr().to_string(),
+            "--dim",
+            "8",
+            "--clients",
+            "1",
+            "--batch",
+            "4",
+            "--duration",
+            "0.2",
+            "--json",
+            json_path.to_str().unwrap(),
+            "--bench-json",
+            bench_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("wrote self-check report"), "{text}");
+        assert!(text.contains("wrote bench report"), "{text}");
+        assert!(text.contains("server stages"), "{text}");
+        let self_check = std::fs::read_to_string(&json_path).unwrap();
+        assert!(self_check.contains("\"schema\": \"smm-loadgen-v1\""), "{self_check}");
+        assert!(self_check.contains("\"ok\": true"), "{self_check}");
+        let bench = std::fs::read_to_string(&bench_path).unwrap();
+        smm_telemetry::BenchReport::validate_json(&bench).expect(&bench);
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_reports_its_metrics_endpoint() {
+        let text = run_cmd(&[
+            "serve", "--addr", "127.0.0.1:0", "--metrics-addr", "127.0.0.1:0", "--duration",
+            "0.1",
+        ])
+        .unwrap();
+        assert!(text.contains("metrics on http://127.0.0.1:"), "{text}");
+        assert!(text.contains("/metrics"), "{text}");
+        // Without the flag, no metrics line appears.
+        let plain = run_cmd(&["serve", "--addr", "127.0.0.1:0", "--duration", "0.1"]).unwrap();
+        assert!(!plain.contains("metrics on"), "{plain}");
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! smm cgra     [matrix opts]                            # Section VIII device estimate
 //! smm throughput [matrix opts] [--backend B] [--threads N] [--batch B]
 //! smm serve    [--addr A] [--backend B] [--threads N] [--queue-depth Q] [--duration S]
+//!              [--metrics-addr M]
 //! smm loadgen  [matrix opts] [--addr A] [--clients C] [--batch B] [--duration S]
+//!              [--json F] [--bench-json F]
+//! smm stats    [--addr A]                               # per-stage latency table
 //! ```
 
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@ commands:
   throughput  serve batches via the runtime worker pool (checked)
   serve     run the TCP serving frontend (wire protocol on --addr)
   loadgen   hammer a running server with self-checking clients
+  stats     print a running server's counters and per-stage latencies
 
 matrix options (all commands):
   --input FILE      MatrixMarket .mtx or dense text file
@@ -69,14 +73,20 @@ command-specific:
             --queue-depth Q   concurrent compute budget before Busy (default 64)
             --cache-capacity C  compiled-circuit LRU bound (default 0 = unbounded)
             --duration S      seconds to run, 0 = until killed (default 0)
+            --metrics-addr M  also serve Prometheus text on GET M/metrics
+                              (default: no metrics listener; port 0 = auto)
   loadgen:  --addr A          (default 127.0.0.1:7878)
             --backend auto|dense|csr|bitserial  requested in LoadMatrix
                               (default: the server's own default)
             --clients C       concurrent connections (default 4)
             --batch B         vectors per request (default 16)
             --duration S      seconds of traffic (default 2)
+            --json F          write the machine-readable self-check report to F
+            --bench-json F    write a BENCH_*.json perf report to F
             plus matrix opts: the loadgen uploads this matrix, then
             verifies every reply against the dense reference
+  stats:    --addr A          (default 127.0.0.1:7878); prints request totals,
+                              cache behavior, and the per-stage latency table
 ";
 
 /// Runs the CLI. Returns the process exit code; all normal output goes to
@@ -93,6 +103,7 @@ pub fn run(raw_args: &[String], out: &mut impl std::io::Write) -> Result<(), Str
         "throughput" => commands::throughput(&args, out),
         "serve" => commands::serve(&args, out),
         "loadgen" => commands::loadgen(&args, out),
+        "stats" => commands::stats(&args, out),
         "trace" => commands::trace(&args, out),
         "system" => commands::system(&args, out),
         "cgra" => commands::cgra(&args, out),

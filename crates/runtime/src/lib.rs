@@ -23,6 +23,11 @@
 //! * [`Dispatcher`] — the sharding, order-preserving worker pool
 //!   ([`dispatch`]).
 //!
+//! Sessions and dispatchers optionally carry a [`SpanRecorder`] (from
+//! `smm-telemetry`, re-exported here) so every served batch stamps its
+//! per-shard, reassembly, and whole-compute stage latencies —
+//! [`SessionBuilder::recorder`] attaches one.
+//!
 //! Batches travel flat: [`FrameBlock`] (row-major input frames, one
 //! allocation per batch) in, [`RowBlock`] (row-major output rows,
 //! caller-owned and reused) out — [`Session::run_block`] is the hot
@@ -76,4 +81,5 @@ pub use dispatch::{BatchResult, BatchStats, Dispatcher, DispatcherConfig, Dispat
 pub use smm_core::block::{FrameBlock, RowBlock};
 pub use plan::{AutoOptions, EnginePlan, PlanCandidate, PlanPolicy, Planner};
 pub use session::{Session, SessionBuilder, SessionStats};
+pub use smm_telemetry::{SpanRecorder, Stage, StageStats};
 pub use spec::{EngineContext, EngineFactory, EngineRegistry, EngineSpec, BUILTIN_KINDS};

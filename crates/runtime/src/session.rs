@@ -52,8 +52,10 @@ use crate::spec::{EngineRegistry, EngineSpec};
 use smm_core::block::{FrameBlock, RowBlock};
 use smm_core::error::Result;
 use smm_core::matrix::IntMatrix;
+use smm_telemetry::{SpanRecorder, Stage};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Cache + dispatcher + fast-path counters of one session, in one struct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +77,7 @@ pub struct SessionBuilder {
     policy: PlanPolicy,
     registry: Arc<EngineRegistry>,
     cache: Option<Arc<MultiplierCache>>,
+    recorder: Option<SpanRecorder>,
 }
 
 impl SessionBuilder {
@@ -103,19 +106,32 @@ impl SessionBuilder {
         self
     }
 
+    /// A per-stage telemetry sink: batches record shard / reassembly /
+    /// compute stage latencies through the dispatcher, and the
+    /// single-vector fast path records [`Stage::Compute`] around its
+    /// `gemv`. The TCP server hands every session its one shared
+    /// recorder; the default is no recording (and no timing overhead on
+    /// the fast path).
+    pub fn recorder(mut self, recorder: SpanRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Plans, resolves, and spawns the session.
     pub fn build(self) -> Result<Session> {
         let cache = self.cache.unwrap_or_default();
         let plan = Planner::new(&self.registry).plan(&self.matrix, &self.policy, &cache)?;
         let engine = self.registry.build(&self.matrix, &plan.spec, &cache)?;
-        let dispatcher = Dispatcher::new(
-            Arc::clone(&engine),
-            DispatcherConfig::new(plan.spec.threads),
-        )?;
+        let config = DispatcherConfig::new(plan.spec.threads);
+        let dispatcher = match self.recorder.clone() {
+            Some(rec) => Dispatcher::with_recorder(Arc::clone(&engine), config, rec)?,
+            None => Dispatcher::new(Arc::clone(&engine), config)?,
+        };
         Ok(Session {
             plan,
             cache,
             dispatcher,
+            recorder: self.recorder,
             singles: AtomicU64::new(0),
         })
     }
@@ -132,6 +148,9 @@ pub struct Session {
     plan: EnginePlan,
     cache: Arc<MultiplierCache>,
     dispatcher: Dispatcher,
+    /// Per-stage telemetry sink shared with the dispatcher, used by the
+    /// single-vector fast path to time its compute.
+    recorder: Option<SpanRecorder>,
     /// Single-vector products served on the [`Session::run`] fast path.
     singles: AtomicU64,
 }
@@ -154,6 +173,7 @@ impl Session {
             policy: PlanPolicy::default(),
             registry: Arc::new(EngineRegistry::builtin()),
             cache: None,
+            recorder: None,
         }
     }
 
@@ -205,7 +225,17 @@ impl Session {
     /// not pay batch-dispatch overhead. Counted in
     /// [`SessionStats::singles`]; the dispatcher counters do not move.
     pub fn run(&self, a: &[i32]) -> Result<Vec<i64>> {
-        let out = self.engine().gemv(a)?;
+        let out = match &self.recorder {
+            // With telemetry attached the single pays one Instant pair
+            // around the engine call — its whole compute is one stage.
+            Some(rec) => {
+                let started = Instant::now();
+                let out = self.engine().gemv(a)?;
+                rec.record(Stage::Compute, started.elapsed());
+                out
+            }
+            None => self.engine().gemv(a)?,
+        };
         self.singles.fetch_add(1, Ordering::Relaxed);
         Ok(out)
     }
@@ -406,6 +436,24 @@ mod tests {
             .unwrap();
         assert_eq!(session.engine().name(), "bitserial");
         assert_eq!(session.stats().cache.misses, 1);
+    }
+
+    #[test]
+    fn recorder_times_singles_and_batches() {
+        let rec = SpanRecorder::new();
+        let session = Session::builder(IntMatrix::identity(4).unwrap())
+            .recorder(rec.clone())
+            .build()
+            .unwrap();
+        session.run(&[1, 2, 3, 4]).unwrap();
+        session.run_batch(&vec![vec![1, 2, 3, 4]; 6]).unwrap();
+        let stats = rec.stage_stats();
+        // One compute from the single's fast path, one from the batch.
+        assert_eq!(stats[Stage::Compute.idx()].count, 2);
+        assert!(stats[Stage::Shard.idx()].count >= 1);
+        // A failed single records nothing.
+        assert!(session.run(&[1]).is_err());
+        assert_eq!(rec.stage_stats()[Stage::Compute.idx()].count, 2);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The blocking client side of the wire protocol (speaks v3).
+//! The blocking client side of the wire protocol (speaks v4: its
+//! `Stats` snapshots carry the per-stage latency block).
 
 use crate::protocol::{
     read_frame, write_frame, BackendKind, FrameError, LoadedInfo, Opcode, Reply, Request,
@@ -196,7 +197,7 @@ impl Client {
     /// Server-wide metrics snapshot.
     pub fn stats(&mut self) -> ServeResult<StatsSnapshot> {
         match self.call(&Request::Stats)? {
-            Reply::Stats(s) => Ok(s),
+            Reply::Stats(s) => Ok(*s),
             _ => self.protocol_breach("stats"),
         }
     }

@@ -15,8 +15,11 @@
 //!   buffering under overload, per-matrix dispatcher worker pools over
 //!   a shared [`smm_runtime::MultiplierCache`], and graceful shutdown
 //!   with connection drain;
-//! * [`metrics`] — lock-free counters and a log-bucketed latency
-//!   histogram behind the `Stats` opcode (p50/p99);
+//! * [`metrics`] — the server's metric wiring on the shared
+//!   `smm-telemetry` spine: every counter, gauge, and latency histogram
+//!   registered by name, per-stage request spans (decode → queue → plan
+//!   → compute → encode) behind the `Stats` opcode, and a hand-rolled
+//!   Prometheus `/metrics` endpoint on [`ServerConfig::metrics_addr`];
 //! * [`client`] — the blocking [`Client`] used by tests, examples, and
 //!   the load generator;
 //! * [`loadgen`] — a multi-client load generator that verifies every

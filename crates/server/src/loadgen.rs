@@ -11,6 +11,8 @@ use crate::protocol::{BackendKind, StatsSnapshot};
 use smm_core::block::FrameBlock;
 use smm_core::gemv::vecmat;
 use smm_core::matrix::IntMatrix;
+use smm_telemetry::{stage_summaries, EngineRun, StageSummary};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -39,10 +41,16 @@ pub struct LoadgenConfig {
 }
 
 /// Aggregate result of a loadgen run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadgenReport {
     /// Client connections that ran.
     pub clients: usize,
+    /// Rows of the served matrix.
+    pub rows: usize,
+    /// Columns of the served matrix.
+    pub cols: usize,
+    /// Fraction of nonzero entries in the served matrix.
+    pub density: f64,
     /// Successful batch requests across all clients.
     pub requests: u64,
     /// Vectors served (and verified) across all clients.
@@ -76,6 +84,112 @@ impl LoadgenReport {
             self.vectors as f64 / secs
         }
     }
+
+    /// Whether the run self-checked clean: every reply matched the
+    /// dense reference and no client died early.
+    pub fn clean(&self) -> bool {
+        self.mismatches == 0 && self.errors == 0
+    }
+
+    /// The server's per-stage latency summaries (stages with samples
+    /// only), from the post-run `Stats` snapshot.
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        stage_summaries(&self.server.stages)
+    }
+
+    /// This run as one `BENCH_*.json` engine run, for
+    /// [`smm_telemetry::BenchReport`].
+    pub fn engine_run(&self) -> EngineRun {
+        EngineRun {
+            engine: self.engine.clone(),
+            rows: self.rows,
+            cols: self.cols,
+            density: self.density,
+            vectors: self.vectors,
+            vectors_per_sec: self.vectors_per_sec(),
+            stages: self.stage_summaries(),
+        }
+    }
+
+    /// The machine-readable self-check report behind `loadgen --json`:
+    /// run totals, client-observed latency, and the server's own
+    /// counters and per-stage summaries, as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"smm-loadgen-v1\",\n  \"engine\": \"{}\",\n  \
+             \"ok\": {},\n  \"clients\": {},\n  \"rows\": {},\n  \"cols\": {},\n  \
+             \"density\": {:.3},\n  \"requests\": {},\n  \"vectors\": {},\n  \
+             \"vectors_per_sec\": {:.3},\n  \"busy_rejections\": {},\n  \
+             \"mismatches\": {},\n  \"errors\": {},\n  \"elapsed_ns\": {},\n  \
+             \"p50_latency_ns\": {},\n  \"p99_latency_ns\": {},\n  \"server\": {{\n    \
+             \"requests\": {},\n    \"rejected\": {},\n    \"errors\": {},\n    \
+             \"cache_hits\": {},\n    \"cache_misses\": {},\n    \
+             \"p50_latency_ns\": {},\n    \"p99_latency_ns\": {},\n    \"stages\": [",
+            json_escape(&self.engine),
+            self.clean(),
+            self.clients,
+            self.rows,
+            self.cols,
+            if self.density.is_finite() { self.density } else { 0.0 },
+            self.requests,
+            self.vectors,
+            if self.vectors_per_sec().is_finite() { self.vectors_per_sec() } else { 0.0 },
+            self.busy_rejections,
+            self.mismatches,
+            self.errors,
+            self.elapsed_ns,
+            self.p50_latency_ns,
+            self.p99_latency_ns,
+            self.server.requests,
+            self.server.rejected,
+            self.server.errors,
+            self.server.cache_hits,
+            self.server.cache_misses,
+            self.server.p50_latency_ns,
+            self.server.p99_latency_ns,
+        );
+        let stages = self.stage_summaries();
+        for (i, s) in stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{ \"stage\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {} }}",
+                json_escape(&s.stage),
+                s.count,
+                s.p50_ns,
+                s.p99_ns
+            );
+        }
+        if !stages.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  }\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for the names embedded in the report
+/// (engine and stage names are plain ASCII in practice).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[derive(Default)]
@@ -135,8 +249,16 @@ pub fn run(config: &LoadgenConfig) -> ServeResult<LoadgenReport> {
         let _ = w.join();
     }
     let server = control.stats()?;
+    let cells = config.matrix.rows() * config.matrix.cols();
     Ok(LoadgenReport {
         clients: config.clients,
+        rows: config.matrix.rows(),
+        cols: config.matrix.cols(),
+        density: if cells == 0 {
+            0.0
+        } else {
+            config.matrix.nnz() as f64 / cells as f64
+        },
         requests: tally.requests.load(Ordering::Relaxed),
         vectors: tally.vectors.load(Ordering::Relaxed),
         busy_rejections: tally.busy.load(Ordering::Relaxed),
@@ -212,10 +334,12 @@ fn client_loop(
 mod tests {
     use super::*;
 
-    #[test]
-    fn report_rates() {
-        let report = LoadgenReport {
+    fn sample_report() -> LoadgenReport {
+        LoadgenReport {
             clients: 2,
+            rows: 16,
+            cols: 12,
+            density: 0.5,
             requests: 10,
             vectors: 1000,
             busy_rejections: 3,
@@ -226,13 +350,51 @@ mod tests {
             p99_latency_ns: 2000,
             engine: "csr".into(),
             server: StatsSnapshot::default(),
-        };
+        }
+    }
+
+    #[test]
+    fn report_rates() {
+        let report = sample_report();
         assert!((report.vectors_per_sec() - 2000.0).abs() < 1e-9);
+        assert!(report.clean());
         let zero = LoadgenReport {
             elapsed_ns: 0,
             ..report
         };
         assert_eq!(zero.vectors_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn json_report_carries_the_self_check() {
+        use smm_telemetry::{Stage, StageStats};
+        let mut report = sample_report();
+        report.server.stages[Stage::Compute.idx()] = StageStats {
+            count: 10,
+            p50_ns: 3072,
+            p99_ns: 6144,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"smm-loadgen-v1\""), "{json}");
+        assert!(json.contains("\"ok\": true"), "{json}");
+        assert!(json.contains("\"vectors_per_sec\": 2000.000"), "{json}");
+        assert!(
+            json.contains("\"stage\": \"compute\", \"count\": 10"),
+            "{json}"
+        );
+        let dirty = LoadgenReport {
+            mismatches: 1,
+            ..report.clone()
+        };
+        assert!(dirty.to_json().contains("\"ok\": false"));
+        assert!(!dirty.clean());
+        // The engine run view feeds straight into a BenchReport.
+        let run = report.engine_run();
+        assert_eq!(run.engine, "csr");
+        assert_eq!(run.stages.len(), 1);
+        let mut bench = smm_telemetry::BenchReport::new("loadgen", 6);
+        bench.push(run);
+        smm_telemetry::BenchReport::validate_json(&bench.to_json()).unwrap();
     }
 
     #[test]

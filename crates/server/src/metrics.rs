@@ -1,194 +1,156 @@
-//! Lock-free server metrics: monotone counters plus a log-bucketed
-//! latency histogram.
+//! Server metrics, assembled on the shared `smm-telemetry` spine.
 //!
-//! Every hot-path touch is a relaxed atomic increment — sessions never
-//! contend on a metrics lock. The histogram trades precision for that:
-//! latencies land in power-of-two nanosecond buckets, so a reported
-//! percentile is exact to within 2x, which is plenty to tell a 10 µs
-//! dense product from a 10 ms bit-serial simulation.
+//! The log-bucket [`LatencyHistogram`] and its quantile math used to
+//! live here; they moved to `smm-telemetry` (one implementation for the
+//! server, the runtime dispatcher, the load generator, and the bench
+//! harness) and are re-exported for existing callers. What remains is
+//! the server's own metric *wiring*: every counter, gauge, and
+//! histogram the server maintains is registered by name in a
+//! [`MetricsRegistry`] at construction, so the `--metrics-addr`
+//! listener can render the whole set as a Prometheus exposition while
+//! the hot path keeps touching nothing but relaxed atomics through the
+//! returned handles.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+pub use smm_telemetry::{weighted_percentile, LatencyHistogram};
 
-/// Power-of-two buckets: index `i` covers `[2^i, 2^(i+1))` nanoseconds,
-/// with index 0 also absorbing 0–1 ns and the last bucket absorbing
-/// everything beyond (~584 years; safe).
-const BUCKETS: usize = 64;
+use smm_telemetry::{Counter, Gauge, MetricsRegistry, SpanRecorder, Stage};
+use std::sync::Arc;
 
-/// A concurrent histogram of request latencies.
+/// The server's metric set: named handles into one [`MetricsRegistry`].
+///
+/// Counter/histogram fields are written by the serving hot path; the
+/// gauge fields are *scrape-time* values that [`crate::server`] refreshes
+/// from its own state (registry size, cache counters) just before
+/// rendering an exposition, so the hot path never maintains them.
 #[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one latency sample.
-    pub fn record(&self, latency: Duration) {
-        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX).max(1);
-        let bucket = (ns.ilog2() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Samples recorded so far.
-    pub fn count(&self) -> u64 {
-        self.buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .sum()
-    }
-
-    /// Nearest-rank quantile in nanoseconds (`q` in `(0, 1]`), reported
-    /// as the geometric midpoint of the winning bucket. Returns 0 with
-    /// no samples.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut covered = 0;
-        for (i, &n) in counts.iter().enumerate() {
-            covered += n;
-            if covered >= target {
-                // Midpoint of [2^i, 2^(i+1)): 1.5 * 2^i, written as
-                // 2^i + 2^(i-1). The naive `(3 << i) >> 1` wraps for the
-                // last bucket (3 << 63 overflows u64) and reported 2^62 —
-                // *below* that bucket's own 2^63 lower bound; this form
-                // stays exact for every bucket, i = 63 included.
-                return (1u64 << i) + ((1u64 << i) >> 1);
-            }
-        }
-        unreachable!("covered reaches total");
-    }
-
-    /// [`LatencyHistogram::quantile_ns`] as a [`Duration`].
-    pub fn quantile(&self, q: f64) -> Duration {
-        Duration::from_nanos(self.quantile_ns(q))
-    }
-}
-
-/// Monotone server-wide counters. Field meanings match
-/// [`crate::protocol::StatsSnapshot`], which is assembled from these plus
-/// the registry and cache state.
-#[derive(Debug, Default)]
 pub struct ServerMetrics {
+    /// The registry behind every field, walked by the exposition.
+    pub registry: MetricsRegistry,
     /// Frames decoded into requests.
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// Compute requests refused with `Busy`.
-    pub rejected: AtomicU64,
+    pub rejected: Arc<Counter>,
     /// Requests answered with an error status.
-    pub errors: AtomicU64,
+    pub errors: Arc<Counter>,
     /// Bytes read off the wire.
-    pub bytes_in: AtomicU64,
+    pub bytes_in: Arc<Counter>,
     /// Bytes written to the wire.
-    pub bytes_out: AtomicU64,
-    /// Per-compute-request latencies.
-    pub latency: LatencyHistogram,
+    pub bytes_out: Arc<Counter>,
+    /// Per-compute-request end-to-end latencies.
+    pub latency: Arc<LatencyHistogram>,
+    /// Per-stage pipeline latencies (decode → … → encode), shared with
+    /// every session's request span and the dispatchers.
+    pub stages: SpanRecorder,
+    /// Scrape-time gauge: open client connections.
+    pub connections: Arc<Gauge>,
+    /// Scrape-time gauge: matrices resident in the session registry.
+    pub matrices: Arc<Gauge>,
+    /// Scrape-time gauge: vectors served (dispatcher + single products).
+    pub vectors: Arc<Gauge>,
+    /// Scrape-time gauge: compile-cache hits.
+    pub cache_hits: Arc<Gauge>,
+    /// Scrape-time gauge: compile-cache misses (compiles).
+    pub cache_misses: Arc<Gauge>,
 }
 
 impl ServerMetrics {
-    /// Zeroed metrics.
+    /// Zeroed metrics, fully registered.
     pub fn new() -> Self {
-        Self::default()
+        let registry = MetricsRegistry::new();
+        let requests = registry.counter("smm_requests_total", "Frames decoded into requests.");
+        let rejected =
+            registry.counter("smm_rejected_total", "Compute requests refused with Busy.");
+        let errors =
+            registry.counter("smm_errors_total", "Requests answered with an error status.");
+        let bytes_in = registry.counter("smm_bytes_in_total", "Bytes read off the wire.");
+        let bytes_out = registry.counter("smm_bytes_out_total", "Bytes written to the wire.");
+        let latency = registry.histogram(
+            "smm_request_latency_ns",
+            "End-to-end compute request latency.",
+        );
+        let stages = SpanRecorder::new();
+        for stage in Stage::ALL {
+            registry.register_histogram(
+                &format!("smm_stage_latency_ns{{stage=\"{}\"}}", stage.name()),
+                "Per-stage request latency (decode, queue, plan, shard, reassemble, compute, encode).",
+                Arc::clone(stages.histogram(stage)),
+            );
+        }
+        let connections = registry.gauge("smm_connections", "Open client connections.");
+        let matrices =
+            registry.gauge("smm_matrices_loaded", "Matrices resident in the registry.");
+        let vectors = registry.gauge("smm_vectors_served", "Vectors served so far.");
+        let cache_hits = registry.gauge("smm_cache_hits", "Compile-cache hits so far.");
+        let cache_misses =
+            registry.gauge("smm_cache_misses", "Compile-cache misses (compiles) so far.");
+        Self {
+            registry,
+            requests,
+            rejected,
+            errors,
+            bytes_in,
+            bytes_out,
+            latency,
+            stages,
+            connections,
+            matrices,
+            vectors,
+            cache_hits,
+            cache_misses,
+        }
     }
+}
 
-    /// Relaxed increment helper.
-    pub fn bump(counter: &AtomicU64, by: u64) {
-        counter.fetch_add(by, Ordering::Relaxed);
-    }
-
-    /// Relaxed read helper.
-    pub fn read(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile_ns(0.5), 0);
-        assert_eq!(h.quantile(0.99), Duration::ZERO);
+    fn hot_path_handles_feed_the_registry() {
+        let m = ServerMetrics::new();
+        m.requests.add(3);
+        m.rejected.inc();
+        m.latency.record(Duration::from_micros(3));
+        m.stages.record(Stage::Decode, Duration::from_micros(1));
+        let text = smm_telemetry::prometheus::render(&m.registry);
+        assert!(text.contains("smm_requests_total 3"), "{text}");
+        assert!(text.contains("smm_rejected_total 1"), "{text}");
+        assert!(
+            text.contains("smm_request_latency_ns{quantile=\"0.5\"} 3072"),
+            "{text}"
+        );
+        assert!(
+            text.contains("smm_stage_latency_ns_count{stage=\"decode\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]
-    fn quantiles_are_bucket_accurate() {
-        let h = LatencyHistogram::new();
-        // 99 fast samples at ~1 µs, one slow at ~1 ms.
-        for _ in 0..99 {
-            h.record(Duration::from_micros(1));
+    fn every_stage_is_registered() {
+        let m = ServerMetrics::new();
+        let text = smm_telemetry::prometheus::render(&m.registry);
+        for stage in Stage::ALL {
+            assert!(
+                text.contains(&format!("stage=\"{}\"", stage.name())),
+                "missing {}: {text}",
+                stage.name()
+            );
         }
-        h.record(Duration::from_millis(1));
-        assert_eq!(h.count(), 100);
-        let p50 = h.quantile_ns(0.50);
-        let p99 = h.quantile_ns(0.99);
-        let p100 = h.quantile_ns(1.0);
-        // p50 and p99 land in the microsecond bucket (within 2x).
-        assert!((500..2_000).contains(&p50), "{p50}");
-        assert!((500..2_000).contains(&p99), "{p99}");
-        // The max lands in the millisecond bucket.
-        assert!((500_000..2_000_000).contains(&p100), "{p100}");
-        assert!(p50 <= p100);
     }
 
     #[test]
-    fn extreme_samples_do_not_panic() {
+    fn reexported_histogram_keeps_the_top_bucket_fix() {
+        // The regression test proper lives in smm-telemetry; this pins
+        // that the server-facing re-export is the same type.
         let h = LatencyHistogram::new();
-        h.record(Duration::ZERO);
         h.record(Duration::from_secs(u64::MAX / 2));
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile_ns(1.0) > 0);
-    }
-
-    #[test]
-    fn last_bucket_quantile_stays_inside_the_bucket() {
-        // Regression: a sample in the top bucket [2^63, 2^64) used to
-        // report 2^62 because the midpoint computation wrapped.
-        let h = LatencyHistogram::new();
-        h.record(Duration::from_secs(u64::MAX / 2)); // saturates to u64::MAX ns
-        let q = h.quantile_ns(1.0);
-        assert!(q >= 1u64 << 63, "{q} below the bucket's lower bound");
-        assert_eq!(q, (1u64 << 63) + (1u64 << 62), "geometric midpoint");
-    }
-
-    #[test]
-    fn concurrent_recording_is_lossless() {
-        let h = std::sync::Arc::new(LatencyHistogram::new());
-        let threads: Vec<_> = (0..4)
-            .map(|_| {
-                let h = std::sync::Arc::clone(&h);
-                std::thread::spawn(move || {
-                    for i in 0..1000u64 {
-                        h.record(Duration::from_nanos(i + 1));
-                    }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
-        assert_eq!(h.count(), 4000);
+        assert_eq!(h.quantile_ns(1.0), (1u64 << 63) + (1u64 << 62));
     }
 }

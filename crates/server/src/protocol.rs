@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic  "SMM1"      4 bytes
-//! version            1 byte   (1, 2, or 3)
+//! version            1 byte   (1 through 4)
 //! opcode             1 byte
 //! request id         8 bytes  little-endian
 //! payload length     4 bytes  little-endian
@@ -38,19 +38,26 @@
 //!   choice its own generation of peers would reject — byte 5 in a v2
 //!   frame is a decode error, exactly as it was before the engine
 //!   existed.
+//! * **v4** — the `Stats` reply appends per-stage latency summaries
+//!   ([`StatsSnapshot::stages`]): for each pipeline stage in
+//!   [`Stage::ALL`] order, three `u64`s (count, p50 ns, p99 ns). A v3
+//!   or older `Stats` reply is byte-identical to before — the stage
+//!   block is simply absent, and decoding leaves the field zeroed.
 
 use smm_core::block::{FrameBlock, RowBlock};
 use smm_core::error::{Error, Result};
 use smm_core::io::{matrix_from_bytes, matrix_to_bytes};
 use smm_core::matrix::IntMatrix;
 use smm_core::wire::{self, Cursor};
+use smm_telemetry::{Stage, StageStats, STAGES};
 use std::io::{self, Read, Write};
 
 /// Frame preamble: the protocol's on-wire signature.
 pub const MAGIC: [u8; 4] = *b"SMM1";
-/// Current protocol version: v3 (the `sigma` backend choice in
-/// `LoadMatrix`; v2 added the choice byte itself).
-pub const VERSION: u8 = 3;
+/// Current protocol version: v4 (per-stage latency summaries in the
+/// `Stats` reply; v3 added the `sigma` backend choice, v2 the choice
+/// byte itself).
+pub const VERSION: u8 = 4;
 /// Oldest version the server still speaks.
 pub const MIN_VERSION: u8 = 1;
 /// Fixed frame header size in bytes.
@@ -359,6 +366,11 @@ pub struct StatsSnapshot {
     pub p50_latency_ns: u64,
     /// 99th-percentile compute-request latency, in nanoseconds (bucketed).
     pub p99_latency_ns: u64,
+    /// Per-stage latency summaries in [`Stage::ALL`] order (decode,
+    /// queue, plan, shard, reassemble, compute, encode). Carried on the
+    /// wire from protocol v4; a snapshot decoded off a pre-v4 reply
+    /// leaves every entry zeroed.
+    pub stages: [StageStats; STAGES],
 }
 
 impl StatsSnapshot {
@@ -392,15 +404,29 @@ impl StatsSnapshot {
         ]
     }
 
-    /// Serializes the snapshot.
-    pub fn encode(&self, buf: &mut Vec<u8>) {
+    /// The [`StageStats`] for one pipeline stage, by name.
+    pub fn stage(&self, stage: Stage) -> StageStats {
+        self.stages[stage.idx()]
+    }
+
+    /// Serializes the snapshot as `version` lays it out: 15 `u64`s,
+    /// plus (from v4) the per-stage summary block. A pre-v4 encoding is
+    /// byte-identical to what those versions always produced.
+    pub fn encode(&self, version: u8, buf: &mut Vec<u8>) {
         for v in self.fields() {
             wire::put_u64(buf, v);
         }
+        if version >= 4 {
+            for s in &self.stages {
+                wire::put_u64(buf, s.count);
+                wire::put_u64(buf, s.p50_ns);
+                wire::put_u64(buf, s.p99_ns);
+            }
+        }
     }
 
-    /// Decodes a snapshot.
-    pub fn decode(c: &mut Cursor<'_>) -> Result<StatsSnapshot> {
+    /// Decodes a snapshot as `version` laid it out.
+    pub fn decode(version: u8, c: &mut Cursor<'_>) -> Result<StatsSnapshot> {
         let mut s = StatsSnapshot::default();
         let fields: [&mut u64; 15] = [
             &mut s.requests,
@@ -421,6 +447,13 @@ impl StatsSnapshot {
         ];
         for f in fields {
             *f = c.take_u64("stats field")?;
+        }
+        if version >= 4 {
+            for stage in &mut s.stages {
+                stage.count = c.take_u64("stage count")?;
+                stage.p50_ns = c.take_u64("stage p50")?;
+                stage.p99_ns = c.take_u64("stage p99")?;
+            }
         }
         Ok(s)
     }
@@ -456,8 +489,9 @@ pub enum Reply {
     /// block, encoded straight onto the wire (layout unchanged: count,
     /// then per-row length-prefixed `i64`s).
     Outputs(RowBlock),
-    /// [`Request::Stats`] snapshot.
-    Stats(StatsSnapshot),
+    /// [`Request::Stats`] snapshot (boxed: the per-stage latency block
+    /// would otherwise dominate every `Reply`'s size).
+    Stats(Box<StatsSnapshot>),
     /// Admission queue full; retry later.
     Busy,
     /// Request failed.
@@ -495,7 +529,7 @@ impl Reply {
                             wire::put_i64_vec(&mut buf, o);
                         }
                     }
-                    Reply::Stats(s) => s.encode(&mut buf),
+                    Reply::Stats(s) => s.encode(version, &mut buf),
                     Reply::Busy | Reply::Error(_) => unreachable!("handled above"),
                 }
             }
@@ -549,7 +583,7 @@ impl Reply {
                     }
                     Reply::Outputs(RowBlock::from_vec(count, width, data)?)
                 }
-                Opcode::Stats => Reply::Stats(StatsSnapshot::decode(&mut c)?),
+                Opcode::Stats => Reply::Stats(Box::new(StatsSnapshot::decode(version, &mut c)?)),
             },
             other => {
                 return Err(Error::Wire {
@@ -838,16 +872,50 @@ mod tests {
             Reply::Outputs(RowBlock::try_from(vec![vec![1, 2], vec![-3, -4]]).unwrap()),
         );
         round_trip_reply(Opcode::GemvBatch, Reply::Outputs(RowBlock::default()));
-        let stats = StatsSnapshot {
+        let mut stats = StatsSnapshot {
             requests: 11,
             p99_latency_ns: 12345,
             cache_hits: 3,
             ..Default::default()
         };
-        round_trip_reply(Opcode::Stats, Reply::Stats(stats));
+        stats.stages[Stage::Decode.idx()] =
+            StageStats { count: 11, p50_ns: 700, p99_ns: 1500 };
+        stats.stages[Stage::Compute.idx()] =
+            StageStats { count: 9, p50_ns: 3072, p99_ns: 6144 };
+        round_trip_reply(Opcode::Stats, Reply::Stats(Box::new(stats)));
         // Busy and Error decode identically under any opcode.
         round_trip_reply(Opcode::Gemv, Reply::Busy);
         round_trip_reply(Opcode::Stats, Reply::Error("nope".into()));
+    }
+
+    #[test]
+    fn pre_v4_stats_replies_carry_no_stage_block() {
+        let mut stats = StatsSnapshot {
+            requests: 5,
+            vectors: 40,
+            ..Default::default()
+        };
+        stats.stages[Stage::Queue.idx()] = StageStats { count: 5, p50_ns: 100, p99_ns: 900 };
+        let full = Reply::Stats(Box::new(stats));
+        // v3 encoding: exactly status byte + 15 u64s — the stage data is
+        // dropped, and the body is what a v3 server always produced.
+        let v3 = full.encode(3);
+        assert_eq!(v3.len(), 1 + 15 * 8);
+        let Reply::Stats(back) = Reply::decode(3, Opcode::Stats, &v3).unwrap() else {
+            panic!("wrong reply kind");
+        };
+        assert_eq!(back.requests, 5);
+        assert_eq!(back.vectors, 40);
+        assert_eq!(back.stages, [StageStats::default(); STAGES]);
+        // v4 encoding appends 7 stages x 3 u64s and round-trips whole.
+        let v4 = full.encode(4);
+        assert_eq!(v4.len(), 1 + 15 * 8 + STAGES * 3 * 8);
+        let Reply::Stats(back) = Reply::decode(4, Opcode::Stats, &v4).unwrap() else {
+            panic!("wrong reply kind");
+        };
+        assert_eq!(back.stage(Stage::Queue), StageStats { count: 5, p50_ns: 100, p99_ns: 900 });
+        // A v4 body under a v3 header has trailing garbage: rejected.
+        assert!(Reply::decode(3, Opcode::Stats, &v4).is_err());
     }
 
     #[test]

@@ -26,7 +26,9 @@ use smm_core::matrix::IntMatrix;
 use smm_runtime::{
     AutoOptions, EngineRegistry, EngineSpec, MultiplierCache, PlanPolicy, Session,
 };
+use smm_telemetry::{prometheus, Span, Stage};
 use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -54,6 +56,11 @@ pub struct ServerConfig {
     pub input_bits: u32,
     /// Weight encoding compiled into bit-serial circuits.
     pub encoding: WeightEncoding,
+    /// Optional bind address for the Prometheus `/metrics` HTTP
+    /// listener (port 0 picks a free port; see
+    /// [`ServerHandle::metrics_addr`]). `None` (the default) serves no
+    /// exposition endpoint; the wire `Stats` opcode always works.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +74,7 @@ impl Default for ServerConfig {
             max_matrices: 64,
             input_bits: 8,
             encoding: WeightEncoding::Pn,
+            metrics_addr: None,
         }
     }
 }
@@ -162,11 +170,11 @@ impl Shared {
         };
         let cache = self.cache.stats();
         StatsSnapshot {
-            requests: ServerMetrics::read(&self.metrics.requests),
-            rejected: ServerMetrics::read(&self.metrics.rejected),
-            errors: ServerMetrics::read(&self.metrics.errors),
-            bytes_in: ServerMetrics::read(&self.metrics.bytes_in),
-            bytes_out: ServerMetrics::read(&self.metrics.bytes_out),
+            requests: self.metrics.requests.get(),
+            rejected: self.metrics.rejected.get(),
+            errors: self.metrics.errors.get(),
+            bytes_in: self.metrics.bytes_in.get(),
+            bytes_out: self.metrics.bytes_out.get(),
             vectors,
             batches,
             matrices,
@@ -177,7 +185,22 @@ impl Shared {
             latency_count: self.metrics.latency.count(),
             p50_latency_ns: self.metrics.latency.quantile_ns(0.50),
             p99_latency_ns: self.metrics.latency.quantile_ns(0.99),
+            stages: self.metrics.stages.stage_stats(),
         }
+    }
+
+    /// Renders the Prometheus exposition, refreshing the scrape-time
+    /// gauges from the same snapshot the wire `Stats` opcode serves.
+    fn render_metrics(&self) -> String {
+        let stats = self.stats();
+        self.metrics
+            .connections
+            .set(self.connections.load(Ordering::Relaxed));
+        self.metrics.matrices.set(stats.matrices);
+        self.metrics.vectors.set(stats.vectors);
+        self.metrics.cache_hits.set(stats.cache_hits);
+        self.metrics.cache_misses.set(stats.cache_misses);
+        prometheus::render(&self.metrics.registry)
     }
 
     /// The plan policy for one load: the request's backend choice when
@@ -206,25 +229,31 @@ impl Shared {
             .policy(self.policy_for(requested))
             .registry(Arc::clone(&self.engines))
             .cache(Arc::clone(&self.cache))
+            // Every session shares the server's stage histograms, so
+            // shard/reassemble/compute timings from any matrix land in
+            // one exposition.
+            .recorder(self.metrics.stages.clone())
             .build()
     }
 
     /// Serves one decoded request. `Busy`/`Error` replies are produced
-    /// here; frame-level failures are handled by the session loop.
-    fn serve(&self, request: Request) -> Reply {
+    /// here; frame-level failures are handled by the session loop. The
+    /// span arrives with `decode` stamped; compute requests stamp
+    /// `queue` and `plan` on their way into the session.
+    fn serve(&self, request: Request, span: &mut Span<'_>) -> Reply {
         match request {
             Request::Ping => Reply::Pong,
-            Request::Stats => Reply::Stats(self.stats()),
+            Request::Stats => Reply::Stats(Box::new(self.stats())),
             Request::LoadMatrix { matrix, backend } => self.serve_load(matrix, backend),
             // A single rides the session's fast path (no dispatcher
             // round trip); it is still counted — `Stats` sums the pool
             // counters plus the fast-path singles.
-            Request::Gemv { digest, vector } => self.serve_compute(digest, |session| {
+            Request::Gemv { digest, vector } => self.serve_compute(digest, span, |session| {
                 Ok(Reply::Output(session.run(&vector)?))
             }),
             // The batch arrives as a flat block straight off the wire
             // and the reply is encoded straight out of the output block.
-            Request::GemvBatch { digest, frames } => self.serve_compute(digest, |session| {
+            Request::GemvBatch { digest, frames } => self.serve_compute(digest, span, |session| {
                 let mut out = smm_runtime::RowBlock::new();
                 session.run_block(frames, &mut out)?;
                 Ok(Reply::Outputs(out))
@@ -284,8 +313,19 @@ impl Shared {
     fn serve_compute(
         &self,
         digest: u64,
+        span: &mut Span<'_>,
         compute: impl FnOnce(&Session) -> Result<Reply>,
     ) -> Reply {
+        // Admission runs before the registry lookup so the stamped
+        // stages match the pipeline order (queue wait, then plan
+        // lookup): under overload the server's first and only act is the
+        // one-atomic admission check, and a `Busy` reply never touches
+        // the registry lock.
+        let Some(_permit) = self.admission.try_enter() else {
+            self.metrics.rejected.inc();
+            return Reply::Busy;
+        };
+        span.mark(Stage::Queue);
         let Some(session) = self
             .registry
             .lock()
@@ -295,10 +335,9 @@ impl Shared {
         else {
             return Reply::Error(format!("no matrix loaded with digest {digest:#018x}"));
         };
-        let Some(_permit) = self.admission.try_enter() else {
-            ServerMetrics::bump(&self.metrics.rejected, 1);
-            return Reply::Busy;
-        };
+        span.mark(Stage::Plan);
+        // The compute stages (shard / reassemble / compute) are stamped
+        // inside the session, which shares this span's recorder.
         let start = Instant::now();
         let reply = match compute(&session) {
             Ok(reply) => reply,
@@ -314,7 +353,9 @@ impl Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     accept: Option<JoinHandle<()>>,
+    metrics: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -323,9 +364,21 @@ impl ServerHandle {
         self.local_addr
     }
 
+    /// The bound `/metrics` listener address, when the config asked for
+    /// one (with the real port when it said 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// A stats snapshot taken in-process (no wire round trip).
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats()
+    }
+
+    /// The Prometheus exposition the `/metrics` endpoint would serve,
+    /// rendered in-process (works whether or not a listener is bound).
+    pub fn render_metrics(&self) -> String {
+        self.shared.render_metrics()
     }
 
     /// Graceful shutdown: stop accepting, let every in-flight request
@@ -343,6 +396,12 @@ impl ServerHandle {
             // connection wakes it to observe the flag.
             let _ = TcpStream::connect(self.local_addr);
             let _ = accept.join();
+        }
+        if let Some(metrics) = self.metrics.take() {
+            if let Some(addr) = self.metrics_addr {
+                let _ = TcpStream::connect(addr);
+            }
+            let _ = metrics.join();
         }
     }
 }
@@ -375,6 +434,20 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         connections: AtomicU64::new(0),
     });
+    // Bind the optional metrics listener before spawning anything, so a
+    // bad metrics address fails `start` cleanly with no thread leaked.
+    let metrics_listener = match &shared.config.metrics_addr {
+        Some(addr) => Some(TcpListener::bind(addr).map_err(|e| Error::Runtime {
+            context: format!("binding metrics listener {addr}: {e}"),
+        })?),
+        None => None,
+    };
+    let metrics_addr = match &metrics_listener {
+        Some(l) => Some(l.local_addr().map_err(|e| Error::Runtime {
+            context: format!("resolving bound metrics address: {e}"),
+        })?),
+        None => None,
+    };
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::Builder::new()
         .name("smm-server-accept".into())
@@ -382,10 +455,26 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle> {
         .map_err(|e| Error::Runtime {
             context: format!("spawning accept thread: {e}"),
         })?;
+    let metrics = match metrics_listener {
+        Some(metrics_listener) => {
+            let metrics_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("smm-server-metrics".into())
+                    .spawn(move || metrics_loop(&metrics_listener, &metrics_shared))
+                    .map_err(|e| Error::Runtime {
+                        context: format!("spawning metrics thread: {e}"),
+                    })?,
+            )
+        }
+        None => None,
+    };
     Ok(ServerHandle {
         shared,
         local_addr,
+        metrics_addr,
         accept: Some(accept),
+        metrics,
     })
 }
 
@@ -421,6 +510,66 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// The `/metrics` accept loop: scrapes are rare and tiny, so each one
+/// is served inline on this thread. Shutdown uses the same
+/// throwaway-connect wake as the main accept loop.
+fn metrics_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let accepted = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _peer)) = accepted else {
+            continue;
+        };
+        serve_scrape(stream, shared);
+    }
+}
+
+/// Answers one plain-HTTP scrape: `GET /metrics` gets the Prometheus
+/// text exposition, anything else a terse 404/405. Hand-rolled on
+/// purpose — the endpoint speaks just enough HTTP/1.1 for `curl` and a
+/// Prometheus scraper, keeping the server dependency-free.
+fn serve_scrape(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream
+        .set_read_timeout(Some(Duration::from_secs(1)))
+        .is_err()
+    {
+        return;
+    }
+    // Read until the blank line that ends the request head; a scrape
+    // request fits in one segment in practice.
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+        }
+        if head.len() > 8192 {
+            return;
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "only GET is served\n".to_string())
+    } else if path != "/metrics" {
+        ("404 Not Found", "try /metrics\n".to_string())
+    } else {
+        ("200 OK", shared.render_metrics())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
 fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     if stream.set_read_timeout(Some(SESSION_POLL)).is_err() {
         return;
@@ -454,22 +603,31 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 return;
             }
         };
-        ServerMetrics::bump(
-            &shared.metrics.bytes_in,
-            (crate::protocol::HEADER_LEN + frame.payload.len()) as u64,
-        );
-        ServerMetrics::bump(&shared.metrics.requests, 1);
+        shared
+            .metrics
+            .bytes_in
+            .add((crate::protocol::HEADER_LEN + frame.payload.len()) as u64);
+        shared.metrics.requests.inc();
+        // The span clock starts once the frame is fully off the wire —
+        // blocking read time is client idle time, not pipeline latency.
+        let mut span = shared.metrics.stages.span();
         // Version negotiation: decode the request and encode the reply
         // under the version the frame arrived with, so v1 and v2 clients
-        // keep working against this v3 server.
+        // keep working against this v4 server.
         let reply = match Opcode::from_u8(frame.opcode)
             .and_then(|op| Request::decode(frame.version, op, &frame.payload))
         {
-            Ok(request) => shared.serve(request),
+            Ok(request) => {
+                span.mark(Stage::Decode);
+                shared.serve(request, &mut span)
+            }
             // Undecodable payload: the frame boundary is intact, so
             // answer and keep the session.
             Err(e) => Reply::Error(e.to_string()),
         };
+        // Reset the span clock: the compute stages were stamped by the
+        // session, and `encode` must measure only encode + write.
+        span.skip();
         let mut payload = reply.encode(frame.version);
         if payload.len() > crate::protocol::MAX_FRAME_PAYLOAD {
             // A maximal batch of i32 inputs can widen into i64 outputs
@@ -479,7 +637,7 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 .encode(frame.version);
         }
         if payload.first() == Some(&STATUS_ERROR) {
-            ServerMetrics::bump(&shared.metrics.errors, 1);
+            shared.metrics.errors.inc();
         }
         match write_frame(
             &mut stream,
@@ -488,7 +646,10 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             frame.request_id,
             &payload,
         ) {
-            Ok(n) => ServerMetrics::bump(&shared.metrics.bytes_out, n),
+            Ok(n) => {
+                span.mark(Stage::Encode);
+                shared.metrics.bytes_out.add(n);
+            }
             Err(_) => return,
         }
     }
@@ -592,5 +753,54 @@ mod tests {
             ..ServerConfig::default()
         };
         assert!(start(config).is_err());
+    }
+
+    #[test]
+    fn bad_metrics_address_fails_start_cleanly() {
+        let config = ServerConfig {
+            metrics_addr: Some("256.256.256.256:1".into()),
+            ..ServerConfig::default()
+        };
+        assert!(start(config).is_err());
+    }
+
+    #[test]
+    fn metrics_listener_is_optional() {
+        let handle = start(ServerConfig::default()).unwrap();
+        assert!(handle.metrics_addr().is_none());
+        // The exposition still renders in-process without a listener.
+        assert!(handle.render_metrics().contains("smm_requests_total"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let handle = start(ServerConfig {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.metrics_addr().expect("metrics listener bound");
+        let scrape = |request: &[u8]| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(request).unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        };
+        let ok = scrape(b"GET /metrics HTTP/1.1\r\nHost: smm\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert!(ok.contains("smm_requests_total 0"), "{ok}");
+        assert!(
+            ok.contains("smm_stage_latency_ns_count{stage=\"decode\"}"),
+            "{ok}"
+        );
+        // Wrong path / wrong method get terse refusals, and the
+        // listener survives them to serve the next scrape.
+        assert!(scrape(b"GET /other HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 404"));
+        assert!(scrape(b"POST /metrics HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+        let again = scrape(b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(again.starts_with("HTTP/1.1 200 OK"), "{again}");
+        handle.shutdown();
     }
 }

@@ -1,8 +1,9 @@
 //! Wire-protocol backward compatibility: v1 clients (no backend field
-//! in `LoadMatrix`, no engine name in `Loaded`) and v2 clients (backend
-//! choice byte, but no `sigma` in its vocabulary) against the v3 server.
+//! in `LoadMatrix`, no engine name in `Loaded`), v2 clients (backend
+//! choice byte, but no `sigma` in its vocabulary), and v3 clients (no
+//! per-stage block in `Stats`) against the v4 server.
 //!
-//! These tests speak raw v1/v2 frames over a real TCP connection —
+//! These tests speak raw v1/v2/v3 frames over a real TCP connection —
 //! exactly the bytes a binary built before each protocol rev would
 //! send — and assert the round trips are unchanged: same payload
 //! layouts, replies echoed under the request's version, and served
@@ -100,7 +101,7 @@ impl V1Client {
 
 #[test]
 fn v1_client_round_trips_load_and_gemv_unchanged() {
-    assert_eq!(VERSION, 3, "this test pins the v1-against-v3 story");
+    assert_eq!(VERSION, 4, "this test pins the v1-against-current story");
     let server = smm_server::start(ServerConfig::default()).unwrap();
     let mut rng = seeded(5000);
     let matrix = element_sparse_matrix(12, 9, 8, 0.6, true, &mut rng).unwrap();
@@ -251,6 +252,62 @@ fn v3_client_requests_sigma_end_to_end() {
     let mut v1 = V1Client::connect(server.local_addr());
     let a = random_vector(14, 8, true, &mut rng).unwrap();
     assert_eq!(v1.gemv(info.digest, &a), vecmat(&a, &matrix).unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn pre_v4_stats_reply_bytes_are_pinned() {
+    // A v3-era peer asking for stats must get back *exactly* the v3
+    // body — status byte plus fifteen u64 fields — with no per-stage
+    // block appended. The lengths are written out literally on purpose:
+    // this is a byte-level pin, not a round trip through the current
+    // codec.
+    let server = smm_server::start(ServerConfig::default()).unwrap();
+    let mut rng = seeded(5004);
+    let matrix = element_sparse_matrix(9, 7, 8, 0.5, true, &mut rng).unwrap();
+    let mut client = smm_server::Client::connect(server.local_addr()).unwrap();
+    let digest = client.load_matrix(&matrix).unwrap();
+    let a = random_vector(9, 8, true, &mut rng).unwrap();
+    client.gemv(digest, &a).unwrap();
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut stream, 3, Opcode::Stats as u8, 7, &[]).unwrap();
+    let frame = read_frame(&mut stream).unwrap();
+    assert_eq!(frame.version, 3, "v3 request answered in v3");
+    assert_eq!(
+        frame.payload.len(),
+        1 + 15 * 8,
+        "v3 Stats body is the status byte plus fifteen u64s, nothing more"
+    );
+    let mut c = Cursor::new(&frame.payload);
+    assert_eq!(c.take_u8("status").unwrap(), 0);
+    assert!(c.take_u64("requests").unwrap() >= 2, "load + gemv counted");
+    for field in [
+        "rejected",
+        "errors",
+        "bytes_in",
+        "bytes_out",
+        "vectors",
+        "batches",
+        "matrices",
+        "cache_hits",
+        "cache_misses",
+        "cache_entries",
+        "cache_evictions",
+        "latency_count",
+        "p50_latency_ns",
+        "p99_latency_ns",
+    ] {
+        c.take_u64(field).unwrap();
+    }
+    c.expect_end("v3 stats reply").unwrap();
+
+    // The same request under v4 grows by exactly the stage block —
+    // seven stages × (count, p50_ns, p99_ns) — and nothing else.
+    write_frame(&mut stream, 4, Opcode::Stats as u8, 8, &[]).unwrap();
+    let frame = read_frame(&mut stream).unwrap();
+    assert_eq!(frame.version, 4);
+    assert_eq!(frame.payload.len(), 1 + 15 * 8 + 7 * 3 * 8);
     server.shutdown();
 }
 

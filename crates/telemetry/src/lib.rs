@@ -1,0 +1,39 @@
+//! Unified observability spine for the spatial sparse-matrix
+//! multiplier workspace.
+//!
+//! Every latency number the workspace reports flows through this crate:
+//!
+//! - [`hist`] — the lock-free log-bucket [`LatencyHistogram`] (moved
+//!   out of `smm-server`) and the exact-valued [`weighted_percentile`]
+//!   (moved out of `smm-runtime`'s dispatcher), so the server, runtime,
+//!   load generator, and bench harness share one quantile
+//!   implementation and one set of regression tests.
+//! - [`span`] — per-request trace [`Span`]s over the fixed pipeline
+//!   [`Stage`]s (decode → queue → plan → shard → reassemble → compute →
+//!   encode), recorded through a cloneable [`SpanRecorder`] at one
+//!   `Instant::now()` per stage boundary.
+//! - [`registry`] — a [`MetricsRegistry`] of named [`Counter`]s,
+//!   [`Gauge`]s, and histograms; registration returns lock-free `Arc`
+//!   handles, the registry itself is cold-path only.
+//! - [`prometheus`] — hand-rolled Prometheus text exposition of a
+//!   registry snapshot, served by `smm-server` on `--metrics-addr`.
+//! - [`report`] — the `BENCH_*.json` writer/validator
+//!   ([`BenchReport`]) recording the perf trajectory that future PRs
+//!   measure themselves against.
+//!
+//! The crate is std-only with zero dependencies, `forbid(unsafe_code)`,
+//! and every hot-path operation is a relaxed atomic.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod prometheus;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use hist::{weighted_percentile, LatencyHistogram};
+pub use registry::{Counter, Gauge, MetricSample, MetricValue, MetricsRegistry};
+pub use report::{stage_summaries, BenchReport, EngineRun, StageSummary, SCHEMA};
+pub use span::{Span, SpanRecorder, Stage, StageStats, STAGES};

@@ -1,0 +1,169 @@
+//! Prometheus text-format exposition, hand-rolled.
+//!
+//! [`render`] turns a [`MetricsRegistry`] snapshot into the
+//! [text-based exposition format] a Prometheus scraper expects from a
+//! `GET /metrics`: `# HELP` / `# TYPE` headers followed by sample
+//! lines. Histograms render as *summaries* — `{quantile="0.5"}` etc. —
+//! because the log-bucket histogram already computes nearest-rank
+//! quantiles and a summary keeps the scrape payload constant-size.
+//!
+//! Registered names may embed a label set (the registry registers the
+//! per-stage histograms as `smm_stage_latency_ns{stage="decode"}` and
+//! so on). The renderer splits the base name from the labels, emits the
+//! `# HELP`/`# TYPE` header once per *base* name, and merges the
+//! `quantile` label into the existing set.
+//!
+//! [text-based exposition format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::registry::{MetricSample, MetricValue, MetricsRegistry};
+
+/// Splits `smm_foo{stage="x"}` into `("smm_foo", Some("stage=\"x\""))`;
+/// an unlabelled name comes back with `None`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match (name.find('{'), name.rfind('}')) {
+        (Some(open), Some(close)) if close > open => {
+            (&name[..open], Some(&name[open + 1..close]))
+        }
+        _ => (name, None),
+    }
+}
+
+/// Joins a base name, an optional existing label set, and an optional
+/// extra label into one sample-line name.
+fn with_labels(base: &str, labels: Option<&str>, extra: Option<&str>) -> String {
+    let mut pairs = Vec::new();
+    if let Some(l) = labels {
+        pairs.push(l.to_string());
+    }
+    if let Some(e) = extra {
+        pairs.push(e.to_string());
+    }
+    if pairs.is_empty() {
+        base.to_string()
+    } else {
+        format!("{base}{{{}}}", pairs.join(","))
+    }
+}
+
+fn render_sample(out: &mut String, sample: &MetricSample, seen: &mut Vec<String>) {
+    let (base, labels) = split_labels(&sample.name);
+    let type_name = match sample.value {
+        MetricValue::Counter(_) => "counter",
+        MetricValue::Gauge(_) => "gauge",
+        MetricValue::Summary { .. } => "summary",
+    };
+    // One HELP/TYPE header per base name, even when many labelled
+    // series share it (the seven stage histograms, for example).
+    if !seen.iter().any(|s| s == base) {
+        out.push_str(&format!("# HELP {base} {}\n", sample.help));
+        out.push_str(&format!("# TYPE {base} {type_name}\n"));
+        seen.push(base.to_string());
+    }
+    match sample.value {
+        MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+            out.push_str(&format!("{} {v}\n", with_labels(base, labels, None)));
+        }
+        MetricValue::Summary { count, p50_ns, p90_ns, p99_ns } => {
+            for (q, v) in [("0.5", p50_ns), ("0.9", p90_ns), ("0.99", p99_ns)] {
+                let name = with_labels(base, labels, Some(&format!("quantile=\"{q}\"")));
+                out.push_str(&format!("{name} {v}\n"));
+            }
+            out.push_str(&format!(
+                "{} {count}\n",
+                with_labels(&format!("{base}_count"), labels, None)
+            ));
+        }
+    }
+}
+
+/// Renders the registry's current state in the Prometheus text format.
+///
+/// Deterministic for a given registry state: samples appear in
+/// registration-name order (the registry's sorted order), so a test can
+/// pin the exposition as a golden string.
+pub fn render(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<String> = Vec::new();
+    for sample in registry.snapshot() {
+        render_sample(&mut out, &sample, &mut seen);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanRecorder, Stage};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn split_and_merge_labels() {
+        assert_eq!(split_labels("smm_requests"), ("smm_requests", None));
+        assert_eq!(
+            split_labels("smm_stage_latency_ns{stage=\"decode\"}"),
+            ("smm_stage_latency_ns", Some("stage=\"decode\""))
+        );
+        assert_eq!(
+            with_labels("m", Some("a=\"1\""), Some("quantile=\"0.5\"")),
+            "m{a=\"1\",quantile=\"0.5\"}"
+        );
+        assert_eq!(with_labels("m", None, None), "m");
+    }
+
+    #[test]
+    fn golden_exposition() {
+        // Fixed registry state → byte-exact exposition. The latency
+        // values are deterministic because the histogram reports bucket
+        // midpoints: 3 µs → 3072 ns.
+        let reg = MetricsRegistry::new();
+        reg.counter("smm_requests_total", "Requests served.").add(12);
+        reg.gauge("smm_connections", "Open connections.").set(2);
+        let h = reg.histogram("smm_request_latency_ns", "End-to-end request latency.");
+        h.record(Duration::from_micros(3));
+        let expected = "\
+# HELP smm_connections Open connections.
+# TYPE smm_connections gauge
+smm_connections 2
+# HELP smm_request_latency_ns End-to-end request latency.
+# TYPE smm_request_latency_ns summary
+smm_request_latency_ns{quantile=\"0.5\"} 3072
+smm_request_latency_ns{quantile=\"0.9\"} 3072
+smm_request_latency_ns{quantile=\"0.99\"} 3072
+smm_request_latency_ns_count 1
+# HELP smm_requests_total Requests served.
+# TYPE smm_requests_total counter
+smm_requests_total 12
+";
+        assert_eq!(render(&reg), expected);
+    }
+
+    #[test]
+    fn labelled_series_share_one_header() {
+        let reg = MetricsRegistry::new();
+        let rec = SpanRecorder::new();
+        for stage in Stage::ALL {
+            reg.register_histogram(
+                &format!("smm_stage_latency_ns{{stage=\"{}\"}}", stage.name()),
+                "Per-stage latency.",
+                Arc::clone(rec.histogram(stage)),
+            );
+        }
+        rec.record(Stage::Decode, Duration::from_micros(3));
+        let text = render(&reg);
+        assert_eq!(
+            text.matches("# TYPE smm_stage_latency_ns summary").count(),
+            1,
+            "one TYPE header for all stage series:\n{text}"
+        );
+        assert!(text.contains("smm_stage_latency_ns{stage=\"decode\",quantile=\"0.5\"} 3072"));
+        assert!(text.contains("smm_stage_latency_ns_count{stage=\"decode\"} 1"));
+        assert!(text.contains("smm_stage_latency_ns{stage=\"encode\",quantile=\"0.99\"} 0"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(render(&MetricsRegistry::new()), "");
+    }
+}

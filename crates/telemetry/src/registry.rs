@@ -1,0 +1,306 @@
+//! A named registry of counters, gauges, and latency histograms.
+//!
+//! The registry is the cold-path directory that the Prometheus
+//! exposition walks; the hot path never touches it. Registration hands
+//! back an [`Arc`] handle ([`Counter`], [`Gauge`], or
+//! [`LatencyHistogram`]) and every subsequent touch of that handle is a
+//! single relaxed atomic — no lock, no name lookup.
+//!
+//! Registration is idempotent by name: registering `"smm_requests"`
+//! twice returns the same underlying metric, so independent subsystems
+//! can register-or-fetch without coordinating. Re-registering a name as
+//! a *different kind* panics — that is a wiring bug, not a runtime
+//! condition.
+
+use crate::hist::LatencyHistogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `by`.
+    pub fn add(&self, by: u64) {
+        self.0.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue occupancy, open
+/// connections, resident cache entries).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric, by kind.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A point-in-time value of one registered metric, as handed to the
+/// exposition renderer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's running total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(u64),
+    /// A latency histogram summarized as nearest-rank quantiles in
+    /// nanoseconds: `(count, p50, p90, p99)`.
+    Summary {
+        /// Samples recorded.
+        count: u64,
+        /// Median, nanoseconds.
+        p50_ns: u64,
+        /// 90th percentile, nanoseconds.
+        p90_ns: u64,
+        /// 99th percentile, nanoseconds.
+        p99_ns: u64,
+    },
+}
+
+/// One row of a registry snapshot: name, help text, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Registered metric name, possibly carrying `{label="..."}` pairs.
+    pub name: String,
+    /// Registered help text.
+    pub help: String,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The registry: a name → metric directory behind one mutex.
+///
+/// Names follow the Prometheus convention and may embed labels
+/// directly, e.g. `smm_stage_latency_ns{stage="decode"}` — the
+/// exposition renderer splits the base name from the label set.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, (String, Metric)>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or fetches) a counter under `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        let (_, metric) = inner
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Metric::Counter(Arc::new(Counter::new()))));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or fetches) a gauge under `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        let (_, metric) = inner
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Metric::Gauge(Arc::new(Gauge::new()))));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or fetches) a latency histogram under `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<LatencyHistogram> {
+        let mut inner = self.inner.lock().unwrap();
+        let (_, metric) = inner.entry(name.to_string()).or_insert_with(|| {
+            (help.to_string(), Metric::Histogram(Arc::new(LatencyHistogram::new())))
+        });
+        match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers an *existing* histogram under `name` — used to expose
+    /// histograms that something else already owns, like a
+    /// [`SpanRecorder`](crate::SpanRecorder)'s per-stage histograms.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered (as any kind).
+    pub fn register_histogram(&self, name: &str, help: &str, hist: Arc<LatencyHistogram>) {
+        let mut inner = self.inner.lock().unwrap();
+        let prev = inner.insert(
+            name.to_string(),
+            (help.to_string(), Metric::Histogram(hist)),
+        );
+        assert!(prev.is_none(), "{name} registered twice");
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// name (the `BTreeMap` order), for the exposition renderer.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .iter()
+            .map(|(name, (help, metric))| MetricSample {
+                name: name.clone(),
+                help: help.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => {
+                        let count = h.count();
+                        MetricValue::Summary {
+                            count,
+                            p50_ns: if count == 0 { 0 } else { h.quantile_ns(0.50) },
+                            p90_ns: if count == 0 { 0 } else { h.quantile_ns(0.90) },
+                            p99_ns: if count == 0 { 0 } else { h.quantile_ns(0.99) },
+                        }
+                    }
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("smm_requests", "requests served");
+        let b = reg.counter("smm_requests", "ignored on re-register");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles hit the same counter");
+        // Help text from the first registration wins.
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].help, "requests served");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_clash_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("smm_thing", "a counter");
+        reg.gauge("smm_thing", "now a gauge?");
+    }
+
+    #[test]
+    fn snapshot_carries_all_kinds_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("smm_connections", "open connections").set(4);
+        reg.counter("smm_requests", "requests").add(10);
+        let h = reg.histogram("smm_latency_ns", "request latency");
+        h.record(Duration::from_micros(3));
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["smm_connections", "smm_latency_ns", "smm_requests"]);
+        assert_eq!(snap[0].value, MetricValue::Gauge(4));
+        assert_eq!(snap[2].value, MetricValue::Counter(10));
+        match snap[1].value {
+            MetricValue::Summary { count, p50_ns, .. } => {
+                assert_eq!(count, 1);
+                assert_eq!(p50_ns, 3072);
+            }
+            ref other => panic!("histogram snapshotted as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeroes() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("smm_latency_ns", "never recorded");
+        match reg.snapshot()[0].value {
+            MetricValue::Summary { count, p50_ns, p90_ns, p99_ns } => {
+                assert_eq!((count, p50_ns, p90_ns, p99_ns), (0, 0, 0, 0));
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_histograms_can_be_exposed() {
+        let reg = MetricsRegistry::new();
+        let rec = crate::SpanRecorder::new();
+        for stage in crate::Stage::ALL {
+            reg.register_histogram(
+                &format!("smm_stage_latency_ns{{stage=\"{}\"}}", stage.name()),
+                "per-stage latency",
+                std::sync::Arc::clone(rec.histogram(stage)),
+            );
+        }
+        rec.record(crate::Stage::Decode, Duration::from_micros(1));
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 7);
+        let decode = snap
+            .iter()
+            .find(|s| s.name.contains("decode"))
+            .expect("decode row");
+        assert!(matches!(decode.value, MetricValue::Summary { count: 1, .. }));
+    }
+}

@@ -1,0 +1,550 @@
+//! The `BENCH_*.json` perf-trajectory report: writer and schema check.
+//!
+//! Every perf PR needs a baseline to beat, so the bench harness and the
+//! load generator both emit the same machine-readable report — engine
+//! kind, matrix dims and density, sustained vectors/sec, and per-stage
+//! p50/p99 — through [`BenchReport`]. The emitted file is committed to
+//! the repo (`BENCH_6.json`) and CI re-validates both the committed
+//! copy and a freshly produced one with [`BenchReport::validate_json`].
+//!
+//! The JSON is hand-rolled in both directions (the workspace carries no
+//! serialization dependency): [`BenchReport::to_json`] writes it, and a
+//! small recursive-descent parser backs the validator.
+
+use crate::span::{StageStats, Stage, STAGES};
+use std::fmt::Write as _;
+
+/// The schema identifier stamped into (and required of) every report.
+pub const SCHEMA: &str = "smm-bench-v1";
+
+/// One stage's latency summary inside an [`EngineRun`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// Stage name (one of the [`Stage::name`] values).
+    pub stage: String,
+    /// Samples recorded for the stage.
+    pub count: u64,
+    /// Median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Converts a recorder's per-stage stats into named summaries, keeping
+/// only stages that recorded at least one sample.
+pub fn stage_summaries(stats: &[StageStats; STAGES]) -> Vec<StageSummary> {
+    Stage::ALL
+        .iter()
+        .zip(stats.iter())
+        .filter(|(_, s)| s.count > 0)
+        .map(|(stage, s)| StageSummary {
+            stage: stage.name().to_string(),
+            count: s.count,
+            p50_ns: s.p50_ns,
+            p99_ns: s.p99_ns,
+        })
+        .collect()
+}
+
+/// One measured configuration: an engine serving a fixed matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineRun {
+    /// Engine name as the runtime reports it (`dense`, `csr`,
+    /// `bitserial`, `sigma`, ...).
+    pub engine: String,
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Fraction of nonzero entries in the matrix, in `[0, 1]`.
+    pub density: f64,
+    /// Vectors served during the measurement.
+    pub vectors: u64,
+    /// Sustained throughput over the measurement window.
+    pub vectors_per_sec: f64,
+    /// Per-stage latency summaries (stages with samples only).
+    pub stages: Vec<StageSummary>,
+}
+
+/// The whole report: a set of engine runs from one producer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// What produced the report: `"bench"` (criterion harness) or
+    /// `"loadgen"` (TCP load generator).
+    pub source: String,
+    /// The PR/issue number the trajectory belongs to (the `6` in
+    /// `BENCH_6.json`).
+    pub issue: u32,
+    /// The measured runs.
+    pub runs: Vec<EngineRun>,
+}
+
+/// Writes an f64 as a JSON number (JSON has no NaN/Infinity; those
+/// collapse to 0).
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:.3}");
+    } else {
+        out.push('0');
+    }
+}
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl BenchReport {
+    /// An empty report for `source` under issue number `issue`.
+    pub fn new(source: &str, issue: u32) -> Self {
+        Self {
+            source: source.to_string(),
+            issue,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Appends one measured run.
+    pub fn push(&mut self, run: EngineRun) {
+        self.runs.push(run);
+    }
+
+    /// Serializes the report as pretty-printed JSON conforming to
+    /// [`SCHEMA`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": ");
+        json_str(&mut out, SCHEMA);
+        out.push_str(",\n  \"source\": ");
+        json_str(&mut out, &self.source);
+        let _ = write!(out, ",\n  \"issue\": {},\n  \"runs\": [", self.issue);
+        for (i, run) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"engine\": ");
+            json_str(&mut out, &run.engine);
+            let _ = write!(
+                out,
+                ",\n      \"rows\": {},\n      \"cols\": {},\n      \"density\": ",
+                run.rows, run.cols
+            );
+            json_f64(&mut out, run.density);
+            let _ = write!(out, ",\n      \"vectors\": {}", run.vectors);
+            out.push_str(",\n      \"vectors_per_sec\": ");
+            json_f64(&mut out, run.vectors_per_sec);
+            out.push_str(",\n      \"stages\": [");
+            for (j, s) in run.stages.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        { \"stage\": ");
+                json_str(&mut out, &s.stage);
+                let _ = write!(
+                    out,
+                    ", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {} }}",
+                    s.count, s.p50_ns, s.p99_ns
+                );
+            }
+            if !run.stages.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.runs.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Checks that `json` parses and structurally conforms to
+    /// [`SCHEMA`]: the schema tag matches, `source`/`issue` are
+    /// present, and there is at least one run carrying an engine name,
+    /// dims, density, a vector count, a throughput number, and
+    /// well-formed stage summaries.
+    pub fn validate_json(json: &str) -> Result<(), String> {
+        let value = parse::parse(json)?;
+        let top = value.as_object("report")?;
+        let schema = top.field("schema")?.as_str("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+        }
+        top.field("source")?.as_str("source")?;
+        top.field("issue")?.as_number("issue")?;
+        let runs = top.field("runs")?.as_array("runs")?;
+        if runs.is_empty() {
+            return Err("runs is empty".to_string());
+        }
+        for (i, run) in runs.iter().enumerate() {
+            let run = run.as_object(&format!("runs[{i}]"))?;
+            run.field("engine")?.as_str("engine")?;
+            run.field("rows")?.as_number("rows")?;
+            run.field("cols")?.as_number("cols")?;
+            run.field("density")?.as_number("density")?;
+            run.field("vectors")?.as_number("vectors")?;
+            let vps = run.field("vectors_per_sec")?.as_number("vectors_per_sec")?;
+            if vps < 0.0 {
+                return Err(format!("runs[{i}].vectors_per_sec is negative"));
+            }
+            for (j, s) in run.field("stages")?.as_array("stages")?.iter().enumerate() {
+                let s = s.as_object(&format!("runs[{i}].stages[{j}]"))?;
+                let name = s.field("stage")?.as_str("stage")?;
+                if !Stage::ALL.iter().any(|st| st.name() == name) {
+                    return Err(format!("unknown stage {name:?}"));
+                }
+                s.field("count")?.as_number("count")?;
+                s.field("p50_ns")?.as_number("p50_ns")?;
+                s.field("p99_ns")?.as_number("p99_ns")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The minimal JSON reader behind [`BenchReport::validate_json`]: a
+/// recursive-descent parser into an owned value tree. It accepts
+/// exactly standard JSON (RFC 8259) minus `\uXXXX` surrogate-pair
+/// decoding (escapes are validated but kept verbatim, which is all
+/// schema checking needs).
+mod parse {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number.
+        Number(f64),
+        /// A string (escape sequences validated, not decoded).
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object.
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>, String> {
+            match self {
+                Value::Object(m) => Ok(m),
+                other => Err(format!("{what} is not an object: {other:?}")),
+            }
+        }
+
+        pub fn as_array(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Array(a) => Ok(a),
+                other => Err(format!("{what} is not an array: {other:?}")),
+            }
+        }
+
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::String(s) => Ok(s),
+                other => Err(format!("{what} is not a string: {other:?}")),
+            }
+        }
+
+        pub fn as_number(&self, what: &str) -> Result<f64, String> {
+            match self {
+                Value::Number(n) => Ok(*n),
+                other => Err(format!("{what} is not a number: {other:?}")),
+            }
+        }
+    }
+
+    /// Field access that reports the missing key by name.
+    pub trait Fields {
+        fn field(&self, key: &str) -> Result<&Value, String>;
+    }
+
+    impl Fields for BTreeMap<String, Value> {
+        fn field(&self, key: &str) -> Result<&Value, String> {
+            self.get(key).ok_or_else(|| format!("missing field {key:?}"))
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+            _ => Err(format!("unexpected input at byte {}", *pos)),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while *pos < b.len()
+            && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = Vec::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return String::from_utf8(out).map_err(|_| "invalid utf-8".to_string());
+                }
+                b'\\' => {
+                    let esc = *b
+                        .get(*pos + 1)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    match esc {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {
+                            out.push(b'\\');
+                            out.push(esc);
+                            *pos += 2;
+                        }
+                        b'u' => {
+                            let hex = b
+                                .get(*pos + 2..*pos + 6)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            if !hex.iter().all(|c| c.is_ascii_hexdigit()) {
+                                return Err("bad \\u escape".to_string());
+                            }
+                            out.extend_from_slice(&b[*pos..*pos + 6]);
+                            *pos += 6;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", *pos)),
+                    }
+                }
+                c if c < 0x20 => return Err("control character in string".to_string()),
+                c => {
+                    out.push(c);
+                    *pos += 1;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut map = BTreeMap::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            map.insert(key, parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+}
+
+use parse::Fields as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        let mut report = BenchReport::new("bench", 6);
+        report.push(EngineRun {
+            engine: "csr".to_string(),
+            rows: 96,
+            cols: 96,
+            density: 0.9,
+            vectors: 6400,
+            vectors_per_sec: 123456.789,
+            stages: vec![
+                StageSummary { stage: "shard".into(), count: 400, p50_ns: 3072, p99_ns: 6144 },
+                StageSummary { stage: "compute".into(), count: 100, p50_ns: 6144, p99_ns: 12288 },
+            ],
+        });
+        report.push(EngineRun {
+            engine: "dense".to_string(),
+            rows: 96,
+            cols: 96,
+            density: 0.9,
+            vectors: 6400,
+            vectors_per_sec: 98765.0,
+            stages: vec![],
+        });
+        report
+    }
+
+    #[test]
+    fn emitted_json_validates() {
+        let json = sample_report().to_json();
+        BenchReport::validate_json(&json).expect(&json);
+        assert!(json.contains("\"schema\": \"smm-bench-v1\""));
+        assert!(json.contains("\"engine\": \"csr\""));
+        assert!(json.contains("\"vectors_per_sec\": 123456.789"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn validator_rejects_structural_breakage() {
+        let good = sample_report().to_json();
+        // Wrong schema tag.
+        let bad = good.replace("smm-bench-v1", "smm-bench-v0");
+        assert!(BenchReport::validate_json(&bad).unwrap_err().contains("schema"));
+        // A required field gone.
+        let bad = good.replace("\"vectors_per_sec\"", "\"vps\"");
+        assert!(BenchReport::validate_json(&bad)
+            .unwrap_err()
+            .contains("vectors_per_sec"));
+        // Not JSON at all.
+        assert!(BenchReport::validate_json("not json").is_err());
+        // Truncated mid-structure.
+        assert!(BenchReport::validate_json(&good[..good.len() / 2]).is_err());
+        // Empty runs.
+        let empty = BenchReport::new("bench", 6).to_json();
+        assert!(BenchReport::validate_json(&empty).unwrap_err().contains("empty"));
+        // A stage name outside the pipeline.
+        let bad = good.replace("\"shard\"", "\"warp\"");
+        assert!(BenchReport::validate_json(&bad).unwrap_err().contains("warp"));
+    }
+
+    #[test]
+    fn non_finite_numbers_are_not_emitted() {
+        let mut report = BenchReport::new("loadgen", 6);
+        report.push(EngineRun {
+            engine: "csr".into(),
+            rows: 8,
+            cols: 8,
+            density: f64::NAN,
+            vectors: 0,
+            vectors_per_sec: f64::INFINITY,
+            stages: vec![],
+        });
+        let json = report.to_json();
+        BenchReport::validate_json(&json).expect(&json);
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn stage_summaries_keep_only_recorded_stages() {
+        let mut stats = [StageStats::default(); STAGES];
+        stats[Stage::Compute.idx()] = StageStats { count: 5, p50_ns: 100, p99_ns: 200 };
+        stats[Stage::Decode.idx()] = StageStats { count: 5, p50_ns: 10, p99_ns: 20 };
+        let summaries = stage_summaries(&stats);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].stage, "decode");
+        assert_eq!(summaries[1].stage, "compute");
+        assert_eq!(summaries[1].p99_ns, 200);
+    }
+
+    #[test]
+    fn json_strings_escape_cleanly() {
+        let mut report = BenchReport::new("load\"gen\\\n", 6);
+        report.push(EngineRun {
+            engine: "csr".into(),
+            rows: 1,
+            cols: 1,
+            density: 0.5,
+            vectors: 1,
+            vectors_per_sec: 1.0,
+            stages: vec![],
+        });
+        BenchReport::validate_json(&report.to_json()).unwrap();
+    }
+}

@@ -11,7 +11,8 @@
 //! 4. Hammer the server with the self-checking load generator.
 //! 5. Load a second matrix on the SIGMA-modelled engine via the v3
 //!    backend choice byte and verify it serves bit-identically.
-//! 6. Read the server's own metrics over the wire, then shut down
+//! 6. Read the server's own metrics over the wire — the v4 `Stats`
+//!    reply carries the per-stage latency table — then shut down
 //!    gracefully.
 //!
 //! Run with: `cargo run --release --example remote_serving`
@@ -139,6 +140,21 @@ fn main() {
         stats.cache_misses,
         stats.p99_latency_ns as f64 / 1e3,
     );
+    // The same reply breaks the latency down by pipeline stage (decode
+    // through encode) — the request-span telemetry, read remotely.
+    println!("per-stage latency (count, p50, p99):");
+    for stage in spatial_smm::telemetry::Stage::ALL {
+        let s = stats.stage(stage);
+        if s.count > 0 {
+            println!(
+                "  {:<12} {:>6}  {:>8.1} µs  {:>8.1} µs",
+                stage.name(),
+                s.count,
+                s.p50_ns as f64 / 1e3,
+                s.p99_ns as f64 / 1e3,
+            );
+        }
+    }
     let final_stats = server.shutdown();
     println!(
         "graceful shutdown: {} total requests, 0 lost",

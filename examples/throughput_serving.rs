@@ -82,9 +82,13 @@ fn main() {
     }
 
     // The bit-serial session above compiled through the shared cache, so
-    // a *replan* now picks the circuit: the compile is already paid.
+    // a *replan* now picks the circuit: the compile is already paid. This
+    // session also carries a telemetry recorder — the dispatcher stamps
+    // shard/reassemble/compute durations into per-stage histograms.
+    let recorder = spatial_smm::runtime::SpanRecorder::new();
     let replanned = Session::builder(v.clone())
         .cache(Arc::clone(&cache))
+        .recorder(recorder.clone())
         .build()
         .unwrap();
     println!("{}", replanned.plan().rationale);
@@ -100,4 +104,13 @@ fn main() {
         "replanned session served {} vectors; cache: {} compile(s), {} hit(s)",
         stats.dispatcher.vectors, stats.cache.misses, stats.cache.hits
     );
+    for s in spatial_smm::telemetry::stage_summaries(&recorder.stage_stats()) {
+        println!(
+            "  stage {:<12} {:>4} sample(s), p50 {:>8.1} µs, p99 {:>8.1} µs",
+            s.stage,
+            s.count,
+            s.p50_ns as f64 / 1e3,
+            s.p99_ns as f64 / 1e3,
+        );
+    }
 }

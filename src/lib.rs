@@ -14,6 +14,9 @@
 //!   serving engine via [`runtime::SigmaEngine`])
 //! * [`reservoir`] — echo state networks (float and integer)
 //! * [`cgra`] — Section VIII's proposed custom device, modelled
+//! * [`telemetry`] — metrics registry, log-bucket latency histograms,
+//!   per-stage request spans, Prometheus text exposition, and the
+//!   `BENCH_*.json` report writer
 //! * [`runtime`] — the batched, multi-threaded GEMV serving runtime
 //! * [`server`] — the networked serving frontend (wire protocol, TCP
 //!   server, client, load generator)
@@ -86,6 +89,7 @@ pub use smm_runtime as runtime;
 pub use smm_server as server;
 pub use smm_sigma as sigma;
 pub use smm_sparse as sparse;
+pub use smm_telemetry as telemetry;
 
 // The serving API, re-exported at the crate root as the documented
 // entry point.
