@@ -8,6 +8,10 @@ use std::collections::BTreeMap;
 pub struct Args {
     /// The subcommand (first positional).
     pub command: String,
+    /// The action (second positional) — only the `store` subcommand
+    /// takes one (`smm store ls|gc|warm`); everywhere else a second
+    /// positional is rejected.
+    pub action: Option<String>,
     /// `--key value` options.
     options: BTreeMap<String, String>,
     /// Bare `--flag`s.
@@ -32,7 +36,7 @@ const VALUED: &[&str] = &[
     "seed", "dim", "rows", "cols", "sparsity", "bits", "input-bits", "input", "output",
     "vector", "batch", "module", "policy", "backend", "threads", "repeat", "addr",
     "clients", "duration", "queue-depth", "cache-capacity", "metrics-addr", "json",
-    "bench-json",
+    "bench-json", "store-dir", "max-warm", "max-matrices",
 ];
 
 impl Args {
@@ -47,6 +51,10 @@ impl Args {
         }
         while let Some(arg) = it.next() {
             let Some(key) = arg.strip_prefix("--") else {
+                if args.command == "store" && args.action.is_none() {
+                    args.action = Some(arg.clone());
+                    continue;
+                }
                 return Err(ParseError(format!("unexpected positional argument: {arg}")));
             };
             if VALUED.contains(&key) {
@@ -113,5 +121,19 @@ mod tests {
         assert!(parse(&["synth", "--dim", "8", "--dim", "9"]).is_err());
         let a = parse(&["synth", "--dim", "abc"]).unwrap();
         assert!(a.get_or("dim", 0usize).is_err());
+    }
+
+    #[test]
+    fn store_takes_one_action_positional() {
+        let a = parse(&["store", "gc", "--store-dir", "/tmp/fleet"]).unwrap();
+        assert_eq!(a.command, "store");
+        assert_eq!(a.action.as_deref(), Some("gc"));
+        assert_eq!(a.get("store-dir"), Some("/tmp/fleet"));
+        // No action is fine (defaults are the command's business) …
+        assert!(parse(&["store", "--store-dir", "d"]).unwrap().action.is_none());
+        // … but a second one is not, and other commands still reject
+        // positionals outright.
+        assert!(parse(&["store", "ls", "gc"]).is_err());
+        assert!(parse(&["serve", "ls"]).is_err());
     }
 }

@@ -393,6 +393,8 @@ pub fn serve(args: &Args, out: &mut impl Write) -> CmdResult {
     if duration < 0.0 {
         return Err("--duration must be >= 0".into());
     }
+    let defaults = ServerConfig::default();
+    let store_dir = args.get("store-dir").map(str::to_string);
     let handle = smm_server::start(ServerConfig {
         addr: addr.to_string(),
         backend,
@@ -402,7 +404,11 @@ pub fn serve(args: &Args, out: &mut impl Write) -> CmdResult {
         input_bits,
         encoding: encoding_of(args)?,
         metrics_addr: args.get("metrics-addr").map(str::to_string),
-        ..ServerConfig::default()
+        store_dir: store_dir.clone(),
+        max_matrices: args
+            .get_or("max-matrices", defaults.max_matrices)
+            .map_err(|e| e.0)?,
+        max_warm: args.get_or("max-warm", defaults.max_warm).map_err(|e| e.0)?,
     })
     .map_err(|e| format!("starting server: {e}"))?;
     writeln!(
@@ -414,6 +420,9 @@ pub fn serve(args: &Args, out: &mut impl Write) -> CmdResult {
     .map_err(|e| e.to_string())?;
     if let Some(metrics) = handle.metrics_addr() {
         writeln!(out, "metrics on http://{metrics}/metrics").map_err(|e| e.to_string())?;
+    }
+    if let Some(dir) = &store_dir {
+        writeln!(out, "persistent matrix store in {dir}").map_err(|e| e.to_string())?;
     }
     // A backgrounded `serve` (the CI smoke job) needs the address line
     // before the loadgen starts, not when the buffer fills.
@@ -441,7 +450,78 @@ pub fn serve(args: &Args, out: &mut impl Write) -> CmdResult {
         stats.p50_latency_ns as f64 / 1e3,
         stats.p99_latency_ns as f64 / 1e3,
     )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "fleet: {} hot / {} warm / {} cold; {} promotions, {} demotions, {} store hits",
+        stats.tier_hot,
+        stats.tier_warm,
+        stats.tier_cold,
+        stats.store_promotions,
+        stats.store_demotions,
+        stats.store_hits,
+    )
     .map_err(|e| e.to_string())
+}
+
+/// `smm store` — inspect and maintain a persistent matrix store
+/// directory: `ls` lists resident digests, `gc` removes files that fail
+/// validation, `warm` pre-seeds the store with a matrix so a server
+/// started on the directory serves it without a client upload.
+pub fn store(args: &Args, out: &mut impl Write) -> CmdResult {
+    use smm_store::{Artifact, Store};
+
+    let Some(dir) = args.get("store-dir") else {
+        return Err("store needs --store-dir DIR".into());
+    };
+    let store = Store::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+    match args.action.as_deref().unwrap_or("ls") {
+        "ls" => {
+            let entries = store.scan().map_err(|e| format!("scanning {dir}: {e}"))?;
+            writeln!(out, "{} digest(s) in {dir}:", entries.len()).map_err(|e| e.to_string())?;
+            let mut total = 0u64;
+            for e in &entries {
+                let kinds: Vec<&str> = e.kinds.iter().map(|k| k.ext()).collect();
+                total += e.bytes;
+                writeln!(
+                    out,
+                    "  {:#018x}  {:>9} bytes  [{}]",
+                    e.digest,
+                    e.bytes,
+                    kinds.join(", ")
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            writeln!(out, "total: {total} bytes").map_err(|e| e.to_string())
+        }
+        "gc" => {
+            let report = store.gc().map_err(|e| format!("collecting {dir}: {e}"))?;
+            writeln!(
+                out,
+                "kept {} file(s), removed {} ({} bytes reclaimed)",
+                report.kept, report.removed, report.reclaimed_bytes
+            )
+            .map_err(|e| e.to_string())
+        }
+        "warm" => {
+            let matrix = resolve(args)?;
+            let digest = matrix.digest();
+            store
+                .put(digest, &Artifact::Matrix(matrix.clone()))
+                .and_then(|_| store.put(digest, &Artifact::Csr(Csr::from_dense(&matrix))))
+                .map_err(|e| format!("persisting into {dir}: {e}"))?;
+            writeln!(
+                out,
+                "warmed {:#018x} ({}x{}, nnz {}) into {dir}",
+                digest,
+                matrix.rows(),
+                matrix.cols(),
+                matrix.nnz()
+            )
+            .map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown store action '{other}' (try ls, gc, or warm)")),
+    }
 }
 
 /// `smm loadgen` — hammer a running server with concurrent
@@ -714,6 +794,7 @@ mod tests {
             "dot" => dot(&args, &mut out)?,
             "compare" => compare(&args, &mut out)?,
             "cgra" => cgra(&args, &mut out)?,
+            "store" => store(&args, &mut out)?,
             _ => unreachable!(),
         }
         Ok(String::from_utf8(out).unwrap())
@@ -898,6 +979,74 @@ mod tests {
         assert!(run_cmd(&["serve", "--duration", "-1"]).is_err());
         // Unbindable address.
         assert!(run_cmd(&["serve", "--addr", "999.0.0.1:1", "--duration", "0.1"]).is_err());
+    }
+
+    #[test]
+    fn serve_with_store_dir_reports_the_fleet() {
+        let dir = std::env::temp_dir().join(format!("smm-cli-serve-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.display().to_string();
+        let text = run_cmd(&[
+            "serve", "--addr", "127.0.0.1:0", "--duration", "0.2", "--store-dir", &dir_s,
+            "--max-warm", "7",
+        ])
+        .unwrap();
+        assert!(text.contains("persistent matrix store in"), "{text}");
+        assert!(text.contains("fleet: 0 hot / 0 warm / 0 cold"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_warm_ls_gc_round_trip() {
+        let dir = std::env::temp_dir().join(format!("smm-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.display().to_string();
+
+        // warm: persist a generated matrix …
+        let text =
+            run_cmd(&["store", "warm", "--store-dir", &dir_s, "--dim", "8", "--seed", "9"])
+                .unwrap();
+        assert!(text.contains("warmed 0x"), "{text}");
+        assert!(text.contains("8x8"), "{text}");
+
+        // … ls sees it …
+        let text = run_cmd(&["store", "ls", "--store-dir", &dir_s]).unwrap();
+        assert!(text.contains("1 digest(s)"), "{text}");
+        assert!(text.contains("[matrix, csr]"), "{text}");
+
+        // … and a clean store survives gc untouched. `ls` is the default
+        // action; bogus actions and a missing --store-dir are refused.
+        let text = run_cmd(&["store", "gc", "--store-dir", &dir_s]).unwrap();
+        assert!(text.contains("removed 0"), "{text}");
+        assert!(run_cmd(&["store", "--store-dir", &dir_s])
+            .unwrap()
+            .contains("1 digest(s)"));
+        assert!(run_cmd(&["store", "shrink", "--store-dir", &dir_s])
+            .unwrap_err()
+            .contains("unknown store action"));
+        assert!(run_cmd(&["store", "ls"]).unwrap_err().contains("--store-dir"));
+
+        // A server pointed at the warmed directory serves the matrix
+        // without any client ever uploading it.
+        let matrix = resolve(
+            &Args::parse(&["store".into(), "--dim".into(), "8".into(), "--seed".into(), "9".into()])
+                .unwrap(),
+        )
+        .unwrap();
+        let server = smm_server::start(smm_server::ServerConfig {
+            store_dir: Some(dir_s.clone()),
+            ..smm_server::ServerConfig::default()
+        })
+        .unwrap();
+        let mut client = smm_server::Client::connect(server.local_addr()).unwrap();
+        let a = vec![1i32; 8];
+        assert_eq!(
+            client.gemv(matrix.digest(), &a).unwrap(),
+            smm_core::gemv::vecmat(&a, &matrix).unwrap()
+        );
+        let stats = server.shutdown();
+        assert!(stats.store_hits >= 1, "{stats:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! smm loadgen  [matrix opts] [--addr A] [--clients C] [--batch B] [--duration S]
 //!              [--json F] [--bench-json F]
 //! smm stats    [--addr A]                               # per-stage latency table
+//! smm store    [ls|gc|warm] --store-dir DIR             # persistent matrix fleet
 //! ```
 
 #![warn(missing_docs)]
@@ -46,6 +47,7 @@ commands:
   serve     run the TCP serving frontend (wire protocol on --addr)
   loadgen   hammer a running server with self-checking clients
   stats     print a running server's counters and per-stage latencies
+  store     list, garbage-collect, or pre-warm a persistent matrix store
 
 matrix options (all commands):
   --input FILE      MatrixMarket .mtx or dense text file
@@ -75,6 +77,11 @@ command-specific:
             --duration S      seconds to run, 0 = until killed (default 0)
             --metrics-addr M  also serve Prometheus text on GET M/metrics
                               (default: no metrics listener; port 0 = auto)
+            --store-dir DIR   persist loaded matrices as digest-addressed
+                              artifacts; a restart on the same DIR serves
+                              the fleet without recompiling
+            --max-matrices N  hot-tier bound (compiled sessions, default 64)
+            --max-warm N      warm-tier bound (decoded matrices, default 256)
   loadgen:  --addr A          (default 127.0.0.1:7878)
             --backend auto|dense|csr|bitserial  requested in LoadMatrix
                               (default: the server's own default)
@@ -87,6 +94,10 @@ command-specific:
             verifies every reply against the dense reference
   stats:    --addr A          (default 127.0.0.1:7878); prints request totals,
                               cache behavior, and the per-stage latency table
+  store:    ls (default)      list resident digests, kinds, and bytes
+            gc                remove files that fail checksum validation
+            warm              persist a matrix (matrix opts) into the store
+            --store-dir DIR   the store directory (required)
 ";
 
 /// Runs the CLI. Returns the process exit code; all normal output goes to
@@ -107,6 +118,7 @@ pub fn run(raw_args: &[String], out: &mut impl std::io::Write) -> Result<(), Str
         "trace" => commands::trace(&args, out),
         "system" => commands::system(&args, out),
         "cgra" => commands::cgra(&args, out),
+        "store" => commands::store(&args, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())

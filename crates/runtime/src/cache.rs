@@ -277,7 +277,9 @@ impl MultiplierCache {
     }
 
     /// Drops every cached circuit (outstanding `Arc`s stay valid) and
-    /// zeroes the counters.
+    /// zeroes the counters — hits, misses, and evictions all reset, so
+    /// [`CacheStats::hit_rate`] after a clear reflects post-clear
+    /// traffic only, never a blend with the previous epoch.
     pub fn clear(&self) {
         let mut table = self.table.lock().expect("cache poisoned");
         table.entries.clear();
@@ -370,6 +372,25 @@ mod tests {
         // Peeks moved no counter.
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (0, 1));
+    }
+
+    #[test]
+    fn hit_rate_after_clear_reflects_only_new_traffic() {
+        // Regression: pre-clear hits must not pollute the post-clear
+        // rate. Build a 100% hit epoch, clear, then take one miss —
+        // the rate must read 0.0, not a blend of the two epochs.
+        let cache = MultiplierCache::new();
+        let v = IntMatrix::identity(4).unwrap();
+        cache.get_or_compile(&v, 4, WeightEncoding::Pn).unwrap();
+        cache.get_or_compile(&v, 4, WeightEncoding::Pn).unwrap();
+        cache.get_or_compile(&v, 4, WeightEncoding::Pn).unwrap();
+        assert!((cache.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        cache.clear();
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.get_or_compile(&v, 4, WeightEncoding::Pn).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
+        assert_eq!(s.hit_rate(), 0.0);
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod dispatch;
 pub mod plan;
 pub mod session;
 pub mod spec;
+pub mod tiered;
 
 pub use backend::{BitSerial, DenseRef, GemvBackend, SigmaEngine, SparseCsr};
 pub use cache::{CacheStats, MultiplierCache};
@@ -81,5 +82,6 @@ pub use dispatch::{BatchResult, BatchStats, Dispatcher, DispatcherConfig, Dispat
 pub use smm_core::block::{FrameBlock, RowBlock};
 pub use plan::{AutoOptions, EnginePlan, PlanCandidate, PlanPolicy, Planner};
 pub use session::{Session, SessionBuilder, SessionStats};
+pub use tiered::{circuit_meta_for, FleetSnapshot, InsertOutcome, TieredConfig, TieredRegistry};
 pub use smm_telemetry::{SpanRecorder, Stage, StageStats};
 pub use spec::{EngineContext, EngineFactory, EngineRegistry, EngineSpec, BUILTIN_KINDS};

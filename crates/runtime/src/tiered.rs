@@ -1,0 +1,745 @@
+//! The tiered matrix fleet: hot sessions, warm matrices, cold bytes.
+//!
+//! [`TieredRegistry`] replaces a flat `digest → Session` map with the
+//! three-tier residency model of `smm-store` (see [`Tier`]):
+//!
+//! * **hot** — a live [`Session`] (compiled engine + worker pool);
+//! * **warm** — the raw [`IntMatrix`] (+ CSR) resident in memory, the
+//!   engine rebuilt on demand through the shared multiplier cache;
+//! * **cold** — checksummed artifact bytes in an attached [`Store`].
+//!
+//! Promotion happens on request ([`TieredRegistry::acquire`]): a warm
+//! or cold digest is rebuilt into a session the moment traffic asks for
+//! it, and the read from disk is counted as a *store hit*. Demotion
+//! happens under pressure: when the hot tier exceeds its bound the
+//! least-recently-used session is demoted to warm (its served-request
+//! counters are retired into registry totals first, so `Stats` stays
+//! monotone), and when the warm tier overflows entries spill to cold —
+//! which requires an attached store; without one the registry reports
+//! capacity instead, typed, so callers can tell pressure from failure.
+//!
+//! The promotion/demotion choice is driven by the per-digest request
+//! counters and LRU clock of [`smm_store::TierPolicy`], mirroring the
+//! compiled-multiplier cache's eviction discipline.
+
+use crate::cache::MultiplierCache;
+use crate::session::Session;
+use smm_core::error::Result;
+use smm_core::matrix::IntMatrix;
+use smm_sparse::Csr;
+use smm_store::{Artifact, ArtifactKind, CircuitMeta, Store, Tier, TierCounts, TierPolicy};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Capacity bounds of the in-memory tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TieredConfig {
+    /// Hot sessions resident at once (minimum 1). Exceeding this
+    /// demotes the LRU session to warm instead of refusing the load.
+    pub max_hot: usize,
+    /// Warm entries resident at once. Exceeding this spills the LRU
+    /// warm entry to cold when a store is attached; without a store the
+    /// registry reports capacity once hot + warm are both full.
+    pub max_warm: usize,
+}
+
+impl Default for TieredConfig {
+    fn default() -> Self {
+        Self {
+            max_hot: 64,
+            max_warm: 256,
+        }
+    }
+}
+
+/// What [`TieredRegistry::insert`] did with a freshly built session.
+pub enum InsertOutcome {
+    /// The session was installed hot; the digest is newly resident.
+    Installed(Arc<Session>),
+    /// Another loader raced this one in; the existing session answers.
+    AlreadyLoaded(Arc<Session>),
+    /// No tier has room (no store attached and hot + warm are full).
+    Capacity {
+        /// Digests resident when the insert was refused.
+        loaded: u64,
+    },
+}
+
+/// Point-in-time fleet state: occupancy and transition counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetSnapshot {
+    /// Resident digests per tier.
+    pub counts: TierCounts,
+    /// Upward transitions served (warm→hot, cold→hot).
+    pub promotions: u64,
+    /// Downward transitions under pressure (hot→warm, warm→cold).
+    pub demotions: u64,
+    /// Loads answered from on-disk artifact bytes.
+    pub store_hits: u64,
+}
+
+struct Entry {
+    session: Option<Arc<Session>>,
+    matrix: Option<IntMatrix>,
+    csr: Option<Csr>,
+    on_disk: bool,
+}
+
+impl Entry {
+    fn tier(&self) -> Tier {
+        if self.session.is_some() {
+            Tier::Hot
+        } else if self.matrix.is_some() {
+            Tier::Warm
+        } else {
+            Tier::Cold
+        }
+    }
+}
+
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    policy: TierPolicy,
+    /// Dispatcher batches/vectors served by sessions that have since
+    /// been demoted — folded in so `Stats` totals never move backwards.
+    retired_batches: u64,
+    retired_vectors: u64,
+}
+
+/// The tiered, digest-addressed session registry (see module docs).
+pub struct TieredRegistry {
+    config: TieredConfig,
+    store: Option<Store>,
+    inner: Mutex<Inner>,
+    promotions: AtomicU64,
+    demotions: AtomicU64,
+    store_hits: AtomicU64,
+}
+
+impl TieredRegistry {
+    /// An empty, memory-only registry (no cold tier).
+    pub fn new(config: TieredConfig) -> Self {
+        Self {
+            config: TieredConfig {
+                max_hot: config.max_hot.max(1),
+                max_warm: config.max_warm,
+            },
+            store: None,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                policy: TierPolicy::new(),
+                retired_batches: 0,
+                retired_vectors: 0,
+            }),
+            promotions: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A registry backed by `store`: every digest already on disk is
+    /// registered cold, so a restarted server's fleet is immediately
+    /// addressable (and promoted on first request, without recompiling
+    /// what the store can answer).
+    pub fn with_store(config: TieredConfig, store: Store) -> Result<Self> {
+        let mut registry = Self::new(config);
+        let entries = store.scan()?;
+        {
+            let inner = registry.inner.get_mut().expect("registry poisoned");
+            for e in entries {
+                if e.kinds.contains(&ArtifactKind::Matrix) {
+                    inner.entries.insert(
+                        e.digest,
+                        Entry {
+                            session: None,
+                            matrix: None,
+                            csr: None,
+                            on_disk: true,
+                        },
+                    );
+                }
+            }
+        }
+        registry.store = Some(store);
+        Ok(registry)
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// The tier `digest` currently resides in, if known at all.
+    pub fn tier_of(&self, digest: u64) -> Option<Tier> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        inner.entries.get(&digest).map(Entry::tier)
+    }
+
+    /// Every known digest with its current tier and request count,
+    /// sorted hottest-tier first.
+    pub fn scan(&self) -> Vec<(u64, Tier, u64)> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut rows: Vec<(u64, Tier, u64)> = inner
+            .entries
+            .iter()
+            .map(|(&d, e)| (d, e.tier(), inner.policy.requests(d)))
+            .collect();
+        rows.sort_by_key(|&(d, tier, requests)| (tier, std::cmp::Reverse(requests), d));
+        rows
+    }
+
+    /// Resident digests per tier.
+    pub fn tier_counts(&self) -> TierCounts {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut counts = TierCounts::default();
+        for e in inner.entries.values() {
+            match e.tier() {
+                Tier::Hot => counts.hot += 1,
+                Tier::Warm => counts.warm += 1,
+                Tier::Cold => counts.cold += 1,
+            }
+        }
+        counts
+    }
+
+    /// Occupancy plus the promotion/demotion/store-hit counters.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot {
+            counts: self.tier_counts(),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total dispatcher batches and vectors served across the fleet's
+    /// lifetime: live hot sessions plus counters retired at demotion.
+    pub fn served_totals(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut batches = inner.retired_batches;
+        let mut vectors = inner.retired_vectors;
+        for e in inner.entries.values() {
+            if let Some(session) = &e.session {
+                let s = session.dispatcher_stats();
+                batches += s.batches;
+                vectors += s.vectors + session.singles();
+            }
+        }
+        (batches, vectors)
+    }
+
+    /// `Some(loaded)` when a *new* digest cannot be admitted: no store
+    /// is attached and both in-memory tiers are at their bounds. With a
+    /// store, pressure always demotes instead, so admission never fails.
+    pub fn full_capacity(&self) -> Option<u64> {
+        if self.store.is_some() {
+            return None;
+        }
+        let inner = self.inner.lock().expect("registry poisoned");
+        let loaded = inner.entries.len() as u64;
+        (loaded >= (self.config.max_hot + self.config.max_warm) as u64).then_some(loaded)
+    }
+
+    /// Looks up `digest`, promoting it to hot if it is resident in any
+    /// tier: a hot hit returns the live session; a warm entry is
+    /// rebuilt through `build`; a cold entry is read from the store
+    /// (counted as a store hit), then rebuilt. Returns `Ok(None)` when
+    /// the digest is unknown — or when its cold bytes are corrupt, in
+    /// which case a warning is logged, the entry is dropped, and the
+    /// caller is free to rebuild from its own copy of the matrix.
+    pub fn acquire(
+        &self,
+        digest: u64,
+        build: impl FnOnce(IntMatrix) -> Result<Session>,
+    ) -> Result<Option<Arc<Session>>> {
+        let matrix = {
+            let mut inner = self.inner.lock().expect("registry poisoned");
+            inner.policy.touch(digest);
+            let Some(entry) = inner.entries.get(&digest) else {
+                return Ok(None);
+            };
+            match (&entry.session, &entry.matrix) {
+                (Some(session), _) => return Ok(Some(Arc::clone(session))),
+                (None, Some(matrix)) => Some(matrix.clone()),
+                (None, None) => None,
+            }
+        };
+        // Warm or cold: resolve the matrix bytes outside the lock (disk
+        // reads and engine builds must not stall hot-path lookups).
+        let matrix = match matrix {
+            Some(matrix) => matrix,
+            None => match self.read_cold_matrix(digest) {
+                Some(matrix) => matrix,
+                None => return Ok(None),
+            },
+        };
+        let session = build(matrix.clone())?;
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let entry = inner.entries.entry(digest).or_insert_with(|| Entry {
+            session: None,
+            matrix: None,
+            csr: None,
+            on_disk: false,
+        });
+        if let Some(existing) = &entry.session {
+            // A racing promoter won; serve its session.
+            return Ok(Some(Arc::clone(existing)));
+        }
+        let session = Arc::new(session);
+        entry.session = Some(Arc::clone(&session));
+        entry.matrix.get_or_insert(matrix);
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        self.rebalance(&mut inner);
+        Ok(Some(session))
+    }
+
+    /// Reads a cold digest's matrix artifact, counting the store hit.
+    /// Corruption warns and forgets the entry instead of failing.
+    fn read_cold_matrix(&self, digest: u64) -> Option<IntMatrix> {
+        let store = self.store.as_ref()?;
+        match store.get(digest, ArtifactKind::Matrix) {
+            Ok(Some(Artifact::Matrix(matrix))) => {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                Some(matrix)
+            }
+            Ok(_) => {
+                // The file vanished (or holds the wrong payload kind);
+                // the cold entry is stale either way.
+                self.forget(digest);
+                None
+            }
+            Err(e) => {
+                eprintln!(
+                    "smm-store: cold artifact for digest {digest:#018x} failed to load \
+                     ({e}); dropping the entry and serving without it"
+                );
+                self.forget(digest);
+                None
+            }
+        }
+    }
+
+    fn forget(&self, digest: u64) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.entries.remove(&digest);
+        inner.policy.forget(digest);
+    }
+
+    /// Installs a freshly built session for `digest`, persisting its
+    /// artifacts to the attached store and demoting under pressure.
+    /// First insert wins: if another loader raced this one, the
+    /// existing session is returned and the new one is dropped.
+    pub fn insert(
+        &self,
+        matrix: IntMatrix,
+        session: Session,
+        meta: Option<CircuitMeta>,
+    ) -> InsertOutcome {
+        let digest = matrix.digest();
+        // Persist outside the lock: disk writes must not stall lookups.
+        // A write failure degrades to memory-only residency (warned,
+        // not fatal — serving beats persistence).
+        let on_disk = self.persist(digest, &matrix, meta.as_ref());
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some(entry) = inner.entries.get_mut(&digest) {
+            if let Some(existing) = &entry.session {
+                return InsertOutcome::AlreadyLoaded(Arc::clone(existing));
+            }
+        }
+        if self.store.is_none()
+            && inner.entries.len() >= self.config.max_hot + self.config.max_warm
+            && !inner.entries.contains_key(&digest)
+        {
+            return InsertOutcome::Capacity {
+                loaded: inner.entries.len() as u64,
+            };
+        }
+        inner.policy.touch(digest);
+        let session = Arc::new(session);
+        let entry = inner.entries.entry(digest).or_insert_with(|| Entry {
+            session: None,
+            matrix: None,
+            csr: None,
+            on_disk: false,
+        });
+        entry.session = Some(Arc::clone(&session));
+        entry.matrix = Some(matrix);
+        entry.on_disk = entry.on_disk || on_disk;
+        self.rebalance(&mut inner);
+        InsertOutcome::Installed(session)
+    }
+
+    /// Writes matrix + CSR (+ circuit metadata) artifacts for `digest`.
+    fn persist(&self, digest: u64, matrix: &IntMatrix, meta: Option<&CircuitMeta>) -> bool {
+        let Some(store) = &self.store else {
+            return false;
+        };
+        let mut artifacts = vec![
+            Artifact::Matrix(matrix.clone()),
+            Artifact::Csr(Csr::from_dense(matrix)),
+        ];
+        if let Some(meta) = meta {
+            artifacts.push(Artifact::Circuit(meta.clone()));
+        }
+        for artifact in artifacts {
+            if let Err(e) = store.put(digest, &artifact) {
+                eprintln!(
+                    "smm-store: persisting {} artifact for digest {digest:#018x} failed ({e}); \
+                     entry stays memory-only",
+                    artifact.kind().ext()
+                );
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Demotes `digest` one tier (hot→warm, warm→cold), returning its
+    /// new tier. `None` when the digest is unknown or cannot move down
+    /// (already cold, or warm with no store to spill to).
+    pub fn demote(&self, digest: u64) -> Option<Tier> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        self.demote_locked(&mut inner, digest)
+    }
+
+    /// Drops `digest` from every in-memory tier; with `from_disk`, its
+    /// artifact files too. Returns whether anything was removed.
+    pub fn evict(&self, digest: u64, from_disk: bool) -> bool {
+        let removed = {
+            let mut inner = self.inner.lock().expect("registry poisoned");
+            let removed = inner.entries.remove(&digest);
+            inner.policy.forget(digest);
+            if let Some(entry) = &removed {
+                if let Some(session) = &entry.session {
+                    let s = session.dispatcher_stats();
+                    inner.retired_batches += s.batches;
+                    inner.retired_vectors += s.vectors + session.singles();
+                }
+            }
+            removed.is_some()
+        };
+        if from_disk {
+            if let Some(store) = &self.store {
+                let _ = store.evict(digest);
+            }
+        }
+        removed
+    }
+
+    fn demote_locked(&self, inner: &mut Inner, digest: u64) -> Option<Tier> {
+        let entry = inner.entries.get_mut(&digest)?;
+        match entry.tier() {
+            Tier::Hot => {
+                // Retire the pool's counters before dropping it so the
+                // fleet's served totals stay monotone across demotion.
+                if let Some(session) = entry.session.take() {
+                    let s = session.dispatcher_stats();
+                    inner.retired_batches += s.batches;
+                    inner.retired_vectors += s.vectors + session.singles();
+                }
+                let matrix = entry.matrix.as_ref().expect("hot entry retains its matrix");
+                if entry.csr.is_none() {
+                    entry.csr = Some(Csr::from_dense(matrix));
+                }
+                self.demotions.fetch_add(1, Ordering::Relaxed);
+                Some(Tier::Warm)
+            }
+            Tier::Warm => {
+                if !entry.on_disk {
+                    // Nothing durable to fall back on; refuse rather
+                    // than silently dropping a loaded matrix.
+                    return None;
+                }
+                entry.matrix = None;
+                entry.csr = None;
+                self.demotions.fetch_add(1, Ordering::Relaxed);
+                Some(Tier::Cold)
+            }
+            Tier::Cold => None,
+        }
+    }
+
+    /// Enforces the tier bounds after an install or promotion: LRU hot
+    /// sessions demote to warm, LRU warm entries spill to cold.
+    fn rebalance(&self, inner: &mut Inner) {
+        loop {
+            let hot: Vec<u64> = inner
+                .entries
+                .iter()
+                .filter(|(_, e)| e.tier() == Tier::Hot)
+                .map(|(&d, _)| d)
+                .collect();
+            if hot.len() <= self.config.max_hot {
+                break;
+            }
+            let Some(victim) = inner.policy.coldest(hot.into_iter()) else {
+                break;
+            };
+            if self.demote_locked(inner, victim).is_none() {
+                break;
+            }
+        }
+        loop {
+            let warm: Vec<u64> = inner
+                .entries
+                .iter()
+                .filter(|(_, e)| e.tier() == Tier::Warm)
+                .map(|(&d, _)| d)
+                .collect();
+            if warm.len() <= self.config.max_warm {
+                break;
+            }
+            let Some(victim) = inner.policy.coldest(warm.into_iter()) else {
+                break;
+            };
+            if self.demote_locked(inner, victim).is_none() {
+                // Warm with no store: nothing can spill; admission
+                // control keeps this bounded instead.
+                break;
+            }
+        }
+    }
+}
+
+/// Builds the [`CircuitMeta`] artifact describing what a session
+/// compiled for its matrix — the store's record of the engine choice.
+pub fn circuit_meta_for(session: &Session, matrix: &IntMatrix, cache: &MultiplierCache) -> CircuitMeta {
+    let plan = session.plan();
+    let _ = cache; // the compile itself is reproduced via the cache
+    CircuitMeta {
+        engine: session.engine().name().to_string(),
+        input_bits: plan.spec.input_bits,
+        encoding: format!("{:?}", plan.spec.encoding),
+        rows: matrix.rows() as u64,
+        cols: matrix.cols() as u64,
+        nnz: matrix.nnz() as u64,
+        rationale: plan.rationale.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::EngineSpec;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    fn matrix(tag: i32) -> IntMatrix {
+        IntMatrix::from_vec(2, 2, vec![tag, 0, -tag, tag + 1]).unwrap()
+    }
+
+    fn csr_session(m: IntMatrix) -> Session {
+        Session::with_spec(m, EngineSpec::new("csr").threads(1)).unwrap()
+    }
+
+    fn temp_store() -> Store {
+        static N: TestCounter = TestCounter::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "smm-tiered-test-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        Store::open(dir).unwrap()
+    }
+
+    #[test]
+    fn insert_acquire_round_trip() {
+        let registry = TieredRegistry::new(TieredConfig::default());
+        let m = matrix(3);
+        let digest = m.digest();
+        let session = csr_session(m.clone());
+        assert!(matches!(
+            registry.insert(m, session, None),
+            InsertOutcome::Installed(_)
+        ));
+        assert_eq!(registry.tier_of(digest), Some(Tier::Hot));
+        let got = registry
+            .acquire(digest, |_| panic!("hot hit must not rebuild"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.run(&[1, 2]).unwrap().len(), 2);
+        assert!(registry.acquire(99, |_| panic!("unknown digest")).unwrap().is_none());
+    }
+
+    #[test]
+    fn hot_pressure_demotes_lru_to_warm_and_back() {
+        let registry = TieredRegistry::new(TieredConfig {
+            max_hot: 1,
+            max_warm: 8,
+        });
+        let (a, b) = (matrix(1), matrix(5));
+        let (da, db) = (a.digest(), b.digest());
+        registry.insert(a, csr_session(matrix(1)), None);
+        registry.insert(b, csr_session(matrix(5)), None);
+        // b displaced a: a is warm, b hot; nothing was refused.
+        assert_eq!(registry.tier_of(da), Some(Tier::Warm));
+        assert_eq!(registry.tier_of(db), Some(Tier::Hot));
+        assert_eq!(registry.snapshot().demotions, 1);
+        // Asking for a promotes it back (rebuilding via the closure)
+        // and demotes b.
+        let built = TestCounter::new(0);
+        let got = registry
+            .acquire(da, |m| {
+                built.fetch_add(1, Ordering::Relaxed);
+                Ok(csr_session(m))
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(built.load(Ordering::Relaxed), 1);
+        assert_eq!(got.run(&[1, 1]).unwrap().len(), 2);
+        assert_eq!(registry.tier_of(da), Some(Tier::Hot));
+        assert_eq!(registry.tier_of(db), Some(Tier::Warm));
+        let snap = registry.snapshot();
+        assert_eq!(snap.promotions, 1);
+        assert_eq!(snap.counts.hot, 1);
+        assert_eq!(snap.counts.warm, 1);
+    }
+
+    #[test]
+    fn without_store_capacity_is_typed_not_silent() {
+        let registry = TieredRegistry::new(TieredConfig {
+            max_hot: 1,
+            max_warm: 1,
+        });
+        registry.insert(matrix(1), csr_session(matrix(1)), None);
+        registry.insert(matrix(5), csr_session(matrix(5)), None);
+        assert_eq!(registry.full_capacity(), Some(2));
+        match registry.insert(matrix(9), csr_session(matrix(9)), None) {
+            InsertOutcome::Capacity { loaded } => assert_eq!(loaded, 2),
+            _ => panic!("third insert must report capacity"),
+        }
+        // A digest already resident is still served.
+        assert!(registry
+            .acquire(matrix(1).digest(), |m| Ok(csr_session(m)))
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn with_store_pressure_spills_to_cold_and_reloads() {
+        let store = temp_store();
+        let dir = store.dir().to_path_buf();
+        let registry = TieredRegistry::with_store(
+            TieredConfig {
+                max_hot: 1,
+                max_warm: 1,
+            },
+            store,
+        )
+        .unwrap();
+        let digests: Vec<u64> = (1..=3)
+            .map(|t| {
+                let m = matrix(t);
+                let d = m.digest();
+                registry.insert(m.clone(), csr_session(m), None);
+                d
+            })
+            .collect();
+        // Never full with a store attached; the overflow went cold.
+        assert_eq!(registry.full_capacity(), None);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counts.hot, 1);
+        assert_eq!(snap.counts.warm, 1);
+        assert_eq!(snap.counts.cold, 1);
+        // The cold digest (LRU = first inserted) promotes back via the
+        // store — a store hit, not a reload from the caller.
+        assert_eq!(registry.tier_of(digests[0]), Some(Tier::Cold));
+        let got = registry
+            .acquire(digests[0], |m| Ok(csr_session(m)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.run(&[2, 3]).unwrap().len(), 2);
+        assert!(registry.snapshot().store_hits >= 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn restart_reloads_fleet_from_store() {
+        let store = temp_store();
+        let dir = store.dir().to_path_buf();
+        let m = matrix(7);
+        let digest = m.digest();
+        {
+            let registry =
+                TieredRegistry::with_store(TieredConfig::default(), store).unwrap();
+            registry.insert(m.clone(), csr_session(m.clone()), None);
+        }
+        // A fresh registry over the same directory sees the digest cold
+        // and serves it from bytes alone.
+        let registry = TieredRegistry::with_store(
+            TieredConfig::default(),
+            Store::open(&dir).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(registry.tier_of(digest), Some(Tier::Cold));
+        let got = registry
+            .acquire(digest, |loaded| {
+                assert_eq!(loaded, m);
+                Ok(csr_session(loaded))
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.run(&[1, 0]).unwrap(), m.row(0).iter().map(|&v| v as i64).collect::<Vec<_>>());
+        assert_eq!(registry.snapshot().store_hits, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_cold_entry_warns_and_degrades() {
+        let store = temp_store();
+        let dir = store.dir().to_path_buf();
+        let m = matrix(11);
+        let digest = m.digest();
+        {
+            let registry =
+                TieredRegistry::with_store(TieredConfig::default(), store).unwrap();
+            registry.insert(m.clone(), csr_session(m.clone()), None);
+        }
+        // Flip a payload byte in the matrix artifact.
+        let store = Store::open(&dir).unwrap();
+        let path = store.path_for(digest, ArtifactKind::Matrix);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+        let registry = TieredRegistry::with_store(TieredConfig::default(), store).unwrap();
+        assert_eq!(registry.tier_of(digest), Some(Tier::Cold));
+        // The acquire degrades to "unknown" — no panic, no Err — and
+        // the caller is free to rebuild from its own bytes.
+        assert!(registry
+            .acquire(digest, |m| Ok(csr_session(m)))
+            .unwrap()
+            .is_none());
+        match registry.insert(m.clone(), csr_session(m), None) {
+            InsertOutcome::Installed(_) => {}
+            _ => panic!("reinsert after corruption must install"),
+        }
+        // The reinsert rewrote good bytes.
+        assert!(matches!(
+            Store::open(&dir).unwrap().get(digest, ArtifactKind::Matrix),
+            Ok(Some(_))
+        ));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn served_totals_survive_demotion() {
+        let registry = TieredRegistry::new(TieredConfig {
+            max_hot: 1,
+            max_warm: 4,
+        });
+        let m = matrix(2);
+        let digest = m.digest();
+        let outcome = registry.insert(m.clone(), csr_session(m), None);
+        let InsertOutcome::Installed(session) = outcome else {
+            panic!("insert must install");
+        };
+        session.run(&[4, 5]).unwrap();
+        drop(session);
+        assert_eq!(registry.served_totals().1, 1);
+        registry.demote(digest);
+        assert_eq!(registry.tier_of(digest), Some(Tier::Warm));
+        // The single served before demotion is still counted.
+        assert_eq!(registry.served_totals().1, 1);
+    }
+}

@@ -1,5 +1,6 @@
-//! The blocking client side of the wire protocol (speaks v4: its
-//! `Stats` snapshots carry the per-stage latency block).
+//! The blocking client side of the wire protocol (speaks v5: typed
+//! capacity refusals, and `Stats` snapshots carrying the per-stage
+//! latency block plus the matrix-fleet tier block).
 
 use crate::protocol::{
     read_frame, write_frame, BackendKind, FrameError, LoadedInfo, Opcode, Reply, Request,
@@ -14,6 +15,14 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub enum ServeError {
     /// The server's admission queue is full; retry after backing off.
     Busy,
+    /// The server's matrix fleet is at capacity across every tier; the
+    /// upload was refused. Carries the resident digest count. Evict or
+    /// point the server at a `--store-dir` so pressure demotes to disk
+    /// instead of refusing.
+    Capacity {
+        /// Digests currently resident across all tiers.
+        loaded: u64,
+    },
     /// The server answered with an error message.
     Remote(String),
     /// The request was malformed client-side (e.g. a ragged batch) and
@@ -27,6 +36,9 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Busy => write!(f, "server busy: admission queue full"),
+            ServeError::Capacity { loaded } => {
+                write!(f, "matrix registry full ({loaded} loaded)")
+            }
             ServeError::Remote(message) => write!(f, "server error: {message}"),
             ServeError::Invalid(context) => write!(f, "invalid request (not sent): {context}"),
             ServeError::Transport(context) => write!(f, "transport failure: {context}"),
@@ -90,6 +102,7 @@ impl Client {
             .map_err(|e| ServeError::Transport(e.to_string()))?;
         match reply {
             Reply::Busy => Err(ServeError::Busy),
+            Reply::CapacityFull { loaded } => Err(ServeError::Capacity { loaded }),
             Reply::Error(message) => Err(ServeError::Remote(message)),
             ok => Ok(ok),
         }
@@ -222,5 +235,11 @@ mod tests {
         assert!(ServeError::Invalid("ragged".into())
             .to_string()
             .contains("not sent"));
+        // The typed capacity error renders the same sentence v1–v4
+        // peers receive as a stringly error, so log grep lines match.
+        assert_eq!(
+            ServeError::Capacity { loaded: 64 }.to_string(),
+            "matrix registry full (64 loaded)"
+        );
     }
 }

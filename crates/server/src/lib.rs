@@ -10,11 +10,15 @@
 //!   `Stats`), built on [`smm_core::wire`] with matrices travelling as
 //!   MatrixMarket text via [`smm_core::io`];
 //! * [`server`] — a std-only threaded TCP server: per-connection
-//!   sessions resolving matrices by [`smm_core::matrix::IntMatrix::digest`],
-//!   a bounded [`AdmissionQueue`] that answers `Busy` instead of
-//!   buffering under overload, per-matrix dispatcher worker pools over
-//!   a shared [`smm_runtime::MultiplierCache`], and graceful shutdown
-//!   with connection drain;
+//!   sessions resolving matrices by [`smm_core::matrix::IntMatrix::digest`]
+//!   through a tiered [`smm_runtime::TieredRegistry`] (hot sessions,
+//!   warm matrices, cold artifact bytes in an optional
+//!   [`ServerConfig::store_dir`] store — a restarted server reloads its
+//!   fleet without recompiling), a bounded [`AdmissionQueue`] that
+//!   answers `Busy` instead of buffering under overload, per-matrix
+//!   dispatcher worker pools over a shared
+//!   [`smm_runtime::MultiplierCache`], and graceful shutdown with
+//!   connection drain;
 //! * [`metrics`] — the server's metric wiring on the shared
 //!   `smm-telemetry` spine: every counter, gauge, and latency histogram
 //!   registered by name, per-stage request spans (decode → queue → plan

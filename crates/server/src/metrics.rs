@@ -51,6 +51,18 @@ pub struct ServerMetrics {
     pub cache_hits: Arc<Gauge>,
     /// Scrape-time gauge: compile-cache misses (compiles).
     pub cache_misses: Arc<Gauge>,
+    /// Scrape-time gauges: digests resident per tier, in
+    /// hot/warm/cold order.
+    pub tier_resident: [Arc<Gauge>; 3],
+    /// Warm/cold entries promoted back to a hotter tier (scrape-time
+    /// catch-up from the registry's own counter).
+    pub store_promotions: Arc<Counter>,
+    /// Entries demoted to a colder tier under pressure (scrape-time
+    /// catch-up from the registry's own counter).
+    pub store_demotions: Arc<Counter>,
+    /// Requests answered from the on-disk store instead of a fresh
+    /// compile (scrape-time catch-up from the registry's own counter).
+    pub store_hits: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -83,6 +95,24 @@ impl ServerMetrics {
         let cache_hits = registry.gauge("smm_cache_hits", "Compile-cache hits so far.");
         let cache_misses =
             registry.gauge("smm_cache_misses", "Compile-cache misses (compiles) so far.");
+        let tier_resident = ["hot", "warm", "cold"].map(|tier| {
+            registry.gauge(
+                &format!("smm_store_tier_resident{{tier=\"{tier}\"}}"),
+                "Matrix digests resident per fleet tier.",
+            )
+        });
+        let store_promotions = registry.counter(
+            "smm_store_promotions_total",
+            "Fleet entries promoted back to a hotter tier.",
+        );
+        let store_demotions = registry.counter(
+            "smm_store_demotions_total",
+            "Fleet entries demoted to a colder tier under pressure.",
+        );
+        let store_hits = registry.counter(
+            "smm_store_hits_total",
+            "Requests answered from the on-disk store instead of a fresh compile.",
+        );
         Self {
             registry,
             requests,
@@ -97,6 +127,10 @@ impl ServerMetrics {
             vectors,
             cache_hits,
             cache_misses,
+            tier_resident,
+            store_promotions,
+            store_demotions,
+            store_hits,
         }
     }
 }
@@ -130,6 +164,31 @@ mod tests {
             text.contains("smm_stage_latency_ns_count{stage=\"decode\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn tier_gauges_and_store_counters_render() {
+        let m = ServerMetrics::new();
+        m.tier_resident[0].set(2);
+        m.tier_resident[2].set(9);
+        m.store_promotions.add(4);
+        m.store_hits.inc();
+        let text = smm_telemetry::prometheus::render(&m.registry);
+        assert!(
+            text.contains("smm_store_tier_resident{tier=\"hot\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("smm_store_tier_resident{tier=\"warm\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("smm_store_tier_resident{tier=\"cold\"} 9"),
+            "{text}"
+        );
+        assert!(text.contains("smm_store_promotions_total 4"), "{text}");
+        assert!(text.contains("smm_store_demotions_total 0"), "{text}");
+        assert!(text.contains("smm_store_hits_total 1"), "{text}");
     }
 
     #[test]

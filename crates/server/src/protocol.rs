@@ -43,6 +43,15 @@
 //!   [`Stage::ALL`] order, three `u64`s (count, p50 ns, p99 ns). A v3
 //!   or older `Stats` reply is byte-identical to before — the stage
 //!   block is simply absent, and decoding leaves the field zeroed.
+//! * **v5** — capacity pressure becomes machine-matchable: a refused
+//!   `LoadMatrix` answers with status byte [`STATUS_CAPACITY`] and the
+//!   resident count ([`Reply::CapacityFull`]) instead of a stringly
+//!   error. To a v1–v4 peer the same condition encodes as
+//!   [`STATUS_ERROR`] with the exact legacy message (`"matrix registry
+//!   full (N loaded)"`), so old matchers keep working. The `Stats`
+//!   reply additionally appends the matrix-fleet tier block: six
+//!   `u64`s (hot/warm/cold resident counts, promotions, demotions,
+//!   store hits). Pre-v5 `Stats` bodies are byte-identical to v4.
 
 use smm_core::block::{FrameBlock, RowBlock};
 use smm_core::error::{Error, Result};
@@ -54,10 +63,10 @@ use std::io::{self, Read, Write};
 
 /// Frame preamble: the protocol's on-wire signature.
 pub const MAGIC: [u8; 4] = *b"SMM1";
-/// Current protocol version: v4 (per-stage latency summaries in the
-/// `Stats` reply; v3 added the `sigma` backend choice, v2 the choice
-/// byte itself).
-pub const VERSION: u8 = 4;
+/// Current protocol version: v5 (typed capacity replies and fleet tier
+/// counts in `Stats`; v4 added per-stage latency summaries, v3 the
+/// `sigma` backend choice, v2 the choice byte itself).
+pub const VERSION: u8 = 5;
 /// Oldest version the server still speaks.
 pub const MIN_VERSION: u8 = 1;
 /// Fixed frame header size in bytes.
@@ -72,6 +81,10 @@ pub const STATUS_OK: u8 = 0;
 pub const STATUS_BUSY: u8 = 1;
 /// Reply status byte: request failed; payload carries the message.
 pub const STATUS_ERROR: u8 = 2;
+/// Reply status byte (v5+): the matrix fleet has no room for a new
+/// digest; payload carries the resident count. v1–v4 peers receive the
+/// same condition as [`STATUS_ERROR`] with the legacy message.
+pub const STATUS_CAPACITY: u8 = 3;
 
 /// Which compute engine the server builds for a loaded matrix — the
 /// server-wide default ([`crate::ServerConfig::backend`]) and, since
@@ -371,6 +384,23 @@ pub struct StatsSnapshot {
     /// wire from protocol v4; a snapshot decoded off a pre-v4 reply
     /// leaves every entry zeroed.
     pub stages: [StageStats; STAGES],
+    /// Digests resident in the hot tier (compiled session in memory).
+    /// Carried on the wire from protocol v5, like every field below; a
+    /// snapshot decoded off a pre-v5 reply leaves them zeroed.
+    pub tier_hot: u64,
+    /// Digests resident in the warm tier (raw matrix in memory,
+    /// compiled on demand). v5+.
+    pub tier_warm: u64,
+    /// Digests resident only in the cold tier (serialized on disk).
+    /// v5+.
+    pub tier_cold: u64,
+    /// Warm/cold entries promoted back to a hotter tier. v5+.
+    pub store_promotions: u64,
+    /// Entries demoted to a colder tier under pressure. v5+.
+    pub store_demotions: u64,
+    /// Requests answered from the on-disk store instead of a fresh
+    /// compile. v5+.
+    pub store_hits: u64,
 }
 
 impl StatsSnapshot {
@@ -404,14 +434,26 @@ impl StatsSnapshot {
         ]
     }
 
+    fn tier_fields(&self) -> [u64; 6] {
+        [
+            self.tier_hot,
+            self.tier_warm,
+            self.tier_cold,
+            self.store_promotions,
+            self.store_demotions,
+            self.store_hits,
+        ]
+    }
+
     /// The [`StageStats`] for one pipeline stage, by name.
     pub fn stage(&self, stage: Stage) -> StageStats {
         self.stages[stage.idx()]
     }
 
     /// Serializes the snapshot as `version` lays it out: 15 `u64`s,
-    /// plus (from v4) the per-stage summary block. A pre-v4 encoding is
-    /// byte-identical to what those versions always produced.
+    /// plus (from v4) the per-stage summary block, plus (from v5) the
+    /// six-`u64` fleet tier block. A pre-v5 encoding is byte-identical
+    /// to what those versions always produced.
     pub fn encode(&self, version: u8, buf: &mut Vec<u8>) {
         for v in self.fields() {
             wire::put_u64(buf, v);
@@ -421,6 +463,11 @@ impl StatsSnapshot {
                 wire::put_u64(buf, s.count);
                 wire::put_u64(buf, s.p50_ns);
                 wire::put_u64(buf, s.p99_ns);
+            }
+        }
+        if version >= 5 {
+            for v in self.tier_fields() {
+                wire::put_u64(buf, v);
             }
         }
     }
@@ -453,6 +500,19 @@ impl StatsSnapshot {
                 stage.count = c.take_u64("stage count")?;
                 stage.p50_ns = c.take_u64("stage p50")?;
                 stage.p99_ns = c.take_u64("stage p99")?;
+            }
+        }
+        if version >= 5 {
+            let tier: [&mut u64; 6] = [
+                &mut s.tier_hot,
+                &mut s.tier_warm,
+                &mut s.tier_cold,
+                &mut s.store_promotions,
+                &mut s.store_demotions,
+                &mut s.store_hits,
+            ];
+            for f in tier {
+                *f = c.take_u64("tier field")?;
             }
         }
         Ok(s)
@@ -496,6 +556,14 @@ pub enum Reply {
     Busy,
     /// Request failed.
     Error(String),
+    /// [`Request::LoadMatrix`] refused: the matrix fleet is at
+    /// capacity across every tier. Wire status [`STATUS_CAPACITY`]
+    /// from v5; encoded to v1–v4 peers as [`STATUS_ERROR`] with the
+    /// legacy `"matrix registry full (N loaded)"` message.
+    CapacityFull {
+        /// Digests currently resident across all tiers.
+        loaded: u64,
+    },
 }
 
 impl Reply {
@@ -508,6 +576,15 @@ impl Reply {
             Reply::Error(message) => {
                 wire::put_u8(&mut buf, STATUS_ERROR);
                 wire::put_str(&mut buf, message);
+            }
+            Reply::CapacityFull { loaded } => {
+                if version >= 5 {
+                    wire::put_u8(&mut buf, STATUS_CAPACITY);
+                    wire::put_u64(&mut buf, *loaded);
+                } else {
+                    wire::put_u8(&mut buf, STATUS_ERROR);
+                    wire::put_str(&mut buf, &format!("matrix registry full ({loaded} loaded)"));
+                }
             }
             ok => {
                 wire::put_u8(&mut buf, STATUS_OK);
@@ -530,7 +607,9 @@ impl Reply {
                         }
                     }
                     Reply::Stats(s) => s.encode(version, &mut buf),
-                    Reply::Busy | Reply::Error(_) => unreachable!("handled above"),
+                    Reply::Busy | Reply::Error(_) | Reply::CapacityFull { .. } => {
+                        unreachable!("handled above")
+                    }
                 }
             }
         }
@@ -545,6 +624,9 @@ impl Reply {
         let reply = match c.take_u8("status byte")? {
             STATUS_BUSY => Reply::Busy,
             STATUS_ERROR => Reply::Error(c.take_str("error message")?.to_string()),
+            STATUS_CAPACITY if version >= 5 => Reply::CapacityFull {
+                loaded: c.take_u64("loaded count")?,
+            },
             STATUS_OK => match request_opcode {
                 Opcode::Ping => Reply::Pong,
                 Opcode::LoadMatrix => Reply::Loaded(LoadedInfo {
@@ -876,6 +958,12 @@ mod tests {
             requests: 11,
             p99_latency_ns: 12345,
             cache_hits: 3,
+            tier_hot: 4,
+            tier_warm: 2,
+            tier_cold: 17,
+            store_promotions: 6,
+            store_demotions: 19,
+            store_hits: 5,
             ..Default::default()
         };
         stats.stages[Stage::Decode.idx()] =
@@ -886,6 +974,7 @@ mod tests {
         // Busy and Error decode identically under any opcode.
         round_trip_reply(Opcode::Gemv, Reply::Busy);
         round_trip_reply(Opcode::Stats, Reply::Error("nope".into()));
+        round_trip_reply(Opcode::LoadMatrix, Reply::CapacityFull { loaded: 64 });
     }
 
     #[test]
@@ -916,6 +1005,69 @@ mod tests {
         assert_eq!(back.stage(Stage::Queue), StageStats { count: 5, p50_ns: 100, p99_ns: 900 });
         // A v4 body under a v3 header has trailing garbage: rejected.
         assert!(Reply::decode(3, Opcode::Stats, &v4).is_err());
+    }
+
+    #[test]
+    fn v5_stats_append_the_tier_block_and_older_encodings_drop_it() {
+        let stats = StatsSnapshot {
+            requests: 5,
+            tier_hot: 3,
+            tier_warm: 2,
+            tier_cold: 11,
+            store_promotions: 7,
+            store_demotions: 13,
+            store_hits: 4,
+            ..Default::default()
+        };
+        let full = Reply::Stats(Box::new(stats));
+        // v4 encoding is byte-identical to what v4 servers always
+        // produced: 15 fields + the stage block, no tier block.
+        let v4 = full.encode(4);
+        assert_eq!(v4.len(), 1 + 15 * 8 + STAGES * 3 * 8);
+        let Reply::Stats(back) = Reply::decode(4, Opcode::Stats, &v4).unwrap() else {
+            panic!("wrong reply kind");
+        };
+        assert_eq!(back.tier_hot, 0);
+        assert_eq!(back.store_hits, 0);
+        // v5 appends exactly six u64s and round-trips whole.
+        let v5 = full.encode(5);
+        assert_eq!(v5.len(), 1 + 15 * 8 + STAGES * 3 * 8 + 6 * 8);
+        let Reply::Stats(back) = Reply::decode(5, Opcode::Stats, &v5).unwrap() else {
+            panic!("wrong reply kind");
+        };
+        assert_eq!(back.tier_hot, 3);
+        assert_eq!(back.tier_warm, 2);
+        assert_eq!(back.tier_cold, 11);
+        assert_eq!(back.store_promotions, 7);
+        assert_eq!(back.store_demotions, 13);
+        assert_eq!(back.store_hits, 4);
+        // A v5 body under a v4 header has trailing garbage: rejected.
+        assert!(Reply::decode(4, Opcode::Stats, &v5).is_err());
+    }
+
+    #[test]
+    fn capacity_reply_is_typed_at_v5_and_the_legacy_string_below() {
+        let reply = Reply::CapacityFull { loaded: 64 };
+        // v5: status byte 3 + the resident count, machine-matchable.
+        let v5 = reply.encode(5);
+        assert_eq!(v5[0], STATUS_CAPACITY);
+        assert_eq!(v5.len(), 1 + 8);
+        assert_eq!(
+            Reply::decode(5, Opcode::LoadMatrix, &v5).unwrap(),
+            Reply::CapacityFull { loaded: 64 }
+        );
+        // v1–v4 peers see the exact string their matchers grew up on.
+        for version in 1..5u8 {
+            let old = reply.encode(version);
+            assert_eq!(old[0], STATUS_ERROR);
+            let Reply::Error(message) = Reply::decode(version, Opcode::LoadMatrix, &old).unwrap()
+            else {
+                panic!("wrong reply kind");
+            };
+            assert_eq!(message, "matrix registry full (64 loaded)");
+            // Status byte 3 is not in a v4 decoder's vocabulary.
+            assert!(Reply::decode(version, Opcode::LoadMatrix, &v5).is_err());
+        }
     }
 
     #[test]

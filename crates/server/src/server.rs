@@ -18,20 +18,21 @@
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
     read_frame_idle_abort, write_frame, BackendKind, FrameError, LoadedInfo, Opcode, Reply,
-    Request, StatsSnapshot, STATUS_ERROR,
+    Request, StatsSnapshot, STATUS_CAPACITY, STATUS_ERROR,
 };
 use smm_bitserial::multiplier::WeightEncoding;
 use smm_core::error::{Error, Result};
 use smm_core::matrix::IntMatrix;
 use smm_runtime::{
-    AutoOptions, EngineRegistry, EngineSpec, MultiplierCache, PlanPolicy, Session,
+    circuit_meta_for, AutoOptions, EngineRegistry, EngineSpec, InsertOutcome, MultiplierCache,
+    PlanPolicy, Session, TieredConfig, TieredRegistry,
 };
-use smm_telemetry::{prometheus, Span, Stage};
-use std::collections::HashMap;
+use smm_store::Store;
+use smm_telemetry::{prometheus, Counter, Span, Stage};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -50,8 +51,22 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// LRU capacity of the compiled-multiplier cache (0 = unbounded).
     pub cache_capacity: usize,
-    /// Maximum simultaneously loaded matrices.
+    /// Hot-tier bound: sessions (compiled engine + worker pool)
+    /// resident at once. Pressure past the bound demotes the
+    /// least-recently-used session to the warm tier instead of
+    /// refusing the load.
     pub max_matrices: usize,
+    /// Warm-tier bound: raw matrices resident in memory awaiting
+    /// recompile-on-demand. Pressure past the bound spills to the
+    /// on-disk store when `store_dir` is set; without one, a load that
+    /// finds both tiers full is refused with a typed capacity reply.
+    pub max_warm: usize,
+    /// Directory for the persistent artifact store. When set, every
+    /// loaded matrix is serialized (digest-addressed, checksummed) so a
+    /// restarted server reloads its fleet without recompiling, and
+    /// capacity pressure demotes to disk instead of erroring. `None`
+    /// (the default) keeps the fleet memory-only.
+    pub store_dir: Option<String>,
     /// Input operand width compiled into bit-serial circuits.
     pub input_bits: u32,
     /// Weight encoding compiled into bit-serial circuits.
@@ -72,9 +87,11 @@ impl Default for ServerConfig {
             queue_depth: 64,
             cache_capacity: 0,
             max_matrices: 64,
+            max_warm: 256,
             input_bits: 8,
             encoding: WeightEncoding::Pn,
             metrics_addr: None,
+            store_dir: None,
         }
     }
 }
@@ -140,7 +157,9 @@ impl Drop for AdmissionPermit<'_> {
 /// request — singles included — flows through its pool.
 struct Shared {
     config: ServerConfig,
-    registry: Mutex<HashMap<u64, Arc<Session>>>,
+    /// The tiered matrix fleet: hot sessions, warm matrices, cold
+    /// artifact bytes in the optional store.
+    registry: TieredRegistry,
     /// One compiled-multiplier cache shared by every session.
     cache: Arc<MultiplierCache>,
     /// Engine factories every session resolves through.
@@ -154,20 +173,11 @@ struct Shared {
 
 impl Shared {
     fn stats(&self) -> StatsSnapshot {
-        let (matrices, batches, vectors) = {
-            let registry = self.registry.lock().expect("registry poisoned");
-            let mut batches = 0;
-            let mut vectors = 0;
-            for session in registry.values() {
-                // Dispatcher counters plus the single-vector fast path
-                // (singles never enter the pool); the shared cache is
-                // read once below, not locked once per session.
-                let s = session.dispatcher_stats();
-                batches += s.batches;
-                vectors += s.vectors + session.singles();
-            }
-            (registry.len() as u64, batches, vectors)
-        };
+        // Dispatcher counters plus the single-vector fast path (singles
+        // never enter the pool), including totals retired when sessions
+        // were demoted out of the hot tier.
+        let (batches, vectors) = self.registry.served_totals();
+        let fleet = self.registry.snapshot();
         let cache = self.cache.stats();
         StatsSnapshot {
             requests: self.metrics.requests.get(),
@@ -177,7 +187,7 @@ impl Shared {
             bytes_out: self.metrics.bytes_out.get(),
             vectors,
             batches,
-            matrices,
+            matrices: fleet.counts.total(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_entries: cache.entries as u64,
@@ -186,6 +196,12 @@ impl Shared {
             p50_latency_ns: self.metrics.latency.quantile_ns(0.50),
             p99_latency_ns: self.metrics.latency.quantile_ns(0.99),
             stages: self.metrics.stages.stage_stats(),
+            tier_hot: fleet.counts.hot,
+            tier_warm: fleet.counts.warm,
+            tier_cold: fleet.counts.cold,
+            store_promotions: fleet.promotions,
+            store_demotions: fleet.demotions,
+            store_hits: fleet.store_hits,
         }
     }
 
@@ -200,6 +216,18 @@ impl Shared {
         self.metrics.vectors.set(stats.vectors);
         self.metrics.cache_hits.set(stats.cache_hits);
         self.metrics.cache_misses.set(stats.cache_misses);
+        self.metrics.tier_resident[0].set(stats.tier_hot);
+        self.metrics.tier_resident[1].set(stats.tier_warm);
+        self.metrics.tier_resident[2].set(stats.tier_cold);
+        // The registry owns the authoritative transition counters;
+        // catch the exposition's monotone counters up to them (scrapes
+        // are serialized on the metrics thread).
+        let catch_up = |counter: &Counter, total: u64| {
+            counter.add(total.saturating_sub(counter.get()));
+        };
+        catch_up(&self.metrics.store_promotions, stats.store_promotions);
+        catch_up(&self.metrics.store_demotions, stats.store_demotions);
+        catch_up(&self.metrics.store_hits, stats.store_hits);
         prometheus::render(&self.metrics.registry)
     }
 
@@ -244,7 +272,7 @@ impl Shared {
         match request {
             Request::Ping => Reply::Pong,
             Request::Stats => Reply::Stats(Box::new(self.stats())),
-            Request::LoadMatrix { matrix, backend } => self.serve_load(matrix, backend),
+            Request::LoadMatrix { matrix, backend } => self.serve_load(matrix, backend, span),
             // A single rides the session's fast path (no dispatcher
             // round trip); it is still counted — `Stats` sums the pool
             // counters plus the fast-path singles.
@@ -261,7 +289,12 @@ impl Shared {
         }
     }
 
-    fn serve_load(&self, matrix: IntMatrix, requested: Option<BackendKind>) -> Reply {
+    fn serve_load(
+        &self,
+        matrix: IntMatrix,
+        requested: Option<BackendKind>,
+        span: &mut Span<'_>,
+    ) -> Reply {
         let digest = matrix.digest();
         let rows = matrix.rows() as u64;
         let cols = matrix.cols() as u64;
@@ -274,40 +307,49 @@ impl Shared {
                 engine: session.engine().name().to_string(),
             })
         };
+        // Any-tier hit answers from the fleet: a hot digest returns its
+        // live session, a warm one rebuilds through the shared cache,
+        // and a cold one is read back from the store — a store hit, not
+        // a recompile of the uploaded bytes. First load wins: a repeat
+        // load with a different backend choice reports the engine that
+        // is actually serving. The fleet lookup (including any store
+        // read) is stamped as the plan stage.
+        match self
+            .registry
+            .acquire(digest, |m| self.build_session(m, requested))
         {
-            let registry = self.registry.lock().expect("registry poisoned");
-            if let Some(session) = registry.get(&digest) {
-                // First load wins: a digest maps to one session, so a
-                // repeat load with a different backend choice reports the
-                // engine that is actually serving.
-                return loaded(session, true);
+            Ok(Some(session)) => {
+                span.mark(Stage::Plan);
+                return loaded(&session, true);
             }
-            // Refuse *before* building: a rejected load must not burn a
-            // compile, grow the shared cache, or spin up a worker pool.
-            if registry.len() >= self.config.max_matrices {
-                return Reply::Error(format!("matrix registry full ({} loaded)", registry.len()));
-            }
+            // Unknown digest — or cold bytes that failed their checksum,
+            // already warned about and dropped; the upload in hand
+            // rebuilds (and re-persists) the entry either way.
+            Ok(None) => {}
+            Err(e) => return Reply::Error(format!("loading matrix: {e}")),
+        }
+        // Refuse *before* building: a rejected load must not burn a
+        // compile, grow the shared cache, or spin up a worker pool.
+        if let Some(resident) = self.registry.full_capacity() {
+            return Reply::CapacityFull { loaded: resident };
         }
         // Build outside the registry lock: a slow bit-serial compile must
         // not stall requests against already-loaded matrices. Two racing
         // loaders both build; the first insert wins and the loser's copy
         // is dropped (the compile itself is still shared via the cache).
-        let session = match self.build_session(matrix, requested) {
+        let session = match self.build_session(matrix.clone(), requested) {
             Ok(session) => session,
             Err(e) => return Reply::Error(format!("loading matrix: {e}")),
         };
-        let mut registry = self.registry.lock().expect("registry poisoned");
-        if let Some(existing) = registry.get(&digest) {
-            return loaded(existing, true);
+        let meta = circuit_meta_for(&session, &matrix, &self.cache);
+        span.mark(Stage::Plan);
+        match self.registry.insert(matrix, session, Some(meta)) {
+            InsertOutcome::Installed(session) => loaded(&session, false),
+            InsertOutcome::AlreadyLoaded(session) => loaded(&session, true),
+            InsertOutcome::Capacity { loaded: resident } => {
+                Reply::CapacityFull { loaded: resident }
+            }
         }
-        // Re-check the bound: other loads may have raced in while this
-        // one was building.
-        if registry.len() >= self.config.max_matrices {
-            return Reply::Error(format!("matrix registry full ({} loaded)", registry.len()));
-        }
-        let reply = loaded(&session, false);
-        registry.insert(digest, Arc::new(session));
-        reply
     }
 
     fn serve_compute(
@@ -326,14 +368,18 @@ impl Shared {
             return Reply::Busy;
         };
         span.mark(Stage::Queue);
-        let Some(session) = self
+        // The fleet lookup promotes on demand: a warm or cold digest is
+        // rebuilt into a session right here (cold reads count as store
+        // hits), so traffic against a demoted matrix keeps working.
+        let session = match self
             .registry
-            .lock()
-            .expect("registry poisoned")
-            .get(&digest)
-            .map(Arc::clone)
-        else {
-            return Reply::Error(format!("no matrix loaded with digest {digest:#018x}"));
+            .acquire(digest, |m| self.build_session(m, None))
+        {
+            Ok(Some(session)) => session,
+            Ok(None) => {
+                return Reply::Error(format!("no matrix loaded with digest {digest:#018x}"))
+            }
+            Err(e) => return Reply::Error(format!("promoting matrix: {e}")),
         };
         span.mark(Stage::Plan);
         // The compute stages (shard / reassemble / compute) are stamped
@@ -424,12 +470,29 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle> {
     let local_addr = listener.local_addr().map_err(|e| Error::Runtime {
         context: format!("resolving bound address: {e}"),
     })?;
+    // Assemble the tiered fleet. An unopenable store directory fails
+    // `start` cleanly (like a bad bind address); *corrupt files inside
+    // a valid directory do not* — the scan registers them cold and the
+    // first request against one warns and falls back to recompiling.
+    let tiers = TieredConfig {
+        max_hot: config.max_matrices,
+        max_warm: config.max_warm,
+    };
+    let registry = match &config.store_dir {
+        Some(dir) => {
+            let store = Store::open(dir)?;
+            TieredRegistry::with_store(tiers, store).map_err(|e| Error::Runtime {
+                context: format!("scanning store directory {dir}: {e}"),
+            })?
+        }
+        None => TieredRegistry::new(tiers),
+    };
     let shared = Arc::new(Shared {
         cache: Arc::new(MultiplierCache::with_capacity(config.cache_capacity)),
         engines: Arc::new(EngineRegistry::builtin()),
         admission: AdmissionQueue::new(config.queue_depth),
         config,
-        registry: Mutex::new(HashMap::new()),
+        registry,
         metrics: ServerMetrics::new(),
         shutdown: AtomicBool::new(false),
         connections: AtomicU64::new(0),
@@ -636,7 +699,12 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             payload = Reply::Error("reply exceeds frame capacity; split the batch".into())
                 .encode(frame.version);
         }
-        if payload.first() == Some(&STATUS_ERROR) {
+        if matches!(
+            payload.first(),
+            Some(&STATUS_ERROR) | Some(&STATUS_CAPACITY)
+        ) {
+            // Capacity refusals count as errors whatever the peer's
+            // version, so `Stats.errors` is version-independent.
             shared.metrics.errors.inc();
         }
         match write_frame(
@@ -721,7 +789,7 @@ mod tests {
                 threads: 3,
                 ..ServerConfig::default()
             },
-            registry: Mutex::new(HashMap::new()),
+            registry: TieredRegistry::new(TieredConfig::default()),
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
             connections: AtomicU64::new(0),

@@ -302,8 +302,12 @@ fn per_request_backend_choice_overrides_the_server_default() {
 
 #[test]
 fn registry_bound_is_enforced() {
+    // Hot and warm tiers both bounded, no store to spill to: the third
+    // load must be refused — with the typed capacity reply, not a
+    // stringly error.
     let server = smm_server::start(ServerConfig {
-        max_matrices: 2,
+        max_matrices: 1,
+        max_warm: 1,
         ..ServerConfig::default()
     })
     .unwrap();
@@ -312,9 +316,11 @@ fn registry_bound_is_enforced() {
     client.load_matrix(&test_matrix(4801, 4, 4)).unwrap();
     let err = client.load_matrix(&test_matrix(4802, 4, 4)).unwrap_err();
     assert!(
-        matches!(&err, ServeError::Remote(m) if m.contains("registry full")),
+        matches!(&err, ServeError::Capacity { loaded: 2 }),
         "{err}"
     );
+    // The typed error renders the sentence v1–v4 peers still receive.
+    assert!(err.to_string().contains("registry full"), "{err}");
     // Already-loaded matrices still serve.
     let m = test_matrix(4800, 4, 4);
     let digest = m.digest();

@@ -1,0 +1,170 @@
+//! Restart-without-recompile: a server pointed at a `store_dir`
+//! persists every loaded matrix as checksummed artifacts, and a fresh
+//! server over the same directory answers `LoadMatrix` from the store —
+//! store-hit counter up, compile counter still zero — with bit-identical
+//! serving. Corrupt artifacts degrade to recompilation with a logged
+//! warning; they never panic and never fail `start`.
+
+use smm_core::generate::{element_sparse_matrix, random_vector};
+use smm_core::gemv::vecmat;
+use smm_core::rng::seeded;
+use smm_server::{Client, ServerConfig};
+use smm_store::{ArtifactKind, Store};
+use std::path::PathBuf;
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("smm-store-restart-{tag}-{}", std::process::id()))
+}
+
+fn config(dir: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        store_dir: Some(dir.display().to_string()),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn restart_serves_the_fleet_from_the_store_without_recompiling() {
+    let dir = temp_store_dir("round");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rng = seeded(6001);
+    let matrix = element_sparse_matrix(11, 9, 8, 0.5, true, &mut rng).unwrap();
+    let a = random_vector(11, 8, true, &mut rng).unwrap();
+    let expect = vecmat(&a, &matrix).unwrap();
+
+    // First life: load, serve, shut down. The load persisted matrix +
+    // CSR + circuit-metadata artifacts.
+    let digest = {
+        let server = smm_server::start(config(&dir)).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let info = client.load_matrix_with(&matrix, None).unwrap();
+        assert!(!info.already_loaded, "first life compiles fresh");
+        assert_eq!(client.gemv(info.digest, &a).unwrap(), expect);
+        let stats = server.shutdown();
+        assert_eq!(stats.store_hits, 0, "{stats:?}");
+        assert_eq!(stats.tier_hot, 1, "{stats:?}");
+        info.digest
+    };
+    let store = Store::open(&dir).unwrap();
+    for kind in [ArtifactKind::Matrix, ArtifactKind::Csr, ArtifactKind::Circuit] {
+        assert!(store.contains(digest, kind), "missing {} artifact", kind.ext());
+    }
+
+    // Second life, same directory: the digest is addressable before any
+    // client uploads it, the load answers from the store (already
+    // loaded, store hit), and nothing recompiles — the compile counter
+    // (cache misses) stays zero.
+    {
+        let server = smm_server::start(config(&dir)).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let before = client.stats().unwrap();
+        assert_eq!(before.tier_cold, 1, "fleet rediscovered cold: {before:?}");
+        let info = client.load_matrix_with(&matrix, None).unwrap();
+        assert!(info.already_loaded, "the store answers, not a fresh build");
+        assert_eq!(client.gemv(info.digest, &a).unwrap(), expect);
+        let stats = server.shutdown();
+        assert!(stats.store_hits >= 1, "{stats:?}");
+        assert_eq!(stats.cache_misses, 0, "restart must not recompile: {stats:?}");
+        assert_eq!(stats.tier_hot, 1, "{stats:?}");
+        assert!(stats.store_promotions >= 1, "{stats:?}");
+    }
+
+    // Third life: straight to Gemv against the cold digest — no upload
+    // at all. The compute path promotes from the store.
+    {
+        let server = smm_server::start(config(&dir)).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(client.gemv(digest, &a).unwrap(), expect);
+        let stats = server.shutdown();
+        assert!(stats.store_hits >= 1, "{stats:?}");
+        assert_eq!(stats.cache_misses, 0, "{stats:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_store_files_degrade_to_recompilation() {
+    let dir = temp_store_dir("corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rng = seeded(6002);
+    let matrix = element_sparse_matrix(8, 7, 8, 0.5, true, &mut rng).unwrap();
+    let a = random_vector(8, 8, true, &mut rng).unwrap();
+    let expect = vecmat(&a, &matrix).unwrap();
+
+    let digest = {
+        let server = smm_server::start(config(&dir)).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.load_matrix(&matrix).unwrap()
+    };
+
+    // Flip a payload byte in the matrix artifact: the CRC no longer
+    // matches.
+    let path = Store::open(&dir)
+        .unwrap()
+        .path_for(digest, ArtifactKind::Matrix);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The server still starts (corruption is a per-request concern, not
+    // a boot failure), the re-upload quietly rebuilds the entry from
+    // the client's own bytes, and serving is correct.
+    let server = smm_server::start(config(&dir)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let info = client.load_matrix_with(&matrix, None).unwrap();
+    assert!(
+        !info.already_loaded,
+        "corrupt bytes must not answer the load"
+    );
+    assert_eq!(client.gemv(info.digest, &a).unwrap(), expect);
+    let stats = server.shutdown();
+    assert_eq!(stats.store_hits, 0, "{stats:?}");
+
+    // The rebuild re-persisted good bytes over the bad file.
+    let store = Store::open(&dir).unwrap();
+    assert!(matches!(
+        store.get(digest, ArtifactKind::Matrix),
+        Ok(Some(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pressure_spills_to_the_store_instead_of_refusing() {
+    let dir = temp_store_dir("spill");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rng = seeded(6003);
+    let server = smm_server::start(ServerConfig {
+        max_matrices: 1,
+        max_warm: 1,
+        ..config(&dir)
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Three matrices through bounds of one hot + one warm: nothing is
+    // refused; the overflow goes cold on disk.
+    let mats: Vec<_> = (0..3)
+        .map(|_| element_sparse_matrix(6, 6, 8, 0.5, true, &mut rng).unwrap())
+        .collect();
+    for m in &mats {
+        client.load_matrix(m).unwrap();
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        (stats.tier_hot, stats.tier_warm, stats.tier_cold),
+        (1, 1, 1),
+        "{stats:?}"
+    );
+    assert!(stats.store_demotions >= 2, "{stats:?}");
+    // Every matrix still serves, wherever it resides.
+    for m in &mats {
+        let a = random_vector(6, 8, true, &mut rng).unwrap();
+        assert_eq!(
+            client.gemv(m.digest(), &a).unwrap(),
+            vecmat(&a, m).unwrap()
+        );
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,8 @@
 //! Wire-protocol backward compatibility: v1 clients (no backend field
 //! in `LoadMatrix`, no engine name in `Loaded`), v2 clients (backend
-//! choice byte, but no `sigma` in its vocabulary), and v3 clients (no
-//! per-stage block in `Stats`) against the v4 server.
+//! choice byte, but no `sigma` in its vocabulary), v3 clients (no
+//! per-stage block in `Stats`), and v4 clients (no capacity status
+//! byte, no fleet tier block in `Stats`) against the v5 server.
 //!
 //! These tests speak raw v1/v2/v3 frames over a real TCP connection —
 //! exactly the bytes a binary built before each protocol rev would
@@ -101,7 +102,7 @@ impl V1Client {
 
 #[test]
 fn v1_client_round_trips_load_and_gemv_unchanged() {
-    assert_eq!(VERSION, 4, "this test pins the v1-against-current story");
+    assert_eq!(VERSION, 5, "this test pins the v1-against-current story");
     let server = smm_server::start(ServerConfig::default()).unwrap();
     let mut rng = seeded(5000);
     let matrix = element_sparse_matrix(12, 9, 8, 0.6, true, &mut rng).unwrap();
@@ -303,11 +304,48 @@ fn pre_v4_stats_reply_bytes_are_pinned() {
     c.expect_end("v3 stats reply").unwrap();
 
     // The same request under v4 grows by exactly the stage block —
-    // seven stages × (count, p50_ns, p99_ns) — and nothing else.
+    // seven stages × (count, p50_ns, p99_ns) — and nothing else: the
+    // v5 tier block must not leak into a v4 reply.
     write_frame(&mut stream, 4, Opcode::Stats as u8, 8, &[]).unwrap();
     let frame = read_frame(&mut stream).unwrap();
     assert_eq!(frame.version, 4);
     assert_eq!(frame.payload.len(), 1 + 15 * 8 + 7 * 3 * 8);
+
+    // And under v5 it grows by exactly the fleet tier block — six u64s
+    // (hot, warm, cold, promotions, demotions, store hits).
+    write_frame(&mut stream, 5, Opcode::Stats as u8, 9, &[]).unwrap();
+    let frame = read_frame(&mut stream).unwrap();
+    assert_eq!(frame.version, 5);
+    assert_eq!(frame.payload.len(), 1 + 15 * 8 + 7 * 3 * 8 + 6 * 8);
+    server.shutdown();
+}
+
+#[test]
+fn capacity_refusal_is_the_legacy_string_to_old_peers() {
+    // Fill a storeless server (hot bound 1, warm bound 0), then ask for
+    // one matrix too many from a v2-era client: it must see status byte
+    // 2 with the exact sentence its log matchers grew up on, while the
+    // stock v5 client gets the typed status-3 reply.
+    let server = smm_server::start(ServerConfig {
+        max_matrices: 1,
+        max_warm: 0,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut rng = seeded(5005);
+    let first = element_sparse_matrix(6, 6, 8, 0.5, true, &mut rng).unwrap();
+    let mut client = smm_server::Client::connect(server.local_addr()).unwrap();
+    client.load_matrix(&first).unwrap();
+
+    let overflow = element_sparse_matrix(7, 5, 8, 0.5, true, &mut rng).unwrap();
+    let mut v2 = V2Client::connect(server.local_addr());
+    let err = v2.load_matrix(&overflow, 1).unwrap_err();
+    assert_eq!(err, "matrix registry full (1 loaded)");
+
+    match client.load_matrix(&overflow).unwrap_err() {
+        smm_server::ServeError::Capacity { loaded } => assert_eq!(loaded, 1),
+        other => panic!("expected a typed capacity error, got {other}"),
+    }
     server.shutdown();
 }
 

@@ -45,6 +45,71 @@ impl Csr {
         Self::from_coo(&Coo::from_dense(dense))
     }
 
+    /// Reassembles a CSR from its raw arrays, validating every
+    /// structural invariant — the deserialization entry point, so the
+    /// arrays are treated as untrusted: `row_ptr` must be a monotone
+    /// `rows + 1`-length prefix sum ending at `values.len()`, column
+    /// indices must be in bounds and strictly increasing within each
+    /// row, and stored values must be non-zero.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<i32>,
+    ) -> Result<Self> {
+        let invalid = |context: String| Error::DimensionMismatch { context };
+        if row_ptr.len() != rows + 1 {
+            return Err(invalid(format!(
+                "row_ptr length {} vs rows + 1 = {}",
+                row_ptr.len(),
+                rows + 1
+            )));
+        }
+        if col_idx.len() != values.len() {
+            return Err(invalid(format!(
+                "col_idx length {} vs values length {}",
+                col_idx.len(),
+                values.len()
+            )));
+        }
+        if row_ptr[0] != 0 || row_ptr[rows] != values.len() {
+            return Err(invalid(format!(
+                "row_ptr must run 0..={} (got {}..={})",
+                values.len(),
+                row_ptr[0],
+                row_ptr[rows]
+            )));
+        }
+        for r in 0..rows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(invalid(format!("row_ptr not monotone at row {r}")));
+            }
+            let mut prev: Option<usize> = None;
+            for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+                if c >= cols {
+                    return Err(invalid(format!("column index {c} vs cols {cols} in row {r}")));
+                }
+                if prev.is_some_and(|p| p >= c) {
+                    return Err(invalid(format!(
+                        "column indices not strictly increasing in row {r}"
+                    )));
+                }
+                prev = Some(c);
+            }
+        }
+        if values.contains(&0) {
+            return Err(invalid("explicit zero stored in CSR values".into()));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -185,6 +250,30 @@ mod tests {
         assert_eq!(csr.nnz(), 4);
         assert_eq!(csr.max_row_len(), 2);
         assert_eq!(csr.to_dense().unwrap(), d);
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_and_validates() {
+        let d = IntMatrix::from_vec(3, 3, vec![1, 0, 2, 0, 0, 0, 3, 4, 0]).unwrap();
+        let csr = Csr::from_dense(&d);
+        let rebuilt = Csr::from_raw_parts(
+            3,
+            3,
+            csr.row_ptr().to_vec(),
+            (0..3).flat_map(|r| csr.row(r).map(|(c, _)| c)).collect(),
+            (0..3).flat_map(|r| csr.row(r).map(|(_, v)| v)).collect(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, csr);
+        // Every structural lie is rejected.
+        let ok_ptr = vec![0usize, 2, 2, 4];
+        assert!(Csr::from_raw_parts(3, 3, vec![0, 2, 4], vec![0, 2, 0, 1], vec![1, 2, 3, 4]).is_err(), "short row_ptr");
+        assert!(Csr::from_raw_parts(3, 3, vec![0, 3, 2, 4], vec![0, 2, 0, 1], vec![1, 2, 3, 4]).is_err(), "non-monotone");
+        assert!(Csr::from_raw_parts(3, 3, vec![0, 2, 2, 3], vec![0, 2, 0, 1], vec![1, 2, 3, 4]).is_err(), "bad total");
+        assert!(Csr::from_raw_parts(3, 3, ok_ptr.clone(), vec![0, 2, 0], vec![1, 2, 3, 4]).is_err(), "length mismatch");
+        assert!(Csr::from_raw_parts(3, 3, ok_ptr.clone(), vec![0, 3, 0, 1], vec![1, 2, 3, 4]).is_err(), "col out of bounds");
+        assert!(Csr::from_raw_parts(3, 3, ok_ptr.clone(), vec![2, 0, 0, 1], vec![1, 2, 3, 4]).is_err(), "unsorted row");
+        assert!(Csr::from_raw_parts(3, 3, ok_ptr, vec![0, 2, 0, 1], vec![1, 0, 3, 4]).is_err(), "explicit zero");
     }
 
     #[test]

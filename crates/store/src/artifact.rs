@@ -1,0 +1,403 @@
+//! The on-disk artifact format: versioned, checksummed, digest-stamped.
+//!
+//! One artifact file holds one serialized value — a dense [`IntMatrix`],
+//! a [`Csr`], or the [`CircuitMeta`] describing a compiled engine — in a
+//! std-only little-endian layout:
+//!
+//! ```text
+//! magic "SMMA" (4) · format rev u32 · kind u8 · digest u64
+//! · payload CRC-32 u32 · payload (length-prefixed bytes)
+//! ```
+//!
+//! The digest is the owning matrix's stable FNV content digest
+//! ([`IntMatrix::digest`]), so a file can be verified against the name
+//! it was stored under without decoding the payload. The CRC-32 (IEEE)
+//! covers the payload bytes; the format revision gates layout changes.
+//!
+//! Decoding follows the same discipline as the network wire: bytes on
+//! disk are treated as hostile. Every malformed input — truncation, a
+//! lying length prefix, a wrong magic/revision/kind, a CRC or digest
+//! mismatch, trailing garbage — returns an [`Error`], never panics, and
+//! never allocates more than the bytes actually present justify.
+
+use smm_core::error::{Error, Result};
+use smm_core::matrix::IntMatrix;
+use smm_core::wire::{put_bytes, put_i32_vec, put_i64_vec, put_str, put_u32, put_u64, put_u8, Cursor};
+use smm_sparse::Csr;
+
+/// File magic: `SMMA` ("spatial matrix multiplier artifact").
+pub const MAGIC: [u8; 4] = *b"SMMA";
+
+/// Current artifact format revision. Readers reject any other value.
+pub const FORMAT_REV: u32 = 1;
+
+fn format_err(context: impl Into<String>) -> Error {
+    Error::Wire {
+        context: context.into(),
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) over
+/// `bytes` — the checksum guarding every artifact payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// What kind of value an artifact file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ArtifactKind {
+    /// A dense [`IntMatrix`].
+    Matrix,
+    /// A [`Csr`] sparse structure.
+    Csr,
+    /// [`CircuitMeta`]: what was compiled for this matrix, and why.
+    Circuit,
+}
+
+impl ArtifactKind {
+    /// All kinds, in file-extension order.
+    pub const ALL: [ArtifactKind; 3] = [ArtifactKind::Matrix, ArtifactKind::Csr, ArtifactKind::Circuit];
+
+    /// The kind byte written into the artifact header.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ArtifactKind::Matrix => 1,
+            ArtifactKind::Csr => 2,
+            ArtifactKind::Circuit => 3,
+        }
+    }
+
+    /// Decodes a header kind byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ArtifactKind::Matrix),
+            2 => Some(ArtifactKind::Csr),
+            3 => Some(ArtifactKind::Circuit),
+            _ => None,
+        }
+    }
+
+    /// The file-name component naming this kind (`<digest>.<ext>.smma`).
+    pub fn ext(self) -> &'static str {
+        match self {
+            ArtifactKind::Matrix => "matrix",
+            ArtifactKind::Csr => "csr",
+            ArtifactKind::Circuit => "circuit",
+        }
+    }
+
+    /// Parses a file-name component back to a kind.
+    pub fn from_ext(ext: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.ext() == ext)
+    }
+}
+
+/// Metadata describing the engine compiled for a matrix: enough to
+/// report what a restarted server would rebuild (and why) without
+/// serializing the netlist itself — the compile is reproduced from the
+/// matrix bytes through the shared multiplier cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitMeta {
+    /// Engine kind that served the matrix (`csr`, `bitserial`, ...).
+    pub engine: String,
+    /// Input operand width the circuit was compiled for.
+    pub input_bits: u32,
+    /// Weight encoding name (`pn`, `csd`, ...).
+    pub encoding: String,
+    /// Matrix rows at compile time.
+    pub rows: u64,
+    /// Matrix columns at compile time.
+    pub cols: u64,
+    /// Non-zeros at compile time.
+    pub nnz: u64,
+    /// The planner's rationale for the engine choice.
+    pub rationale: String,
+}
+
+/// One storable value, tagged by kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Artifact {
+    /// A dense matrix.
+    Matrix(IntMatrix),
+    /// A CSR structure.
+    Csr(Csr),
+    /// Compiled-engine metadata.
+    Circuit(CircuitMeta),
+}
+
+impl Artifact {
+    /// The kind tag this artifact serializes under.
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            Artifact::Matrix(_) => ArtifactKind::Matrix,
+            Artifact::Csr(_) => ArtifactKind::Csr,
+            Artifact::Circuit(_) => ArtifactKind::Circuit,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Artifact::Matrix(m) => {
+                put_u64(&mut buf, m.rows() as u64);
+                put_u64(&mut buf, m.cols() as u64);
+                put_i32_vec(&mut buf, m.as_slice());
+            }
+            Artifact::Csr(c) => {
+                put_u64(&mut buf, c.rows() as u64);
+                put_u64(&mut buf, c.cols() as u64);
+                let row_ptr: Vec<i64> = c.row_ptr().iter().map(|&p| p as i64).collect();
+                put_i64_vec(&mut buf, &row_ptr);
+                let mut col_idx = Vec::new();
+                let mut values = Vec::new();
+                for r in 0..c.rows() {
+                    for (col, v) in c.row(r) {
+                        col_idx.push(col as i64);
+                        values.push(v);
+                    }
+                }
+                put_i64_vec(&mut buf, &col_idx);
+                put_i32_vec(&mut buf, &values);
+            }
+            Artifact::Circuit(meta) => {
+                put_str(&mut buf, &meta.engine);
+                put_u32(&mut buf, meta.input_bits);
+                put_str(&mut buf, &meta.encoding);
+                put_u64(&mut buf, meta.rows);
+                put_u64(&mut buf, meta.cols);
+                put_u64(&mut buf, meta.nnz);
+                put_str(&mut buf, &meta.rationale);
+            }
+        }
+        buf
+    }
+
+    fn decode_payload(kind: ArtifactKind, payload: &[u8]) -> Result<Self> {
+        let mut c = Cursor::new(payload);
+        let artifact = match kind {
+            ArtifactKind::Matrix => {
+                let rows = take_dim(&mut c, "matrix rows")?;
+                let cols = take_dim(&mut c, "matrix cols")?;
+                let data = c.take_i32_vec("matrix data")?;
+                if data.len() != rows.saturating_mul(cols) {
+                    return Err(format_err(format!(
+                        "matrix payload promises {rows}x{cols} but carries {} elements",
+                        data.len()
+                    )));
+                }
+                Artifact::Matrix(IntMatrix::from_vec(rows, cols, data)?)
+            }
+            ArtifactKind::Csr => {
+                let rows = take_dim(&mut c, "csr rows")?;
+                let cols = take_dim(&mut c, "csr cols")?;
+                let row_ptr = take_usize_vec(&mut c, "csr row_ptr")?;
+                let col_idx = take_usize_vec(&mut c, "csr col_idx")?;
+                let values = c.take_i32_vec("csr values")?;
+                Artifact::Csr(Csr::from_raw_parts(rows, cols, row_ptr, col_idx, values)?)
+            }
+            ArtifactKind::Circuit => {
+                let engine = c.take_str("circuit engine")?.to_string();
+                let input_bits = c.take_u32("circuit input_bits")?;
+                let encoding = c.take_str("circuit encoding")?.to_string();
+                let rows = c.take_u64("circuit rows")?;
+                let cols = c.take_u64("circuit cols")?;
+                let nnz = c.take_u64("circuit nnz")?;
+                let rationale = c.take_str("circuit rationale")?.to_string();
+                Artifact::Circuit(CircuitMeta {
+                    engine,
+                    input_bits,
+                    encoding,
+                    rows,
+                    cols,
+                    nnz,
+                    rationale,
+                })
+            }
+        };
+        c.expect_end("artifact payload")?;
+        Ok(artifact)
+    }
+}
+
+/// Reads a matrix dimension, bounded so a hostile header cannot imply a
+/// multi-gigabyte dense allocation before the element count is checked.
+fn take_dim(c: &mut Cursor<'_>, what: &str) -> Result<usize> {
+    let v = c.take_u64(what)?;
+    if v > smm_core::wire::MAX_WIRE_LEN as u64 {
+        return Err(format_err(format!("{what} {v} is implausibly large")));
+    }
+    Ok(v as usize)
+}
+
+/// Reads an `i64` wire vector whose elements must be non-negative
+/// indices (row pointers, column indices).
+fn take_usize_vec(c: &mut Cursor<'_>, what: &str) -> Result<Vec<usize>> {
+    let raw = c.take_i64_vec(what)?;
+    raw.into_iter()
+        .map(|v| {
+            usize::try_from(v).map_err(|_| format_err(format!("{what} carries negative index {v}")))
+        })
+        .collect()
+}
+
+/// Serializes `artifact` under the matrix content `digest` into the
+/// versioned, checksummed file layout.
+pub fn encode(digest: u64, artifact: &Artifact) -> Vec<u8> {
+    let payload = artifact.encode_payload();
+    let mut buf = Vec::with_capacity(payload.len() + 32);
+    buf.extend_from_slice(&MAGIC);
+    put_u32(&mut buf, FORMAT_REV);
+    put_u8(&mut buf, artifact.kind().as_u8());
+    put_u64(&mut buf, digest);
+    put_u32(&mut buf, crc32(&payload));
+    put_bytes(&mut buf, &payload);
+    buf
+}
+
+/// Decodes one artifact file, returning the digest it was stamped with
+/// and the value. Every malformed input is an `Err`:
+/// truncation, wrong magic, unknown revision or kind, payload CRC
+/// mismatch, trailing bytes, or an invalid decoded value.
+pub fn decode(bytes: &[u8]) -> Result<(u64, Artifact)> {
+    let mut c = Cursor::new(bytes);
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = c.take_u8("artifact magic")?;
+    }
+    if magic != MAGIC {
+        return Err(format_err("bad artifact magic (not an smm-store file)"));
+    }
+    let rev = c.take_u32("artifact format rev")?;
+    if rev != FORMAT_REV {
+        return Err(format_err(format!(
+            "unsupported artifact format rev {rev} (this build reads rev {FORMAT_REV})"
+        )));
+    }
+    let kind_byte = c.take_u8("artifact kind")?;
+    let kind = ArtifactKind::from_u8(kind_byte)
+        .ok_or_else(|| format_err(format!("unknown artifact kind {kind_byte}")))?;
+    let digest = c.take_u64("artifact digest")?;
+    let crc = c.take_u32("artifact payload crc")?;
+    let payload = c.take_bytes("artifact payload")?;
+    c.expect_end("artifact file")?;
+    let actual = crc32(payload);
+    if actual != crc {
+        return Err(format_err(format!(
+            "artifact payload CRC mismatch: header {crc:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let artifact = Artifact::decode_payload(kind, payload)?;
+    // A matrix artifact must actually hash to the digest it claims —
+    // the content address is the contract the whole store rests on.
+    if let Artifact::Matrix(m) = &artifact {
+        if m.digest() != digest {
+            return Err(format_err(format!(
+                "matrix content digest {:#018x} does not match stamped digest {digest:#018x}",
+                m.digest()
+            )));
+        }
+    }
+    Ok((digest, artifact))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> IntMatrix {
+        IntMatrix::from_vec(2, 3, vec![1, 0, -2, 3, 0, 4]).unwrap()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn matrix_round_trips() {
+        let m = sample_matrix();
+        let bytes = encode(m.digest(), &Artifact::Matrix(m.clone()));
+        let (digest, artifact) = decode(&bytes).unwrap();
+        assert_eq!(digest, m.digest());
+        assert_eq!(artifact, Artifact::Matrix(m));
+    }
+
+    #[test]
+    fn csr_round_trips() {
+        let m = sample_matrix();
+        let csr = Csr::from_dense(&m);
+        let bytes = encode(m.digest(), &Artifact::Csr(csr.clone()));
+        let (_, artifact) = decode(&bytes).unwrap();
+        assert_eq!(artifact, Artifact::Csr(csr));
+    }
+
+    #[test]
+    fn circuit_meta_round_trips() {
+        let meta = CircuitMeta {
+            engine: "bitserial".into(),
+            input_bits: 8,
+            encoding: "csd".into(),
+            rows: 24,
+            cols: 24,
+            nnz: 57,
+            rationale: "small and sparse enough to fit".into(),
+        };
+        let bytes = encode(42, &Artifact::Circuit(meta.clone()));
+        let (digest, artifact) = decode(&bytes).unwrap();
+        assert_eq!(digest, 42);
+        assert_eq!(artifact, Artifact::Circuit(meta));
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let m = sample_matrix();
+        let mut bytes = encode(m.digest(), &Artifact::Matrix(m));
+        bytes[0] = b'X';
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn wrong_rev_rejected() {
+        let m = sample_matrix();
+        let mut bytes = encode(m.digest(), &Artifact::Matrix(m));
+        bytes[4] = FORMAT_REV as u8 + 1;
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_payload_fails_crc() {
+        let m = sample_matrix();
+        let mut bytes = encode(m.digest(), &Artifact::Matrix(m));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("CRC"), "{err}");
+    }
+
+    #[test]
+    fn lying_digest_rejected() {
+        let m = sample_matrix();
+        let bytes = encode(m.digest() ^ 1, &Artifact::Matrix(m));
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("digest"), "{err}");
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_not_a_panic() {
+        let m = sample_matrix();
+        let bytes = encode(m.digest(), &Artifact::Matrix(m));
+        for len in 0..bytes.len() {
+            assert!(decode(&bytes[..len]).is_err(), "prefix of {len} bytes");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # smm-store
+//!
+//! The tiered, persistent, digest-addressed artifact store behind the
+//! serving stack's matrix fleet.
+//!
+//! The serving runtime compiles each loaded matrix into an engine (a
+//! spatial bit-serial circuit, a sigma tile map, a CSR kernel) keyed by
+//! the matrix's stable FNV content digest. This crate makes that fleet
+//! survive process restarts and grow past memory, with three residency
+//! tiers (see [`Tier`]):
+//!
+//! ```text
+//!        hot   compiled engine + worker pool, in memory
+//!         ↑↓   promote on request / demote on pressure
+//!        warm  raw matrix + CSR, in memory, compile on demand
+//!         ↑↓   promote on request / demote on pressure
+//!        cold  versioned, checksummed artifact bytes on disk
+//! ```
+//!
+//! * [`artifact`] — the std-only binary file format (magic + format
+//!   rev + FNV digest + payload CRC-32) with serializers for dense
+//!   matrices, CSR structures, and compiled-circuit metadata.
+//! * [`store`] — the [`Store`] directory API: `put` / `get` /
+//!   `contains` / `evict` / `scan` / `gc`, with atomic writes and
+//!   hostile-input decoding.
+//! * [`policy`] — [`TierPolicy`]: per-digest request counters and the
+//!   LRU clock that picks demotion victims.
+//! * [`tier`] — the [`Tier`] enum and per-tier occupancy counts.
+//!
+//! The in-memory side of the fleet — sessions, promotion, demotion —
+//! lives in `smm-runtime`'s `TieredRegistry`, which drives this crate.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod artifact;
+pub mod policy;
+pub mod store;
+pub mod tier;
+
+pub use artifact::{Artifact, ArtifactKind, CircuitMeta};
+pub use policy::TierPolicy;
+pub use store::{GcReport, Store, StoreEntry};
+pub use tier::{Tier, TierCounts};

@@ -1,0 +1,327 @@
+//! The on-disk store: one directory of digest-named artifact files.
+//!
+//! Layout is deliberately flat and greppable: every artifact lives at
+//! `<dir>/<digest as 16 hex digits>.<kind>.smma`, e.g.
+//! `00000f4a139ac2b1.matrix.smma`. Writes go through a temporary file
+//! and an atomic rename, so a crash mid-`put` never leaves a partial
+//! artifact under a valid name. Reads verify the full format contract
+//! (magic, revision, CRC, stamped digest) before returning a value —
+//! a corrupt file is a recoverable [`Error`], never a panic.
+
+use crate::artifact::{self, Artifact, ArtifactKind};
+use smm_core::error::{Error, Result};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+fn io_err(context: String) -> Error {
+    Error::Runtime { context }
+}
+
+/// One digest's on-disk presence, as listed by [`Store::scan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// The matrix content digest the files are named by.
+    pub digest: u64,
+    /// Which artifact kinds are present for the digest.
+    pub kinds: Vec<ArtifactKind>,
+    /// Total bytes across the digest's files.
+    pub bytes: u64,
+}
+
+/// What a [`Store::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Files that decoded cleanly and were kept.
+    pub kept: usize,
+    /// Corrupt, truncated, or misnamed files removed.
+    pub removed: usize,
+    /// Bytes reclaimed by the removals.
+    pub reclaimed_bytes: u64,
+}
+
+/// A directory of digest-addressed artifact files.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| io_err(format!("creating store dir {}: {e}", dir.display())))?;
+        Ok(Self { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path an artifact of `kind` for `digest` lives at.
+    pub fn path_for(&self, digest: u64, kind: ArtifactKind) -> PathBuf {
+        self.dir.join(format!("{digest:016x}.{}.smma", kind.ext()))
+    }
+
+    /// Serializes and persists one artifact under `digest`, atomically
+    /// (temp file + rename). Overwrites any previous artifact of the
+    /// same kind.
+    pub fn put(&self, digest: u64, artifact: &Artifact) -> Result<()> {
+        let bytes = artifact::encode(digest, artifact);
+        let path = self.path_for(digest, artifact.kind());
+        let tmp = path.with_extension("smma.tmp");
+        let write = |tmp: &Path| -> std::io::Result<()> {
+            let mut f = fs::File::create(tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            fs::rename(tmp, &path)
+        };
+        write(&tmp).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            io_err(format!("writing artifact {}: {e}", path.display()))
+        })
+    }
+
+    /// Loads the artifact of `kind` stored under `digest`.
+    ///
+    /// Returns `Ok(None)` when no such file exists; a file that exists
+    /// but fails any format check (truncation, CRC, stamped digest not
+    /// matching the requested one) is an `Err`.
+    pub fn get(&self, digest: u64, kind: ArtifactKind) -> Result<Option<Artifact>> {
+        let path = self.path_for(digest, kind);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(format!("reading artifact {}: {e}", path.display()))),
+        };
+        let (stamped, artifact) = artifact::decode(&bytes)
+            .map_err(|e| io_err(format!("artifact {}: {e}", path.display())))?;
+        if stamped != digest {
+            return Err(io_err(format!(
+                "artifact {} is stamped for digest {stamped:#018x}",
+                path.display()
+            )));
+        }
+        if artifact.kind() != kind {
+            return Err(io_err(format!(
+                "artifact {} holds a {} payload",
+                path.display(),
+                artifact.kind().ext()
+            )));
+        }
+        Ok(Some(artifact))
+    }
+
+    /// Whether an artifact of `kind` exists for `digest` (no decode).
+    pub fn contains(&self, digest: u64, kind: ArtifactKind) -> bool {
+        self.path_for(digest, kind).is_file()
+    }
+
+    /// Removes every artifact stored under `digest`, returning how many
+    /// files were deleted.
+    pub fn evict(&self, digest: u64) -> Result<usize> {
+        let mut removed = 0;
+        for kind in ArtifactKind::ALL {
+            let path = self.path_for(digest, kind);
+            match fs::remove_file(&path) {
+                Ok(()) => removed += 1,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err(format!("removing {}: {e}", path.display()))),
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Lists the digests present on disk, with their artifact kinds and
+    /// sizes. Listing parses file names only — it does not decode
+    /// payloads (that is [`Store::gc`]'s job) — and silently skips
+    /// foreign files.
+    pub fn scan(&self) -> Result<Vec<StoreEntry>> {
+        let mut by_digest: std::collections::BTreeMap<u64, StoreEntry> =
+            std::collections::BTreeMap::new();
+        let dir = fs::read_dir(&self.dir)
+            .map_err(|e| io_err(format!("scanning store dir {}: {e}", self.dir.display())))?;
+        for item in dir {
+            let item = item.map_err(|e| io_err(format!("scanning store dir: {e}")))?;
+            let Some((digest, kind)) = parse_file_name(&item.file_name()) else {
+                continue;
+            };
+            let bytes = item.metadata().map(|m| m.len()).unwrap_or(0);
+            let entry = by_digest.entry(digest).or_insert_with(|| StoreEntry {
+                digest,
+                kinds: Vec::new(),
+                bytes: 0,
+            });
+            entry.kinds.push(kind);
+            entry.bytes += bytes;
+        }
+        let mut entries: Vec<StoreEntry> = by_digest.into_values().collect();
+        for e in &mut entries {
+            e.kinds.sort();
+        }
+        Ok(entries)
+    }
+
+    /// Validates every artifact file end to end (full decode, CRC and
+    /// digest checks) and deletes the ones that fail — the recovery
+    /// path after a crash or disk corruption.
+    pub fn gc(&self) -> Result<GcReport> {
+        let mut report = GcReport::default();
+        let dir = fs::read_dir(&self.dir)
+            .map_err(|e| io_err(format!("scanning store dir {}: {e}", self.dir.display())))?;
+        for item in dir {
+            let item = item.map_err(|e| io_err(format!("scanning store dir: {e}")))?;
+            let path = item.path();
+            let name = item.file_name();
+            // Leftover temp files are always garbage; foreign files are
+            // left alone.
+            let is_tmp = name.to_string_lossy().ends_with(".smma.tmp");
+            let parsed = parse_file_name(&name);
+            if parsed.is_none() && !is_tmp {
+                continue;
+            }
+            let valid = parsed.is_some_and(|(digest, kind)| {
+                fs::read(&path)
+                    .ok()
+                    .and_then(|bytes| artifact::decode(&bytes).ok())
+                    .is_some_and(|(stamped, artifact)| {
+                        stamped == digest && artifact.kind() == kind
+                    })
+            });
+            if valid {
+                report.kept += 1;
+            } else {
+                let bytes = item.metadata().map(|m| m.len()).unwrap_or(0);
+                fs::remove_file(&path)
+                    .map_err(|e| io_err(format!("removing {}: {e}", path.display())))?;
+                report.removed += 1;
+                report.reclaimed_bytes += bytes;
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Parses `<16 hex digits>.<kind>.smma` file names; anything else is
+/// not ours.
+fn parse_file_name(name: &std::ffi::OsStr) -> Option<(u64, ArtifactKind)> {
+    let name = name.to_str()?;
+    let mut parts = name.split('.');
+    let digest_part = parts.next()?;
+    let kind_part = parts.next()?;
+    let ext = parts.next()?;
+    if parts.next().is_some() || ext != "smma" || digest_part.len() != 16 {
+        return None;
+    }
+    let digest = u64::from_str_radix(digest_part, 16).ok()?;
+    let kind = ArtifactKind::from_ext(kind_part)?;
+    Some((digest, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_core::matrix::IntMatrix;
+    use smm_sparse::Csr;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_store() -> Store {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "smm-store-test-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        Store::open(dir).unwrap()
+    }
+
+    fn sample() -> IntMatrix {
+        IntMatrix::from_vec(3, 2, vec![5, 0, -1, 2, 0, 7]).unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip_and_scan() {
+        let store = temp_store();
+        let m = sample();
+        let digest = m.digest();
+        store.put(digest, &Artifact::Matrix(m.clone())).unwrap();
+        store.put(digest, &Artifact::Csr(Csr::from_dense(&m))).unwrap();
+        assert!(store.contains(digest, ArtifactKind::Matrix));
+        assert!(!store.contains(digest, ArtifactKind::Circuit));
+        let got = store.get(digest, ArtifactKind::Matrix).unwrap().unwrap();
+        assert_eq!(got, Artifact::Matrix(m));
+        let entries = store.scan().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].digest, digest);
+        assert_eq!(entries[0].kinds, vec![ArtifactKind::Matrix, ArtifactKind::Csr]);
+        assert!(entries[0].bytes > 0);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_is_none_corrupt_is_err() {
+        let store = temp_store();
+        let m = sample();
+        let digest = m.digest();
+        assert!(store.get(digest, ArtifactKind::Matrix).unwrap().is_none());
+        store.put(digest, &Artifact::Matrix(m)).unwrap();
+        let path = store.path_for(digest, ArtifactKind::Matrix);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.get(digest, ArtifactKind::Matrix).is_err());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn evict_removes_all_kinds() {
+        let store = temp_store();
+        let m = sample();
+        let digest = m.digest();
+        store.put(digest, &Artifact::Matrix(m.clone())).unwrap();
+        store.put(digest, &Artifact::Csr(Csr::from_dense(&m))).unwrap();
+        assert_eq!(store.evict(digest).unwrap(), 2);
+        assert_eq!(store.evict(digest).unwrap(), 0);
+        assert!(store.scan().unwrap().is_empty());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_keeps_valid_and_removes_corrupt() {
+        let store = temp_store();
+        let m = sample();
+        let digest = m.digest();
+        store.put(digest, &Artifact::Matrix(m)).unwrap();
+        // A truncated artifact under a valid name, a leftover temp
+        // file, and a foreign file.
+        fs::write(store.dir().join(format!("{:016x}.csr.smma", 99u64)), b"SM").unwrap();
+        fs::write(store.dir().join("whatever.smma.tmp"), b"junk").unwrap();
+        fs::write(store.dir().join("README.txt"), b"not ours").unwrap();
+        let report = store.gc().unwrap();
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.removed, 2);
+        assert!(report.reclaimed_bytes > 0);
+        assert!(store.dir().join("README.txt").is_file());
+        assert!(store.contains(digest, ArtifactKind::Matrix));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn digest_mismatch_between_name_and_stamp_is_err() {
+        let store = temp_store();
+        let m = sample();
+        let digest = m.digest();
+        store.put(digest, &Artifact::Matrix(m)).unwrap();
+        let other = digest ^ 0xFF;
+        fs::rename(
+            store.path_for(digest, ArtifactKind::Matrix),
+            store.path_for(other, ArtifactKind::Matrix),
+        )
+        .unwrap();
+        assert!(store.get(other, ArtifactKind::Matrix).is_err());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

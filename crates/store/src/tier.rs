@@ -1,0 +1,73 @@
+//! Residency tiers of the matrix fleet.
+//!
+//! A digest-addressed matrix is always in exactly one tier:
+//!
+//! * [`Tier::Hot`] — a compiled engine (bit-serial circuit, sigma tile
+//!   map, CSR kernel) behind a live worker pool; answers immediately.
+//! * [`Tier::Warm`] — raw matrix + CSR resident in memory; serving it
+//!   costs one engine build (a cache-memoized compile at worst).
+//! * [`Tier::Cold`] — checksummed artifact bytes on disk only; serving
+//!   it costs one store read plus the warm cost.
+
+/// Where a digest currently resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Compiled engine + worker pool in memory.
+    Hot,
+    /// Raw matrix + CSR in memory, engine built on demand.
+    Warm,
+    /// Serialized bytes on disk only.
+    Cold,
+}
+
+impl Tier {
+    /// Lowercase tier name, as used in metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Hot => "hot",
+            Tier::Warm => "warm",
+            Tier::Cold => "cold",
+        }
+    }
+}
+
+/// Resident-entry counts per tier, as exported by the
+/// `smm_store_tier_resident` gauges and the wire `Stats` reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCounts {
+    /// Digests in [`Tier::Hot`].
+    pub hot: u64,
+    /// Digests in [`Tier::Warm`].
+    pub warm: u64,
+    /// Digests in [`Tier::Cold`].
+    pub cold: u64,
+}
+
+impl TierCounts {
+    /// Digests known across all tiers.
+    pub fn total(&self) -> u64 {
+        self.hot + self.warm + self.cold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_metric_labels() {
+        assert_eq!(Tier::Hot.name(), "hot");
+        assert_eq!(Tier::Warm.name(), "warm");
+        assert_eq!(Tier::Cold.name(), "cold");
+    }
+
+    #[test]
+    fn counts_total() {
+        let c = TierCounts {
+            hot: 2,
+            warm: 3,
+            cold: 5,
+        };
+        assert_eq!(c.total(), 10);
+    }
+}

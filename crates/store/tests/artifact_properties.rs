@@ -1,0 +1,164 @@
+//! Property tests for the artifact format: round-trips are exact, and
+//! malformed bytes — truncations, flipped bits, lying prefixes — are
+//! always a recoverable `Err`, never a panic or an over-allocation.
+//! Same discipline as the server's `wire_fuzz.rs`: bytes on disk are
+//! hostile input.
+
+use proptest::prelude::*;
+use smm_core::generate::element_sparse_matrix;
+use smm_core::rng::seeded;
+use smm_core::wire::put_u32;
+use smm_sparse::Csr;
+use smm_store::artifact::{self, Artifact, ArtifactKind, CircuitMeta, FORMAT_REV, MAGIC};
+
+proptest! {
+    /// Dense matrix → bytes → equal matrix, digest stamp included.
+    #[test]
+    fn matrix_round_trip(seed in any::<u64>(), sparsity in 0.0f64..1.0,
+                         rows in 1usize..24, cols in 1usize..24) {
+        let mut rng = seeded(seed);
+        let m = element_sparse_matrix(rows, cols, 8, sparsity, true, &mut rng).unwrap();
+        let bytes = artifact::encode(m.digest(), &Artifact::Matrix(m.clone()));
+        let (digest, decoded) = artifact::decode(&bytes).unwrap();
+        prop_assert_eq!(digest, m.digest());
+        prop_assert_eq!(decoded, Artifact::Matrix(m));
+    }
+
+    /// CSR → bytes → equal structure.
+    #[test]
+    fn csr_round_trip(seed in any::<u64>(), sparsity in 0.0f64..1.0,
+                      rows in 1usize..24, cols in 1usize..24) {
+        let mut rng = seeded(seed);
+        let m = element_sparse_matrix(rows, cols, 8, sparsity, true, &mut rng).unwrap();
+        let csr = Csr::from_dense(&m);
+        let bytes = artifact::encode(m.digest(), &Artifact::Csr(csr.clone()));
+        let (_, decoded) = artifact::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, Artifact::Csr(csr));
+    }
+
+    /// Circuit metadata → bytes → equal value, non-ASCII strings included.
+    #[test]
+    fn circuit_meta_round_trip(digest in any::<u64>(), tag in any::<u64>(),
+                               input_bits in 1u32..32,
+                               rows in any::<u64>(), cols in any::<u64>(),
+                               nnz in any::<u64>()) {
+        let meta = CircuitMeta {
+            engine: format!("engine-{tag:x}"),
+            input_bits,
+            encoding: if tag & 1 == 0 { String::new() } else { "csd".into() },
+            rows,
+            cols,
+            nnz,
+            rationale: format!("chosen für {tag} rows · density"),
+        };
+        let bytes = artifact::encode(digest, &Artifact::Circuit(meta.clone()));
+        let (d, decoded) = artifact::decode(&bytes).unwrap();
+        prop_assert_eq!(d, digest);
+        prop_assert_eq!(decoded, Artifact::Circuit(meta));
+    }
+
+    /// Every prefix of a valid artifact fails to decode — truncation can
+    /// never panic, succeed, or allocate past the bytes present.
+    #[test]
+    fn truncations_always_err(seed in any::<u64>(), cut in 0.0f64..1.0) {
+        let mut rng = seeded(seed);
+        let m = element_sparse_matrix(6, 5, 8, 0.5, true, &mut rng).unwrap();
+        let bytes = artifact::encode(m.digest(), &Artifact::Matrix(m));
+        let len = ((bytes.len() as f64) * cut) as usize;
+        prop_assert!(artifact::decode(&bytes[..len.min(bytes.len() - 1)]).is_err());
+    }
+
+    /// A single flipped bit anywhere in the file is caught (by the
+    /// magic, revision, kind, digest, CRC, or payload validation) —
+    /// decode either errs or, in the one benign spot (a flipped bit in
+    /// the CRC'd-but-unused padding does not exist in this layout),
+    /// never returns a value different from the original silently.
+    #[test]
+    fn bit_flips_never_decode_to_a_different_value(seed in any::<u64>(),
+                                                   pos in any::<u64>(),
+                                                   bit in 0u8..8) {
+        let mut rng = seeded(seed);
+        let m = element_sparse_matrix(5, 4, 8, 0.4, true, &mut rng).unwrap();
+        let mut bytes = artifact::encode(m.digest(), &Artifact::Matrix(m.clone()));
+        let i = (pos % bytes.len() as u64) as usize;
+        bytes[i] ^= 1 << bit;
+        match artifact::decode(&bytes) {
+            Err(_) => {}
+            Ok((digest, decoded)) => {
+                // Only reachable if the flip was undone by aliasing —
+                // impossible for a single flip, so decode must have
+                // returned the original value.
+                prop_assert_eq!(digest, m.digest());
+                prop_assert_eq!(decoded, Artifact::Matrix(m));
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = artifact::decode(&bytes);
+    }
+}
+
+#[test]
+fn wrong_rev_and_wrong_kind_are_rejected() {
+    let m = element_sparse_matrix(4, 4, 8, 0.5, true, &mut seeded(7)).unwrap();
+    let good = artifact::encode(m.digest(), &Artifact::Matrix(m.clone()));
+
+    // Bump the format revision field (bytes 4..8, little-endian).
+    let mut rev = good.clone();
+    let mut patched = Vec::new();
+    put_u32(&mut patched, FORMAT_REV + 1);
+    rev[4..8].copy_from_slice(&patched);
+    let err = artifact::decode(&rev).unwrap_err();
+    assert!(err.to_string().contains("rev"), "{err}");
+
+    // An unknown kind byte (offset 8).
+    let mut kind = good.clone();
+    kind[8] = 200;
+    assert!(artifact::decode(&kind).is_err());
+
+    // A known-but-wrong kind byte: header says CSR, payload is a dense
+    // matrix. The payload decode (or CRC-covered structure) must fail —
+    // and with the kind byte outside the CRC, the payload parse is the
+    // line of defense.
+    let mut cross = good;
+    cross[8] = ArtifactKind::Csr.as_u8();
+    assert!(artifact::decode(&cross).is_err());
+}
+
+#[test]
+fn lying_payload_length_is_rejected_without_allocating() {
+    // Hand-build a header that promises a 4 GiB payload with nothing
+    // behind it: the length cap must reject it before any allocation.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    put_u32(&mut bytes, FORMAT_REV);
+    bytes.push(ArtifactKind::Matrix.as_u8());
+    bytes.extend_from_slice(&7u64.to_le_bytes());
+    put_u32(&mut bytes, 0); // crc
+    put_u32(&mut bytes, u32::MAX); // payload length prefix
+    assert!(artifact::decode(&bytes).is_err());
+}
+
+#[test]
+fn huge_dimension_header_is_rejected_before_allocation() {
+    // A payload whose rows/cols imply a multi-terabyte dense matrix but
+    // whose data vector is tiny: the dimension cap and the element
+    // count check both fire before any rows*cols-sized allocation.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&u64::MAX.to_le_bytes()); // rows
+    payload.extend_from_slice(&u64::MAX.to_le_bytes()); // cols
+    put_u32(&mut payload, 1);
+    payload.extend_from_slice(&1i32.to_le_bytes());
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    put_u32(&mut bytes, FORMAT_REV);
+    bytes.push(ArtifactKind::Matrix.as_u8());
+    bytes.extend_from_slice(&7u64.to_le_bytes());
+    put_u32(&mut bytes, smm_store::artifact::crc32(&payload));
+    put_u32(&mut bytes, payload.len() as u32);
+    bytes.extend_from_slice(&payload);
+    assert!(artifact::decode(&bytes).is_err());
+}

@@ -18,6 +18,8 @@
 //!   per-stage request spans, Prometheus text exposition, and the
 //!   `BENCH_*.json` report writer
 //! * [`runtime`] — the batched, multi-threaded GEMV serving runtime
+//! * [`store`] — the persistent, digest-addressed matrix artifact store
+//!   behind the server's tiered (hot/warm/cold) fleet registry
 //! * [`server`] — the networked serving frontend (wire protocol, TCP
 //!   server, client, load generator)
 //!
@@ -68,11 +70,18 @@
 //!    of buffering under overload, graceful shutdown with connection
 //!    drain, and a self-checking load generator. One compiled circuit is
 //!    thereby amortized across many remote callers — the paper's
-//!    fixed-matrix economics at serving scale.
+//!    fixed-matrix economics at serving scale. The loaded fleet lives in
+//!    a [`runtime::TieredRegistry`] — hot compiled sessions, warm decoded
+//!    matrices, cold checksummed [`store`] artifacts on disk — so
+//!    capacity pressure demotes instead of refusing (when a
+//!    `store_dir` is configured) and a restarted server re-serves
+//!    yesterday's fleet without recompiling anything.
 //!
 //! See `examples/throughput_serving.rs` (in-process),
-//! `examples/remote_serving.rs` (over TCP), and the CLI's `throughput`,
-//! `serve`, and `loadgen` subcommands for end-to-end uses; the integer
+//! `examples/remote_serving.rs` (over TCP),
+//! `examples/fleet_persistence.rs` (restart without recompiling), and
+//! the CLI's `throughput`, `serve`, `loadgen`, and `store` subcommands
+//! for end-to-end uses; the integer
 //! reservoir ([`reservoir::int_esn::IntEsn`]) can route its recurrent
 //! product through any [`Session::engine`].
 
@@ -89,6 +98,7 @@ pub use smm_runtime as runtime;
 pub use smm_server as server;
 pub use smm_sigma as sigma;
 pub use smm_sparse as sparse;
+pub use smm_store as store;
 pub use smm_telemetry as telemetry;
 
 // The serving API, re-exported at the crate root as the documented
