@@ -36,7 +36,7 @@ const VALUED: &[&str] = &[
     "seed", "dim", "rows", "cols", "sparsity", "bits", "input-bits", "input", "output",
     "vector", "batch", "module", "policy", "backend", "threads", "repeat", "addr",
     "clients", "duration", "queue-depth", "cache-capacity", "metrics-addr", "json",
-    "bench-json", "store-dir", "max-warm", "max-matrices",
+    "bench-json", "store-dir", "max-warm", "max-matrices", "root",
 ];
 
 impl Args {

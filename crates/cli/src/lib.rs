@@ -18,6 +18,7 @@
 //!              [--json F] [--bench-json F]
 //! smm stats    [--addr A]                               # per-stage latency table
 //! smm store    [ls|gc|warm] --store-dir DIR             # persistent matrix fleet
+//! smm tidy     [--root DIR] [--list]                    # workspace static analysis
 //! ```
 
 #![warn(missing_docs)]
@@ -48,6 +49,7 @@ commands:
   loadgen   hammer a running server with self-checking clients
   stats     print a running server's counters and per-stage latencies
   store     list, garbage-collect, or pre-warm a persistent matrix store
+  tidy      run the workspace static-analysis pass (nonzero exit on findings)
 
 matrix options (all commands):
   --input FILE      MatrixMarket .mtx or dense text file
@@ -98,6 +100,8 @@ command-specific:
             gc                remove files that fail checksum validation
             warm              persist a matrix (matrix opts) into the store
             --store-dir DIR   the store directory (required)
+  tidy:     --root DIR        workspace root to scan (default .)
+            --list            print the rule table instead of scanning
 ";
 
 /// Runs the CLI. Returns the process exit code; all normal output goes to
@@ -119,6 +123,7 @@ pub fn run(raw_args: &[String], out: &mut impl std::io::Write) -> Result<(), Str
         "system" => commands::system(&args, out),
         "cgra" => commands::cgra(&args, out),
         "store" => commands::store(&args, out),
+        "tidy" => commands::tidy(&args, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())

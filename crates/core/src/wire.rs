@@ -108,6 +108,14 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
+    /// Reads exactly `N` bytes as a fixed array, so integer decoders
+    /// stay panic-free even if `take`'s length contract ever regresses.
+    fn take_array<const N: usize>(&mut self, what: &str) -> Result<[u8; N]> {
+        self.take(N, what)?
+            .try_into()
+            .map_err(|_| wire_err(format!("internal length mismatch decoding {what}")))
+    }
+
     /// Reads a `u8`.
     pub fn take_u8(&mut self, what: &str) -> Result<u8> {
         Ok(self.take(1, what)?[0])
@@ -115,22 +123,22 @@ impl<'a> Cursor<'a> {
 
     /// Reads a little-endian `u32`.
     pub fn take_u32(&mut self, what: &str) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array(what)?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn take_u64(&mut self, what: &str) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array(what)?))
     }
 
     /// Reads a little-endian `i32`.
     pub fn take_i32(&mut self, what: &str) -> Result<i32> {
-        Ok(i32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        Ok(i32::from_le_bytes(self.take_array(what)?))
     }
 
     /// Reads a little-endian `i64`.
     pub fn take_i64(&mut self, what: &str) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array(what)?))
     }
 
     /// Reads a length prefix, validated against both [`MAX_WIRE_LEN`] and

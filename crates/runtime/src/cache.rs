@@ -20,6 +20,7 @@ use smm_core::error::Result;
 use smm_core::matrix::IntMatrix;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use smm_telemetry::lock_or_recover;
 use std::sync::{Arc, Mutex};
 
 /// The full compilation identity: matrix content + operand width +
@@ -185,7 +186,7 @@ impl MultiplierCache {
             input_bits,
             encoding: encoding_key(encoding),
         };
-        let table = self.table.lock().expect("cache poisoned");
+        let table = lock_or_recover(&self.table);
         table
             .entries
             .get(&key)
@@ -218,7 +219,7 @@ impl MultiplierCache {
         };
         let mut collided = false;
         {
-            let mut table = self.table.lock().expect("cache poisoned");
+            let mut table = lock_or_recover(&self.table);
             let stamp = table.touch();
             if let Some(entry) = table.entries.get_mut(&key) {
                 if entry.matrix == *matrix {
@@ -238,7 +239,7 @@ impl MultiplierCache {
             // uncached.
             return Ok(compiled);
         }
-        let mut table = self.table.lock().expect("cache poisoned");
+        let mut table = lock_or_recover(&self.table);
         let stamp = table.touch();
         // First inserter wins so every caller observes one circuit — but
         // only when the occupant was compiled from the same content.
@@ -271,7 +272,7 @@ impl MultiplierCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.table.lock().expect("cache poisoned").entries.len(),
+            entries: lock_or_recover(&self.table).entries.len(),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
@@ -281,7 +282,7 @@ impl MultiplierCache {
     /// [`CacheStats::hit_rate`] after a clear reflects post-clear
     /// traffic only, never a blend with the previous epoch.
     pub fn clear(&self) {
-        let mut table = self.table.lock().expect("cache poisoned");
+        let mut table = lock_or_recover(&self.table);
         table.entries.clear();
         table.clock = 0;
         self.hits.store(0, Ordering::Relaxed);

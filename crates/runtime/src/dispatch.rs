@@ -325,10 +325,10 @@ impl Dispatcher {
         }
         let shards = self.workers.len().min(n);
         let (reply_tx, reply_rx) = channel();
-        let job_tx = self
-            .job_tx
-            .as_ref()
-            .expect("job channel open while dispatcher is alive");
+        // The channel is only taken by `shutdown`, which consumes the
+        // dispatcher's last reference; a racing caller still gets a
+        // typed error rather than a panic.
+        let job_tx = self.job_tx.as_ref().ok_or_else(pool_gone)?;
         // Balanced contiguous shards: the first `n % shards` get one
         // extra vector.
         let base = n / shards;
@@ -398,11 +398,11 @@ impl Drop for Dispatcher {
 
 fn worker_loop(rx: &Mutex<Receiver<Job>>, backend: &dyn GemvBackend) {
     loop {
-        // Hold the lock only while *receiving*; compute unlocked.
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
-        };
+        // Hold the lock only while *receiving*; compute unlocked. A
+        // poisoned receiver (a sibling panicked mid-recv, which recv
+        // itself never does) is recovered rather than silently
+        // shrinking the worker pool.
+        let job = smm_telemetry::lock_or_recover(rx).recv();
         let Ok(job) = job else { return };
         // One flat buffer for the whole shard; the engine writes rows in
         // place. The completion timestamp is taken before the send so the

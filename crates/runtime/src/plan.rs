@@ -245,10 +245,14 @@ impl<'a> Planner<'a> {
                         None => (0.10, "spatial compile not yet paid".to_string()),
                     },
                     // Every BUILTIN_KINDS entry must be scored above; a
-                    // new kind reaching this arm is a planner bug, and a
-                    // loud one beats silently inheriting another
-                    // engine's economics.
-                    other => unreachable!("unscored built-in engine kind '{other}'"),
+                    // new kind reaching this arm is a planner bug. Score
+                    // it out of contention with a rationale that names
+                    // the bug — a visible planning gap on one kind beats
+                    // tearing down the request thread for all of them.
+                    other => (
+                        0.0,
+                        format!("BUG: built-in kind '{other}' has no score model; update Planner::auto_plan"),
+                    ),
                 };
                 PlanCandidate {
                     kind: kind.to_string(),

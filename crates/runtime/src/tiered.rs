@@ -27,6 +27,7 @@ use crate::session::Session;
 use smm_core::error::Result;
 use smm_core::matrix::IntMatrix;
 use smm_sparse::Csr;
+use smm_telemetry::{get_mut_or_recover, lock_or_recover};
 use smm_store::{Artifact, ArtifactKind, CircuitMeta, Store, Tier, TierCounts, TierPolicy};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -146,7 +147,7 @@ impl TieredRegistry {
         let mut registry = Self::new(config);
         let entries = store.scan()?;
         {
-            let inner = registry.inner.get_mut().expect("registry poisoned");
+            let inner = get_mut_or_recover(&mut registry.inner);
             for e in entries {
                 if e.kinds.contains(&ArtifactKind::Matrix) {
                     inner.entries.insert(
@@ -172,14 +173,14 @@ impl TieredRegistry {
 
     /// The tier `digest` currently resides in, if known at all.
     pub fn tier_of(&self, digest: u64) -> Option<Tier> {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = lock_or_recover(&self.inner);
         inner.entries.get(&digest).map(Entry::tier)
     }
 
     /// Every known digest with its current tier and request count,
     /// sorted hottest-tier first.
     pub fn scan(&self) -> Vec<(u64, Tier, u64)> {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = lock_or_recover(&self.inner);
         let mut rows: Vec<(u64, Tier, u64)> = inner
             .entries
             .iter()
@@ -191,7 +192,7 @@ impl TieredRegistry {
 
     /// Resident digests per tier.
     pub fn tier_counts(&self) -> TierCounts {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = lock_or_recover(&self.inner);
         let mut counts = TierCounts::default();
         for e in inner.entries.values() {
             match e.tier() {
@@ -216,7 +217,7 @@ impl TieredRegistry {
     /// Total dispatcher batches and vectors served across the fleet's
     /// lifetime: live hot sessions plus counters retired at demotion.
     pub fn served_totals(&self) -> (u64, u64) {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = lock_or_recover(&self.inner);
         let mut batches = inner.retired_batches;
         let mut vectors = inner.retired_vectors;
         for e in inner.entries.values() {
@@ -236,7 +237,7 @@ impl TieredRegistry {
         if self.store.is_some() {
             return None;
         }
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = lock_or_recover(&self.inner);
         let loaded = inner.entries.len() as u64;
         (loaded >= (self.config.max_hot + self.config.max_warm) as u64).then_some(loaded)
     }
@@ -254,7 +255,7 @@ impl TieredRegistry {
         build: impl FnOnce(IntMatrix) -> Result<Session>,
     ) -> Result<Option<Arc<Session>>> {
         let matrix = {
-            let mut inner = self.inner.lock().expect("registry poisoned");
+            let mut inner = lock_or_recover(&self.inner);
             inner.policy.touch(digest);
             let Some(entry) = inner.entries.get(&digest) else {
                 return Ok(None);
@@ -275,7 +276,7 @@ impl TieredRegistry {
             },
         };
         let session = build(matrix.clone())?;
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         let entry = inner.entries.entry(digest).or_insert_with(|| Entry {
             session: None,
             matrix: None,
@@ -321,7 +322,7 @@ impl TieredRegistry {
     }
 
     fn forget(&self, digest: u64) {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         inner.entries.remove(&digest);
         inner.policy.forget(digest);
     }
@@ -341,7 +342,7 @@ impl TieredRegistry {
         // A write failure degrades to memory-only residency (warned,
         // not fatal — serving beats persistence).
         let on_disk = self.persist(digest, &matrix, meta.as_ref());
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         if let Some(entry) = inner.entries.get_mut(&digest) {
             if let Some(existing) = &entry.session {
                 return InsertOutcome::AlreadyLoaded(Arc::clone(existing));
@@ -399,7 +400,7 @@ impl TieredRegistry {
     /// new tier. `None` when the digest is unknown or cannot move down
     /// (already cold, or warm with no store to spill to).
     pub fn demote(&self, digest: u64) -> Option<Tier> {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         self.demote_locked(&mut inner, digest)
     }
 
@@ -407,7 +408,7 @@ impl TieredRegistry {
     /// artifact files too. Returns whether anything was removed.
     pub fn evict(&self, digest: u64, from_disk: bool) -> bool {
         let removed = {
-            let mut inner = self.inner.lock().expect("registry poisoned");
+            let mut inner = lock_or_recover(&self.inner);
             let removed = inner.entries.remove(&digest);
             inner.policy.forget(digest);
             if let Some(entry) = &removed {
@@ -438,9 +439,14 @@ impl TieredRegistry {
                     inner.retired_batches += s.batches;
                     inner.retired_vectors += s.vectors + session.singles();
                 }
-                let matrix = entry.matrix.as_ref().expect("hot entry retains its matrix");
+                // A hot entry retains its matrix by construction; if
+                // that invariant ever breaks, demote without a CSR (the
+                // warm tier rebuilds on promotion) instead of panicking
+                // under the registry lock.
                 if entry.csr.is_none() {
-                    entry.csr = Some(Csr::from_dense(matrix));
+                    if let Some(matrix) = entry.matrix.as_ref() {
+                        entry.csr = Some(Csr::from_dense(matrix));
+                    }
                 }
                 self.demotions.fetch_add(1, Ordering::Relaxed);
                 Some(Tier::Warm)

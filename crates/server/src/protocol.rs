@@ -586,31 +586,31 @@ impl Reply {
                     wire::put_str(&mut buf, &format!("matrix registry full ({loaded} loaded)"));
                 }
             }
-            ok => {
+            Reply::Pong => wire::put_u8(&mut buf, STATUS_OK),
+            Reply::Loaded(info) => {
                 wire::put_u8(&mut buf, STATUS_OK);
-                match ok {
-                    Reply::Pong => {}
-                    Reply::Loaded(info) => {
-                        wire::put_u64(&mut buf, info.digest);
-                        wire::put_u64(&mut buf, info.rows);
-                        wire::put_u64(&mut buf, info.cols);
-                        wire::put_u8(&mut buf, u8::from(info.already_loaded));
-                        if version >= 2 {
-                            wire::put_str(&mut buf, &info.engine);
-                        }
-                    }
-                    Reply::Output(o) => wire::put_i64_vec(&mut buf, o),
-                    Reply::Outputs(rows) => {
-                        wire::put_u32(&mut buf, rows.rows() as u32);
-                        for o in rows.iter() {
-                            wire::put_i64_vec(&mut buf, o);
-                        }
-                    }
-                    Reply::Stats(s) => s.encode(version, &mut buf),
-                    Reply::Busy | Reply::Error(_) | Reply::CapacityFull { .. } => {
-                        unreachable!("handled above")
-                    }
+                wire::put_u64(&mut buf, info.digest);
+                wire::put_u64(&mut buf, info.rows);
+                wire::put_u64(&mut buf, info.cols);
+                wire::put_u8(&mut buf, u8::from(info.already_loaded));
+                if version >= 2 {
+                    wire::put_str(&mut buf, &info.engine);
                 }
+            }
+            Reply::Output(o) => {
+                wire::put_u8(&mut buf, STATUS_OK);
+                wire::put_i64_vec(&mut buf, o);
+            }
+            Reply::Outputs(rows) => {
+                wire::put_u8(&mut buf, STATUS_OK);
+                wire::put_u32(&mut buf, rows.rows() as u32);
+                for o in rows.iter() {
+                    wire::put_i64_vec(&mut buf, o);
+                }
+            }
+            Reply::Stats(s) => {
+                wire::put_u8(&mut buf, STATUS_OK);
+                s.encode(version, &mut buf);
             }
         }
         buf
@@ -837,8 +837,13 @@ pub fn read_frame_idle_abort(
         )));
     }
     let opcode = header[5];
-    let request_id = u64::from_le_bytes(header[6..14].try_into().unwrap());
-    let len = u32::from_le_bytes(header[14..18].try_into().unwrap()) as usize;
+    // Constant indices into the fixed-size header array: bounds are
+    // checked at compile time, so no fallible slice conversion needed.
+    let request_id = u64::from_le_bytes([
+        header[6], header[7], header[8], header[9], header[10], header[11], header[12],
+        header[13],
+    ]);
+    let len = u32::from_le_bytes([header[14], header[15], header[16], header[17]]) as usize;
     if len > MAX_FRAME_PAYLOAD {
         return Err(FrameError::Malformed(format!(
             "payload length {len} exceeds {MAX_FRAME_PAYLOAD}"
@@ -847,7 +852,12 @@ pub fn read_frame_idle_abort(
     let mut payload = vec![0u8; len];
     match read_full(r, &mut payload, false, keep_going)? {
         Fill::Done => {}
-        Fill::CleanEof | Fill::IdleAbort => unreachable!("only legal at a frame boundary"),
+        // `read_full` only yields these at a frame boundary
+        // (`allow_idle`); mid-payload they would mean a torn frame, so
+        // drop the connection with a typed error either way.
+        Fill::CleanEof | Fill::IdleAbort => {
+            return Err(FrameError::Malformed("connection ended mid-payload".into()))
+        }
     }
     Ok(Some(Frame {
         version,
@@ -859,7 +869,14 @@ pub fn read_frame_idle_abort(
 
 /// Reads one frame, blocking until it arrives or the connection fails.
 pub fn read_frame(r: &mut impl Read) -> std::result::Result<Frame, FrameError> {
-    Ok(read_frame_idle_abort(r, &|| true)?.expect("abort impossible: keep_going is constant"))
+    match read_frame_idle_abort(r, &|| true)? {
+        Some(frame) => Ok(frame),
+        // Unreachable with a constant `keep_going`, but a typed error
+        // keeps this path panic-free if that contract ever changes.
+        None => Err(FrameError::Malformed(
+            "idle abort despite a constant keep_going".into(),
+        )),
+    }
 }
 
 #[cfg(test)]

@@ -10,12 +10,16 @@
 //! layouts, replies echoed under the request's version, and served
 //! results bit-identical.
 
+use smm_core::block::RowBlock;
 use smm_core::generate::{element_sparse_matrix, random_vector};
 use smm_core::gemv::vecmat;
 use smm_core::matrix::IntMatrix;
 use smm_core::rng::seeded;
 use smm_core::wire::{self, Cursor};
-use smm_server::protocol::{read_frame, write_frame, Opcode, VERSION};
+use smm_server::protocol::{
+    read_frame, write_frame, LoadedInfo, Opcode, Reply, MIN_VERSION, STATUS_BUSY, STATUS_CAPACITY,
+    STATUS_ERROR, STATUS_OK, VERSION,
+};
 use smm_server::ServerConfig;
 use std::net::TcpStream;
 
@@ -48,13 +52,20 @@ impl V1Client {
         frame.payload
     }
 
+    /// v1 `Ping`: empty payload; the `Pong` reply is the bare OK
+    /// status byte, at every rev.
+    fn ping(&mut self) {
+        let reply = self.call(Opcode::Ping, &[]);
+        assert_eq!(reply, vec![STATUS_OK], "v1 Pong is the lone status byte");
+    }
+
     /// v1 `LoadMatrix`: matrix bytes only — no backend field.
     fn load_matrix(&mut self, matrix: &IntMatrix) -> u64 {
         let mut payload = Vec::new();
         wire::put_bytes(&mut payload, &smm_core::io::matrix_to_bytes(matrix));
         let reply = self.call(Opcode::LoadMatrix, &payload);
         let mut c = Cursor::new(&reply);
-        assert_eq!(c.take_u8("status").unwrap(), 0, "load must succeed");
+        assert_eq!(c.take_u8("status").unwrap(), STATUS_OK, "load must succeed");
         let digest = c.take_u64("digest").unwrap();
         assert_eq!(c.take_u64("rows").unwrap(), matrix.rows() as u64);
         assert_eq!(c.take_u64("cols").unwrap(), matrix.cols() as u64);
@@ -71,7 +82,7 @@ impl V1Client {
         wire::put_i32_vec(&mut payload, a);
         let reply = self.call(Opcode::Gemv, &payload);
         let mut c = Cursor::new(&reply);
-        assert_eq!(c.take_u8("status").unwrap(), 0, "gemv must succeed");
+        assert_eq!(c.take_u8("status").unwrap(), STATUS_OK, "gemv must succeed");
         let o = c.take_i64_vec("output").unwrap();
         c.expect_end("v1 gemv reply").unwrap();
         o
@@ -89,7 +100,7 @@ impl V1Client {
         }
         let reply = self.call(Opcode::GemvBatch, &payload);
         let mut c = Cursor::new(&reply);
-        assert_eq!(c.take_u8("status").unwrap(), 0, "batch must succeed");
+        assert_eq!(c.take_u8("status").unwrap(), STATUS_OK, "batch must succeed");
         let count = c.take_u32("count").unwrap() as usize;
         assert_eq!(count, batch.len(), "one output row per input vector");
         let rows: Vec<Vec<i64>> = (0..count)
@@ -108,6 +119,7 @@ fn v1_client_round_trips_load_and_gemv_unchanged() {
     let matrix = element_sparse_matrix(12, 9, 8, 0.6, true, &mut rng).unwrap();
 
     let mut v1 = V1Client::connect(server.local_addr());
+    v1.ping();
     let digest = v1.load_matrix(&matrix);
     assert_eq!(digest, matrix.digest(), "digest agreement across versions");
     for _ in 0..5 {
@@ -167,9 +179,9 @@ impl V2Client {
         let reply = self.call(Opcode::LoadMatrix, &payload);
         let mut c = Cursor::new(&reply);
         match c.take_u8("status").unwrap() {
-            0 => {}
-            2 => return Err(c.take_str("error").unwrap().to_string()),
-            other => panic!("unexpected status {other}"),
+            STATUS_OK => {}
+            STATUS_ERROR => return Err(c.take_str("error").unwrap().to_string()),
+            other => return Err(format!("unexpected status {other}")),
         }
         let digest = c.take_u64("digest").unwrap();
         assert_eq!(c.take_u64("rows").unwrap(), matrix.rows() as u64);
@@ -187,7 +199,7 @@ impl V2Client {
         wire::put_i32_vec(&mut payload, a);
         let reply = self.call(Opcode::Gemv, &payload);
         let mut c = Cursor::new(&reply);
-        assert_eq!(c.take_u8("status").unwrap(), 0, "gemv must succeed");
+        assert_eq!(c.take_u8("status").unwrap(), STATUS_OK, "gemv must succeed");
         let o = c.take_i64_vec("output").unwrap();
         c.expect_end("v2 gemv reply").unwrap();
         o
@@ -281,7 +293,7 @@ fn pre_v4_stats_reply_bytes_are_pinned() {
         "v3 Stats body is the status byte plus fifteen u64s, nothing more"
     );
     let mut c = Cursor::new(&frame.payload);
-    assert_eq!(c.take_u8("status").unwrap(), 0);
+    assert_eq!(c.take_u8("status").unwrap(), STATUS_OK);
     assert!(c.take_u64("requests").unwrap() >= 2, "load + gemv counted");
     for field in [
         "rejected",
@@ -366,4 +378,82 @@ fn v1_and_v2_clients_interleave_on_one_server() {
     let stats = v2.stats().unwrap();
     assert!(stats.requests >= 9, "{stats:?}");
     server.shutdown();
+}
+
+/// The status bytes and version range ARE the wire: renumbering any of
+/// them breaks every deployed peer, so their literal values are pinned
+/// here, next to the raw-frame tests that depend on them.
+#[test]
+fn status_bytes_and_version_range_are_pinned() {
+    assert_eq!(MIN_VERSION, 1, "v1 peers must stay served");
+    assert_eq!(VERSION, 5);
+    assert_eq!(STATUS_OK, 0);
+    assert_eq!(STATUS_BUSY, 1);
+    assert_eq!(STATUS_ERROR, 2);
+    assert_eq!(STATUS_CAPACITY, 3, "the v5 capacity status");
+}
+
+/// Byte-level pins for every `Reply` variant's body, hand-rolled the
+/// same way the legacy clients above write their requests: if any
+/// encoder drifts, the mismatch names the exact variant.
+#[test]
+fn reply_body_layouts_are_pinned() {
+    // Pong and Busy are bare status bytes under every rev.
+    for version in MIN_VERSION..=VERSION {
+        assert_eq!(Reply::Pong.encode(version), vec![STATUS_OK]);
+        assert_eq!(Reply::Busy.encode(version), vec![STATUS_BUSY]);
+    }
+
+    // Error: status + length-prefixed UTF-8, unchanged since v1.
+    let mut expect = vec![STATUS_ERROR];
+    wire::put_str(&mut expect, "boom");
+    assert_eq!(Reply::Error("boom".into()).encode(1), expect);
+    assert_eq!(Reply::Error("boom".into()).encode(VERSION), expect);
+
+    // Loaded: digest, rows, cols, already-loaded flag; the engine name
+    // only from v2.
+    let info = LoadedInfo {
+        digest: 0xABCD,
+        rows: 4,
+        cols: 3,
+        already_loaded: true,
+        engine: "sigma".into(),
+    };
+    let mut v1_body = vec![STATUS_OK];
+    wire::put_u64(&mut v1_body, 0xABCD);
+    wire::put_u64(&mut v1_body, 4);
+    wire::put_u64(&mut v1_body, 3);
+    wire::put_u8(&mut v1_body, 1);
+    assert_eq!(Reply::Loaded(info.clone()).encode(1), v1_body);
+    let mut v2_body = v1_body.clone();
+    wire::put_str(&mut v2_body, "sigma");
+    assert_eq!(Reply::Loaded(info).encode(2), v2_body);
+
+    // Output: status + one i64 vector.
+    let mut out_body = vec![STATUS_OK];
+    wire::put_i64_vec(&mut out_body, &[-1, 0, i64::MAX]);
+    assert_eq!(Reply::Output(vec![-1, 0, i64::MAX]).encode(1), out_body);
+
+    // Outputs: status + row count + per-row i64 vectors.
+    let rows = RowBlock::try_from(vec![vec![1i64, 2], vec![3, 4]]).unwrap();
+    let mut rows_body = vec![STATUS_OK];
+    wire::put_u32(&mut rows_body, 2);
+    wire::put_i64_vec(&mut rows_body, &[1, 2]);
+    wire::put_i64_vec(&mut rows_body, &[3, 4]);
+    assert_eq!(Reply::Outputs(rows).encode(1), rows_body);
+
+    // CapacityFull: typed status + count at v5; the legacy string as
+    // STATUS_ERROR to every earlier peer.
+    let mut v5_cap = vec![STATUS_CAPACITY];
+    wire::put_u64(&mut v5_cap, 64);
+    assert_eq!(Reply::CapacityFull { loaded: 64 }.encode(5), v5_cap);
+    let mut legacy_cap = vec![STATUS_ERROR];
+    wire::put_str(&mut legacy_cap, "matrix registry full (64 loaded)");
+    for version in MIN_VERSION..5 {
+        assert_eq!(
+            Reply::CapacityFull { loaded: 64 }.encode(version),
+            legacy_cap,
+            "v{version} peers get the legacy capacity string"
+        );
+    }
 }

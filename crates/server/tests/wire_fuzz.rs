@@ -1,7 +1,9 @@
 //! Wire-decoder fuzzing: arbitrary, truncated, and length-lying byte
-//! streams against the v1–v3 `Request`/`Reply` decoders and the frame
+//! streams against the v1–v5 `Request`/`Reply` decoders and the frame
 //! reader must come back as `Err` — never a panic, never an allocation
-//! driven by a lying length prefix. The generator is the workspace's
+//! driven by a lying length prefix. Every protocol rev is covered,
+//! including the v4 per-stage `Stats` block and the v5 `CapacityFull`
+//! status and fleet tier counters. The generator is the workspace's
 //! seeded ChaCha stream, so every run explores the same inputs and any
 //! failure reproduces exactly.
 
@@ -11,8 +13,8 @@ use smm_core::matrix::IntMatrix;
 use smm_core::rng::seeded;
 use smm_core::wire;
 use smm_server::protocol::{
-    read_frame, write_frame, FrameError, Opcode, Reply, Request, MAX_FRAME_PAYLOAD, MIN_VERSION,
-    VERSION,
+    read_frame, write_frame, FrameError, LoadedInfo, Opcode, Reply, Request, StatsSnapshot,
+    MAX_FRAME_PAYLOAD, MIN_VERSION, STATUS_BUSY, STATUS_CAPACITY, STATUS_ERROR, VERSION,
 };
 
 const OPCODES: [Opcode; 5] = [
@@ -92,6 +94,17 @@ fn truncated_request_payloads_are_errors() {
 #[test]
 fn truncated_replies_are_errors() {
     let replies = vec![
+        (Opcode::Ping, Reply::Pong),
+        (
+            Opcode::LoadMatrix,
+            Reply::Loaded(LoadedInfo {
+                digest: 0xFEED,
+                rows: 3,
+                cols: 2,
+                already_loaded: false,
+                engine: "csr".into(),
+            }),
+        ),
         (Opcode::Gemv, Reply::Output(vec![i64::MIN, 7, i64::MAX])),
         (
             Opcode::GemvBatch,
@@ -99,6 +112,8 @@ fn truncated_replies_are_errors() {
         ),
         (Opcode::Stats, Reply::Stats(Default::default())),
         (Opcode::Gemv, Reply::Error("boom".into())),
+        (Opcode::Gemv, Reply::Busy),
+        (Opcode::LoadMatrix, Reply::CapacityFull { loaded: 9 }),
     ];
     for (opcode, reply) in replies {
         let full = reply.encode(VERSION);
@@ -110,6 +125,109 @@ fn truncated_replies_are_errors() {
                 full.len()
             );
         }
+    }
+}
+
+/// The v4/v5 `Stats` body — the 15 legacy counters plus the v4 stage
+/// block and the v5 fleet tier counters — survives the same truncation
+/// and corruption discipline as the v1-era shapes.
+#[test]
+fn v4_and_v5_stats_bodies_fuzz_clean() {
+    let mut snapshot = StatsSnapshot {
+        requests: 100,
+        vectors: 420,
+        tier_hot: 2,
+        tier_warm: 5,
+        tier_cold: 9,
+        store_promotions: 4,
+        store_demotions: 3,
+        store_hits: 7,
+        ..Default::default()
+    };
+    for stage in snapshot.stages.iter_mut() {
+        stage.count = 11;
+        stage.p50_ns = 1_000;
+        stage.p99_ns = 9_000;
+    }
+    let reply = Reply::Stats(Box::new(snapshot));
+
+    // v3 carries the bare counters; v4 appends the stage block; v5 the
+    // fleet counters. Pin the growth, then truncate everywhere.
+    let v3 = reply.encode(3);
+    let v4 = reply.encode(4);
+    let v5 = reply.encode(5);
+    assert_eq!(v4.len(), v3.len() + 7 * 3 * 8, "v4 adds the stage block");
+    assert_eq!(v5.len(), v4.len() + 6 * 8, "v5 adds the fleet counters");
+    for (version, full) in [(4u8, &v4), (5u8, &v5)] {
+        let decoded = Reply::decode(version, Opcode::Stats, full).unwrap();
+        let Reply::Stats(back) = decoded else {
+            panic!("stats reply decodes as stats");
+        };
+        assert_eq!(back.stages[0].count, 11);
+        if version >= 5 {
+            assert_eq!((back.tier_hot, back.tier_warm, back.tier_cold), (2, 5, 9));
+            assert_eq!(back.store_hits, 7);
+        }
+        for cut in 0..full.len() {
+            assert!(
+                Reply::decode(version, Opcode::Stats, &full[..cut]).is_err(),
+                "v{version} stats cut at {cut} of {}",
+                full.len()
+            );
+        }
+    }
+    // A v4 decoder handed a v5-length body must reject the trailing
+    // tier block rather than silently ignoring bytes.
+    assert!(Reply::decode(4, Opcode::Stats, &v5).is_err());
+
+    // Random corruption of the numeric fields never panics (the body is
+    // all fixed-width integers, so most flips still decode — the only
+    // failure mode is a panic or runaway allocation).
+    let mut rng = seeded(7103);
+    for _ in 0..500 {
+        let mut bad = v5.clone();
+        let pos = (rng.next_u32() as usize) % bad.len();
+        bad[pos] ^= 1 + (rng.next_u32() % 255) as u8;
+        let _ = Reply::decode(5, Opcode::Stats, &bad);
+        let _ = Reply::decode(4, Opcode::Stats, &bad);
+    }
+}
+
+/// The v5 `CapacityFull` status byte: well-formed at v5, hostile
+/// variants rejected, and unknown to every pre-v5 decoder.
+#[test]
+fn capacity_status_fuzzes_clean_and_stays_v5_only() {
+    let full = Reply::CapacityFull { loaded: 64 }.encode(VERSION);
+    assert_eq!(full[0], STATUS_CAPACITY);
+    assert!(matches!(
+        Reply::decode(VERSION, Opcode::LoadMatrix, &full),
+        Ok(Reply::CapacityFull { loaded: 64 })
+    ));
+    // A truncated loaded-count is an error, not a panic.
+    for cut in 0..full.len() {
+        assert!(Reply::decode(VERSION, Opcode::LoadMatrix, &full[..cut]).is_err());
+    }
+    // Pre-v5 decoders do not know status byte 3: the same bytes must be
+    // rejected, exactly as a v4-era binary would reject them.
+    for version in MIN_VERSION..VERSION {
+        assert!(
+            Reply::decode(version, Opcode::LoadMatrix, &full).is_err(),
+            "status {STATUS_CAPACITY} must be unknown at v{version}"
+        );
+    }
+    // Busy and Error still decode under every rev — the v5 status byte
+    // did not disturb their layouts.
+    for version in MIN_VERSION..=VERSION {
+        assert!(matches!(
+            Reply::decode(version, Opcode::Gemv, &[STATUS_BUSY]),
+            Ok(Reply::Busy)
+        ));
+        let mut err = vec![STATUS_ERROR];
+        wire::put_str(&mut err, "nope");
+        assert!(matches!(
+            Reply::decode(version, Opcode::Gemv, &err),
+            Ok(Reply::Error(message)) if message == "nope"
+        ));
     }
 }
 

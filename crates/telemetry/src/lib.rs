@@ -20,6 +20,10 @@
 //! - [`report`] — the `BENCH_*.json` writer/validator
 //!   ([`BenchReport`]) recording the perf trajectory that future PRs
 //!   measure themselves against.
+//! - [`sync`] — the poison-recovering [`lock_or_recover`] /
+//!   [`get_mut_or_recover`] helpers every crate takes its shared-state
+//!   guards through, so one panicking worker cannot cascade into every
+//!   thread that shares a mutex.
 //!
 //! The crate is std-only with zero dependencies, `forbid(unsafe_code)`,
 //! and every hot-path operation is a relaxed atomic.
@@ -32,8 +36,10 @@ pub mod prometheus;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod sync;
 
 pub use hist::{weighted_percentile, LatencyHistogram};
 pub use registry::{Counter, Gauge, MetricSample, MetricValue, MetricsRegistry};
+pub use sync::{get_mut_or_recover, lock_or_recover};
 pub use report::{stage_summaries, BenchReport, EngineRun, StageSummary, SCHEMA};
 pub use span::{Span, SpanRecorder, Stage, StageStats, STAGES};

@@ -138,7 +138,7 @@ impl MetricsRegistry {
     ///
     /// If `name` is already registered as a different kind.
     pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = crate::sync::lock_or_recover(&self.inner);
         let (_, metric) = inner
             .entry(name.to_string())
             .or_insert_with(|| (help.to_string(), Metric::Counter(Arc::new(Counter::new()))));
@@ -154,7 +154,7 @@ impl MetricsRegistry {
     ///
     /// If `name` is already registered as a different kind.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = crate::sync::lock_or_recover(&self.inner);
         let (_, metric) = inner
             .entry(name.to_string())
             .or_insert_with(|| (help.to_string(), Metric::Gauge(Arc::new(Gauge::new()))));
@@ -170,7 +170,7 @@ impl MetricsRegistry {
     ///
     /// If `name` is already registered as a different kind.
     pub fn histogram(&self, name: &str, help: &str) -> Arc<LatencyHistogram> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = crate::sync::lock_or_recover(&self.inner);
         let (_, metric) = inner.entry(name.to_string()).or_insert_with(|| {
             (help.to_string(), Metric::Histogram(Arc::new(LatencyHistogram::new())))
         });
@@ -188,7 +188,7 @@ impl MetricsRegistry {
     ///
     /// If `name` is already registered (as any kind).
     pub fn register_histogram(&self, name: &str, help: &str, hist: Arc<LatencyHistogram>) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = crate::sync::lock_or_recover(&self.inner);
         let prev = inner.insert(
             name.to_string(),
             (help.to_string(), Metric::Histogram(hist)),
@@ -199,7 +199,7 @@ impl MetricsRegistry {
     /// A point-in-time snapshot of every registered metric, sorted by
     /// name (the `BTreeMap` order), for the exposition renderer.
     pub fn snapshot(&self) -> Vec<MetricSample> {
-        let inner = self.inner.lock().unwrap();
+        let inner = crate::sync::lock_or_recover(&self.inner);
         inner
             .iter()
             .map(|(name, (help, metric))| MetricSample {

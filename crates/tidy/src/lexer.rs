@@ -1,0 +1,490 @@
+//! A small hand-rolled Rust lexer, just enough for linting.
+//!
+//! The rules in this crate must never misread `.unwrap()` inside a
+//! string literal or a comment as a call, so the pass cannot be regex
+//! over raw text: it tokenizes first. The lexer understands exactly the
+//! lexical structure that trips naive scanners — line and *nested*
+//! block comments, plain and raw strings (`r#""#` with any number of
+//! hashes), byte strings, char literals vs. lifetimes, and raw
+//! identifiers — and degrades gracefully on malformed input (an
+//! unterminated literal consumes to end of file rather than erroring,
+//! so a half-edited file still gets best-effort diagnostics).
+//!
+//! It is *not* a full Rust lexer: numeric literals are approximate and
+//! every remaining byte becomes a one-character [`TokenKind::Punct`].
+//! That is sufficient for every rule here, all of which key off
+//! identifiers, adjacency (`.` before, `(` after), and comment text.
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `unsafe`, `r#ident`, ...).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A numeric literal (approximate: digits plus trailing ident chars).
+    Number,
+    /// A string literal of any flavor: `"..."`, `r#"..."#`, `b"..."`.
+    Str,
+    /// A character or byte-character literal: `'x'`, `b'\n'`.
+    Char,
+    /// A `//` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* ... */` comment, nesting handled.
+    BlockComment,
+    /// Any other single character.
+    Punct,
+}
+
+/// One lexed token: its class, source text, and 1-indexed start line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The lexical class.
+    pub kind: TokenKind,
+    /// The exact source text, including delimiters for literals and
+    /// comment markers for comments.
+    pub text: String,
+    /// 1-indexed line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// `true` for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// A cursor over the source characters with line tracking.
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Scanner {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `source`. Never fails: malformed input yields best-effort
+/// tokens (an unterminated string or block comment runs to end of file).
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut s = Scanner {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = s.peek(0) {
+        let line = s.line;
+        match c {
+            c if c.is_whitespace() => {
+                s.bump();
+            }
+            '/' if s.peek(1) == Some('/') => {
+                let mut text = String::new();
+                s.eat_while(&mut text, |c| c != '\n');
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    text,
+                    line,
+                });
+            }
+            '/' if s.peek(1) == Some('*') => {
+                tokens.push(block_comment(&mut s, line));
+            }
+            '"' => tokens.push(string_literal(&mut s, line, String::new())),
+            '\'' => tokens.push(quote_token(&mut s, line)),
+            'r' | 'b' | 'c' => tokens.push(prefixed_or_ident(&mut s, line)),
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                s.eat_while(&mut text, is_ident_continue);
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                s.eat_while(&mut text, is_ident_continue);
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text,
+                    line,
+                });
+            }
+            other => {
+                s.bump();
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: other.to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    tokens
+}
+
+/// Consumes a `/* ... */` comment starting at the current position,
+/// honoring nesting. An unterminated comment runs to end of file.
+fn block_comment(s: &mut Scanner, line: usize) -> Token {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = s.peek(0) {
+        if c == '/' && s.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            s.bump();
+            s.bump();
+        } else if c == '*' && s.peek(1) == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            s.bump();
+            s.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            s.bump();
+        }
+    }
+    Token {
+        kind: TokenKind::BlockComment,
+        text,
+        line,
+    }
+}
+
+/// Consumes a non-raw string literal whose opening `"` is at the
+/// current position; `prefix` carries any already-consumed `b`/`c`.
+fn string_literal(s: &mut Scanner, line: usize, prefix: String) -> Token {
+    let mut text = prefix;
+    text.push('"');
+    s.bump();
+    while let Some(c) = s.bump() {
+        text.push(c);
+        match c {
+            '\\' => {
+                if let Some(escaped) = s.bump() {
+                    text.push(escaped);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+    }
+}
+
+/// Consumes a raw string `r"..."` / `r#"..."#` (any hash count) whose
+/// `r` (and any `b`/`c` prefix) has already been consumed into `prefix`.
+fn raw_string(s: &mut Scanner, line: usize, prefix: String) -> Token {
+    let mut text = prefix;
+    let mut hashes = 0usize;
+    while s.peek(0) == Some('#') {
+        hashes += 1;
+        text.push('#');
+        s.bump();
+    }
+    if s.peek(0) == Some('"') {
+        text.push('"');
+        s.bump();
+        'body: while let Some(c) = s.bump() {
+            text.push(c);
+            if c == '"' {
+                for i in 0..hashes {
+                    if s.peek(i) != Some('#') {
+                        continue 'body;
+                    }
+                }
+                for _ in 0..hashes {
+                    text.push('#');
+                    s.bump();
+                }
+                break;
+            }
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+    }
+}
+
+/// Disambiguates a leading `'`: lifetime (`'a`, `'_`, `'static`) vs.
+/// char literal (`'x'`, `'\n'`, `'\u{1F600}'`).
+fn quote_token(s: &mut Scanner, line: usize) -> Token {
+    // A lifetime is `'` + ident where the char after the ident is NOT a
+    // closing quote; `'a'` is a char literal, `'a` is a lifetime.
+    let next = s.peek(1);
+    let is_lifetime = match next {
+        Some(c) if is_ident_start(c) => {
+            // Scan the ident run; a closing `'` right after means char.
+            let mut i = 1;
+            while let Some(c) = s.peek(i) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                i += 1;
+            }
+            s.peek(i) != Some('\'')
+        }
+        _ => false,
+    };
+    let mut text = String::from("'");
+    s.bump();
+    if is_lifetime {
+        s.eat_while(&mut text, is_ident_continue);
+        return Token {
+            kind: TokenKind::Lifetime,
+            text,
+            line,
+        };
+    }
+    // Char literal: one (possibly escaped) char, then the closing quote.
+    while let Some(c) = s.bump() {
+        text.push(c);
+        match c {
+            '\\' => {
+                if let Some(escaped) = s.bump() {
+                    text.push(escaped);
+                }
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+    Token {
+        kind: TokenKind::Char,
+        text,
+        line,
+    }
+}
+
+/// Handles tokens starting with `r`, `b`, or `c`: raw strings
+/// (`r"`, `r#"`), raw identifiers (`r#ident`), byte strings (`b"`,
+/// `br#"`), byte chars (`b'x'`), C strings (`c"`), or plain identifiers.
+fn prefixed_or_ident(s: &mut Scanner, line: usize) -> Token {
+    let first = s.peek(0).unwrap_or('r');
+    let second = s.peek(1);
+    match (first, second) {
+        ('r', Some('"')) => {
+            s.bump();
+            raw_string(s, line, String::from("r"))
+        }
+        ('r', Some('#')) => {
+            // `r#"` raw string vs `r#ident` raw identifier.
+            match s.peek(2) {
+                Some(c) if is_ident_start(c) => {
+                    let mut text = String::new();
+                    text.push('r');
+                    text.push('#');
+                    s.bump();
+                    s.bump();
+                    s.eat_while(&mut text, is_ident_continue);
+                    Token {
+                        kind: TokenKind::Ident,
+                        text,
+                        line,
+                    }
+                }
+                _ => {
+                    s.bump();
+                    raw_string(s, line, String::from("r"))
+                }
+            }
+        }
+        ('b' | 'c', Some('"')) => {
+            let mut prefix = String::new();
+            prefix.push(first);
+            s.bump();
+            string_literal(s, line, prefix)
+        }
+        ('b', Some('r')) if matches!(s.peek(2), Some('"') | Some('#')) => {
+            s.bump();
+            s.bump();
+            raw_string(s, line, String::from("br"))
+        }
+        ('c', Some('r')) if matches!(s.peek(2), Some('"') | Some('#')) => {
+            s.bump();
+            s.bump();
+            raw_string(s, line, String::from("cr"))
+        }
+        ('b', Some('\'')) => {
+            s.bump();
+            let mut tok = quote_token(s, line);
+            tok.text.insert(0, 'b');
+            tok
+        }
+        _ => {
+            let mut text = String::new();
+            s.eat_while(&mut text, is_ident_continue);
+            Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_calls_lex_with_lines() {
+        let toks = lex("let x = foo\n    .unwrap();\n");
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!(unwrap.kind, TokenKind::Ident);
+        assert_eq!(unwrap.line, 2);
+    }
+
+    #[test]
+    fn unwrap_inside_a_plain_string_is_not_an_ident() {
+        assert!(idents(r#"let s = "call .unwrap() here";"#)
+            .iter()
+            .all(|i| i != "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_fake_terminators() {
+        // The embedded `"#` must not terminate the two-hash raw string.
+        let src = "let s = r##\"inner \"# .unwrap() text\"##; y.expect(\"m\")";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"expect".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_stay_comments() {
+        let src = "/* outer /* inner .unwrap() */ still comment */ x.expect(\"\")";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text.contains("unwrap"));
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn char_literal_quote_does_not_open_a_string() {
+        // A classic trap: the `'"'` quote char must not start a string
+        // that swallows the following call.
+        let ids = idents("let q = '\"'; x.unwrap();");
+        assert!(ids.contains(&"unwrap".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn escaped_char_literals_lex() {
+        let toks = lex(r"let a = '\''; let b = '\\'; let c = '\n'; x.unwrap()");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Char).count(),
+            3
+        );
+        assert!(toks.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let ids = idents("let r#type = 1; r#match.unwrap()");
+        assert!(ids.contains(&"r#type".to_string()));
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_lex() {
+        let k = kinds(r##"let a = b"bytes .unwrap()"; let b = b'x'; let c = br#"raw"#;"##);
+        assert!(k
+            .iter()
+            .filter(|(kind, _)| *kind == TokenKind::Ident)
+            .all(|(_, text)| text != "unwrap"));
+        assert!(k.iter().any(|(kind, text)| *kind == TokenKind::Char && text == "b'x'"));
+    }
+
+    #[test]
+    fn line_and_doc_comments_capture_text() {
+        let toks = lex("/// SAFETY: documented\n// smm-tidy: allow(x): y\nfn f() {}");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert!(toks[0].text.contains("SAFETY"));
+        assert!(toks[1].text.contains("allow(x)"));
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["let s = \"never closed", "/* never closed", "r#\"open", "'"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn numbers_lex_and_do_not_merge_with_calls() {
+        let toks = lex("let x = 0xFF_u32 + 1.5; v[0].unwrap()");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Number && t.text == "0xFF_u32"));
+        assert!(toks.iter().any(|t| t.text == "unwrap"));
+    }
+}

@@ -1,0 +1,91 @@
+//! `doc-deny-drift`: the `#![deny(missing_docs)]` roster is pinned.
+//!
+//! Several crates advertise fully-documented public APIs by carrying
+//! `#![deny(missing_docs)]`; [`DOC_STRICT`] is the authoritative
+//! roster. The rule fails in both drift directions: a listed crate
+//! whose `lib.rs` dropped the attribute (a silent documentation
+//! regression), and an unlisted crate that now carries it (the roster
+//! is stale — add the crate so it cannot regress later). Crates are
+//! identified by their directory under `crates/`; the root umbrella
+//! crate is identified as `src`.
+
+use crate::workspace::SourceFile;
+use crate::{Finding, DOC_DENY_DRIFT};
+
+/// Crate directories whose `lib.rs` must carry `#![deny(missing_docs)]`.
+pub const DOC_STRICT: &[&str] = &["telemetry", "store", "cgra", "gpu", "tidy"];
+
+/// Runs the rule over every `lib.rs` in the workspace.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let Some(dir) = crate_dir(&file.rel_path) else {
+            continue;
+        };
+        let has_deny = denies_missing_docs(file);
+        let listed = DOC_STRICT.contains(&dir);
+        if listed && !has_deny {
+            findings.push(Finding {
+                rule: DOC_DENY_DRIFT,
+                file: file.rel_path.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{dir}` is on the doc-strict roster but its lib.rs no \
+                     longer carries #![deny(missing_docs)]"
+                ),
+            });
+        } else if !listed && has_deny {
+            findings.push(Finding {
+                rule: DOC_DENY_DRIFT,
+                file: file.rel_path.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{dir}` carries #![deny(missing_docs)] but is not on the \
+                     doc-strict roster in smm-tidy (rules/docs.rs); add it so the \
+                     attribute cannot silently regress"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Maps `crates/<dir>/src/lib.rs` to `<dir>` and the umbrella
+/// `src/lib.rs` to `src`; anything else is not a crate root.
+fn crate_dir(rel_path: &str) -> Option<&str> {
+    if rel_path == "src/lib.rs" {
+        return Some("src");
+    }
+    let rest = rel_path.strip_prefix("crates/")?;
+    let (dir, tail) = rest.split_once('/')?;
+    (tail == "src/lib.rs").then_some(dir)
+}
+
+/// Whether the token stream contains the inner attribute
+/// `#![deny(missing_docs)]` (possibly with other lints in the list).
+fn denies_missing_docs(file: &SourceFile) -> bool {
+    let code = file.code();
+    let mut i = 0;
+    while i + 4 < code.len() {
+        if code[i].text == "#"
+            && code[i + 1].text == "!"
+            && code[i + 2].text == "["
+            && code[i + 3].text == "deny"
+            && code[i + 4].text == "("
+        {
+            let mut j = i + 5;
+            let mut depth = 1usize;
+            while j < code.len() && depth > 0 {
+                match code[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "missing_docs" => return true,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    false
+}

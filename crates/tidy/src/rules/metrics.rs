@@ -1,0 +1,110 @@
+//! `metrics-naming`: one namespace, no double registration.
+//!
+//! Every metric the workspace exports flows through the
+//! `smm-telemetry` registry, and dashboards address them by name. Two
+//! invariants keep that address space sane: every name registered via
+//! `.counter(..)` / `.gauge(..)` / `.histogram(..)` /
+//! `.register_histogram(..)` starts with `smm_` (one grep finds the
+//! whole fleet's metrics), and no literal name is registered from two
+//! different call sites (the registry's register-or-fetch semantics
+//! would silently alias them; `register_histogram` would panic).
+//! Format templates count as their literal text, so
+//! `format!("smm_stage_latency_ns{{stage=\"{}\"}}", ..)` is checked by
+//! prefix and deduplicated as a template. Call sites with no string
+//! literal in the argument list (fully dynamic names) are outside what
+//! a static pass can check and are skipped. Test code is exempt —
+//! tests register into their own throwaway registries.
+
+use crate::workspace::SourceFile;
+use crate::{Finding, METRICS_NAMING};
+use std::collections::HashMap;
+
+/// Registration methods on `MetricsRegistry`.
+const REGISTER_METHODS: &[&str] = &["counter", "gauge", "histogram", "register_histogram"];
+
+/// Runs the rule over every file, deduplicating names workspace-wide.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut seen: HashMap<String, (String, usize)> = HashMap::new();
+    for file in files {
+        let code = file.code();
+        for (i, token) in code.iter().enumerate() {
+            if token.kind != crate::lexer::TokenKind::Ident
+                || !REGISTER_METHODS.contains(&token.text.as_str())
+                || file.is_test_line(token.line)
+            {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| code[p].text.as_str());
+            let next = code.get(i + 1).map(|t| t.text.as_str());
+            if prev != Some(".") || next != Some("(") {
+                continue;
+            }
+            let Some(name) = first_literal_in_call(&code, i + 1) else {
+                continue;
+            };
+            if !name.starts_with("smm_") {
+                findings.push(Finding {
+                    rule: METRICS_NAMING,
+                    file: file.rel_path.clone(),
+                    line: token.line,
+                    message: format!("metric name `{name}` must start with `smm_`"),
+                });
+            }
+            match seen.get(&name) {
+                Some((first_file, first_line)) => findings.push(Finding {
+                    rule: METRICS_NAMING,
+                    file: file.rel_path.clone(),
+                    line: token.line,
+                    message: format!(
+                        "metric name `{name}` is already registered at \
+                         {first_file}:{first_line}"
+                    ),
+                }),
+                None => {
+                    seen.insert(name, (file.rel_path.clone(), token.line));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// The content of the first string literal inside the call's *name
+/// argument* — between the `(` at `open` and the first top-level comma
+/// (or the matching `)`) — with the surrounding quotes (and any
+/// `r#`/`b` prefix) stripped. Stopping at the comma keeps a literal
+/// *help* string from being misread as the name when the name itself
+/// is dynamic (`counter(&name, "help")`).
+fn first_literal_in_call(code: &[&crate::lexer::Token], open: usize) -> Option<String> {
+    let mut depth = 0usize;
+    for token in code.iter().skip(open) {
+        match token.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return None;
+                }
+            }
+            "," if depth == 1 => return None,
+            _ => {
+                if token.kind == crate::lexer::TokenKind::Str {
+                    return Some(literal_content(&token.text));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Strips the delimiters from a string-literal token's source text.
+fn literal_content(text: &str) -> String {
+    let start = text.find('"').map_or(0, |i| i + 1);
+    let end = text.rfind('"').unwrap_or(text.len());
+    if start <= end {
+        text[start..end].to_string()
+    } else {
+        String::new()
+    }
+}

@@ -1,0 +1,46 @@
+//! `safety-comment`: every `unsafe` carries a written justification.
+//!
+//! The workspace is `#![forbid(unsafe_code)]` everywhere today, but
+//! the roadmap's SIMD kernels will eventually need `unsafe` blocks.
+//! This rule makes the precondition argument part of the code from day
+//! one: any `unsafe` keyword must have a comment containing `SAFETY:`
+//! on the same line or within the three lines above it (the rustc
+//! `tidy` convention). It applies to every file, tests included —
+//! an unsound test is still unsound.
+
+use crate::workspace::SourceFile;
+use crate::{Finding, SAFETY_COMMENT};
+
+/// How many lines above the `unsafe` keyword a `SAFETY:` comment may
+/// sit (attributes and an `unsafe fn` signature line may intervene).
+const LOOKBACK_LINES: usize = 3;
+
+/// Runs the rule over every file.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        for token in &file.tokens {
+            if token.kind != crate::lexer::TokenKind::Ident || token.text != "unsafe" {
+                continue;
+            }
+            let earliest = token.line.saturating_sub(LOOKBACK_LINES);
+            let justified = file.tokens.iter().any(|t| {
+                t.is_comment()
+                    && (earliest..=token.line).contains(&t.line)
+                    && t.text.contains("SAFETY:")
+            });
+            if !justified {
+                findings.push(Finding {
+                    rule: SAFETY_COMMENT,
+                    file: file.rel_path.clone(),
+                    line: token.line,
+                    message: format!(
+                        "unsafe without a `// SAFETY:` comment on the same line or \
+                         within {LOOKBACK_LINES} lines above"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}

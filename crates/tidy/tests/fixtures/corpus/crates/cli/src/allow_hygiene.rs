@@ -1,0 +1,8 @@
+//! Fixture allow-directive hygiene: a reasonless directive and an
+//! unknown rule name, both reported and neither silenceable.
+
+// smm-tidy: allow(hot-path-panic)
+pub fn reasonless() {}
+
+// smm-tidy: allow(no-such-rule): the rule name is wrong
+pub fn unknown_rule() {}

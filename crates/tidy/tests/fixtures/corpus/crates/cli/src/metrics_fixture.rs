@@ -1,0 +1,15 @@
+//! Fixture metric registrations: a good name, a bad prefix, a
+//! duplicate, a silenced legacy name, and a dynamic name the static
+//! pass must skip. Line numbers are asserted exactly by
+//! `tests/corpus.rs`.
+
+pub fn register(r: &Registry) {
+    let _a = r.counter("smm_good_total", "fine");
+    let _b = r.counter("bad_name_total", "line 8: fires — no smm_ prefix");
+    let _c = r.gauge("smm_dup", "first registration wins");
+    let _d = r.gauge("smm_dup", "line 10: fires — duplicate of line 9");
+    // smm-tidy: allow(metrics-naming): fixture demonstrates the silenced form
+    let _e = r.counter("legacy_name", "grandfathered");
+    let name = dynamic();
+    let _f = r.counter(&name, "no literal: skipped, not guessed");
+}

@@ -1,0 +1,7 @@
+//! Fixture drift: `rogue` carries the attribute but is not on the
+//! roster — fires at line 1.
+
+#![deny(missing_docs)]
+
+/// Documented, but the roster does not know this crate.
+pub fn documented() {}

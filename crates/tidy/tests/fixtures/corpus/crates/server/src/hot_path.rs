@@ -1,0 +1,43 @@
+//! Fixture: request-path panic sites, lexer traps, and the escape
+//! hatch. Line numbers are asserted exactly by `tests/corpus.rs` —
+//! edit with care.
+
+/// Lexer traps: every panicking name below is inside a string, char
+/// context, or comment, so none of them may fire.
+pub fn traps() -> String {
+    // a comment mentioning .unwrap() stays quiet
+    /* nested /* block comment .expect("x") */ still a comment */
+    let s = r##"embedded "# .unwrap() inside a two-hash raw string"##;
+    let _quote = '"'; // the char literal must not open a string
+    let _plain = "panic! lives harmlessly in a plain string";
+    s.to_string()
+}
+
+pub fn fires() {
+    let x: Option<u32> = None;
+    x.unwrap(); // line 18: fires
+    let y: Result<(), ()> = Err(());
+    y.expect("boom"); // line 20: fires
+    panic!("request path"); // line 21: fires
+}
+
+pub fn unreachable_fires(n: u8) -> u8 {
+    match n {
+        0 => 1,
+        _ => unreachable!("line 27: fires"),
+    }
+}
+
+pub fn allowed() {
+    let x: Option<u32> = Some(1);
+    // smm-tidy: allow(hot-path-panic): fixture demonstrates the silenced form
+    x.unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = Some(3u32).unwrap();
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture fuzz pins: mentions WIRE_VERSION, STATUS_OK, Ping, and
+//! Pong — the loading request, the ghost status, and the unpinned
+//! reply are deliberately missing.
+
+#[test]
+fn fuzz() {
+    // Hostile bytes against WIRE_VERSION frames: Ping in, Pong out,
+    // STATUS_OK asserted.
+    let _ = (WIRE_VERSION, STATUS_OK);
+}

@@ -1,0 +1,4 @@
+//! Fixture drift: `telemetry` is on the doc-strict roster but this
+//! lib.rs carries no `#![deny(missing_docs)]` — fires at line 1.
+
+pub fn undocumented_api() {}
