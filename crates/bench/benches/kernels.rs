@@ -1,57 +1,267 @@
-//! Criterion micro-benchmarks of the functional kernels: compiled spatial
-//! circuit simulation vs CSR SpMV vs dense gemv on the same matrices.
+//! Criterion micro-benchmarks of the compute kernels themselves: the
+//! scalar-reference vs 4x-unrolled vs cache-blocked dense `vecmat_into`
+//! variants at several dims and densities, the density-gated sparse-input
+//! path, CSR SpMV, the flat `matmat_into` batch against the nested
+//! bridge, the bit-sliced vs framed-streamed bit-serial batch engines,
+//! and the compiled circuit against its baselines.
 //!
-//! These time the *simulator*, not hardware — the hardware latency numbers
-//! come from `reproduce` — but they keep the functional paths honest and
-//! show the simulation cost scaling.
+//! These time the *simulator and software kernels*, not hardware — the
+//! hardware latency numbers come from `reproduce` — but they are the
+//! numbers that decide how fast the serving stack runs on real CPUs.
+//!
+//! With `SMM_BENCH_JSON=<path>` set, an explicit measurement pass also
+//! runs after the criterion groups and writes the `BENCH_*.json` perf
+//! report comparing the kernel variants head-to-head (the recorded
+//! trajectory the repo commits and CI schema-checks).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use smm_bitserial::multiplier::{FixedMatrixMultiplier, WeightEncoding};
+use smm_core::block::FrameBlock;
 use smm_core::generate::{element_sparse_matrix, random_vector};
-use smm_core::gemv::vecmat;
+use smm_core::gemv::{
+    matmat, matmat_into, vecmat_into, vecmat_into_scalar, vecmat_into_unrolled, vecmat_into_with,
+    InputDensity,
+};
+use smm_core::matrix::IntMatrix;
 use smm_core::rng::seeded;
 use smm_sparse::Csr;
 use std::hint::black_box;
 
-fn bench_vecmat_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vecmat");
-    for &dim in &[64usize, 128, 256] {
-        let mut rng = seeded(1000 + dim as u64);
-        let m = element_sparse_matrix(dim, dim, 8, 0.9, true, &mut rng).unwrap();
-        let a = random_vector(dim, 8, true, &mut rng).unwrap();
-        let csr = Csr::from_dense(&m);
-        let mul = FixedMatrixMultiplier::compile(&m, 8, WeightEncoding::Pn).unwrap();
+/// The dense kernel ladder: scalar reference, unrolled, and blocked
+/// (production) at several dims and densities. All three are
+/// bit-identical; the spread is pure kernel shape.
+fn bench_dense_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vecmat_kernels");
+    for &dim in &[64usize, 256, 512] {
+        for &sparsity in &[0.0f64, 0.9] {
+            let mut rng = seeded(1000 + dim as u64 + (sparsity * 10.0) as u64);
+            let m = element_sparse_matrix(dim, dim, 8, sparsity, true, &mut rng).unwrap();
+            let a = random_vector(dim, 8, true, &mut rng).unwrap();
+            let mut out = vec![0i64; dim];
+            let tag = format!("{dim}@{:.0}%", sparsity * 100.0);
+            group.bench_with_input(BenchmarkId::new("scalar", &tag), &dim, |b, _| {
+                b.iter(|| vecmat_into_scalar(black_box(&a), black_box(&m), &mut out).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("unrolled", &tag), &dim, |b, _| {
+                b.iter(|| vecmat_into_unrolled(black_box(&a), black_box(&m), &mut out).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("blocked", &tag), &dim, |b, _| {
+                b.iter(|| vecmat_into(black_box(&a), black_box(&m), &mut out).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
 
-        group.bench_with_input(BenchmarkId::new("dense_gemv", dim), &dim, |b, _| {
-            b.iter(|| vecmat(black_box(&a), black_box(&m)).unwrap())
+/// The density gate: a 95%-zero input vector through the branch-free
+/// dense path vs the row-skipping sparse path (bit-identical results;
+/// the skip must only win when the input really is sparse).
+fn bench_input_density_gate(c: &mut Criterion) {
+    let dim = 256usize;
+    let mut rng = seeded(1500);
+    let m = element_sparse_matrix(dim, dim, 8, 0.0, true, &mut rng).unwrap();
+    let mut sparse_a = vec![0i32; dim];
+    for i in (0..dim).step_by(20) {
+        sparse_a[i] = 77;
+    }
+    let mut out = vec![0i64; dim];
+    let mut group = c.benchmark_group("vecmat_input_density");
+    group.bench_function("dense_path", |b| {
+        b.iter(|| {
+            vecmat_into_with(black_box(&sparse_a), &m, &mut out, InputDensity::Dense).unwrap()
+        })
+    });
+    group.bench_function("sparse_path", |b| {
+        b.iter(|| {
+            vecmat_into_with(black_box(&sparse_a), &m, &mut out, InputDensity::Sparse).unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// CSR SpMV against the dense kernel on the same matrices.
+fn bench_csr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_spmv");
+    for &pct in &[50u32, 90, 98] {
+        let mut rng = seeded(2000 + u64::from(pct));
+        let m = element_sparse_matrix(256, 256, 8, f64::from(pct) / 100.0, true, &mut rng).unwrap();
+        let a = random_vector(256, 8, true, &mut rng).unwrap();
+        let csr = Csr::from_dense(&m);
+        let mut out = vec![0i64; 256];
+        group.bench_with_input(BenchmarkId::new("csr", pct), &pct, |b, _| {
+            b.iter(|| csr.vecmat_into(black_box(&a), &mut out).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("csr_spmv", dim), &dim, |b, _| {
-            b.iter(|| csr.vecmat(black_box(&a)).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("circuit_sim", dim), &dim, |b, _| {
-            b.iter(|| mul.mul(black_box(&a)).unwrap())
+        group.bench_with_input(BenchmarkId::new("dense", pct), &pct, |b, _| {
+            b.iter(|| vecmat_into(black_box(&a), &m, &mut out).unwrap())
         });
     }
     group.finish();
 }
 
-fn bench_sparsity_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("circuit_sim_sparsity");
-    for &pct in &[50u32, 90, 98] {
-        let mut rng = seeded(2000 + u64::from(pct));
-        let m = element_sparse_matrix(128, 128, 8, f64::from(pct) / 100.0, true, &mut rng).unwrap();
-        let a = random_vector(128, 8, true, &mut rng).unwrap();
-        let mul = FixedMatrixMultiplier::compile(&m, 8, WeightEncoding::Pn).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, _| {
-            b.iter(|| mul.mul(black_box(&a)).unwrap())
-        });
-    }
+/// The batch path: nested `matmat` (per-row `Vec`s split out of the
+/// flat compute) vs `matmat_into` into one reused flat buffer — the
+/// per-row allocation the flat API removes.
+fn bench_matmat_flat(c: &mut Criterion) {
+    let mut rng = seeded(3000);
+    let v = element_sparse_matrix(128, 128, 8, 0.5, true, &mut rng).unwrap();
+    let a = element_sparse_matrix(64, 128, 8, 0.0, true, &mut rng).unwrap();
+    let mut flat = vec![0i64; 64 * 128];
+    let mut group = c.benchmark_group("matmat_batch");
+    group.bench_function("nested", |b| {
+        b.iter(|| matmat(black_box(&a), black_box(&v)).unwrap())
+    });
+    group.bench_function("flat", |b| {
+        b.iter(|| matmat_into(black_box(&a), black_box(&v), &mut flat).unwrap())
+    });
+    group.finish();
+}
+
+/// The bit-serial batch engines: the word-level bit-sliced path (64
+/// frames per machine word, the production `run_frames_block` engine)
+/// vs the framed back-to-back stream, on the same compiled circuit.
+fn bench_bitserial_batch(c: &mut Criterion) {
+    let dim = 32usize;
+    let mut rng = seeded(4000);
+    let m = element_sparse_matrix(dim, dim, 8, 0.9, true, &mut rng).unwrap();
+    let mul = FixedMatrixMultiplier::compile(&m, 8, WeightEncoding::Pn).unwrap();
+    let inputs: Vec<Vec<i32>> = (0..64)
+        .map(|_| random_vector(dim, 8, true, &mut rng).unwrap())
+        .collect();
+    let frames = FrameBlock::try_from(inputs.as_slice()).unwrap();
+    let mut out = vec![0i64; 64 * dim];
+    let mut group = c.benchmark_group("bitserial_batch");
+    group.bench_function("bit_sliced", |b| {
+        b.iter(|| {
+            mul.run_frames_block(black_box(&frames), 0, 64, &mut out)
+                .unwrap()
+        })
+    });
+    group.bench_function("framed_stream", |b| {
+        b.iter(|| {
+            smm_bitserial::sim::run_stream_into_flat(
+                mul.circuit(),
+                black_box(&frames),
+                0,
+                64,
+                mul.input_bits(),
+                mul.output_bits(),
+                mul.batch_interval_cycles(),
+                &mut out,
+            )
+        })
+    });
     group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_vecmat_kernels, bench_sparsity_scaling
+    targets = bench_dense_variants, bench_input_density_gate, bench_csr,
+        bench_matmat_flat, bench_bitserial_batch
 }
-criterion_main!(benches);
+
+/// One measured kernel run for the recorded trajectory: `rounds`
+/// repetitions of `kernel`, reported as an
+/// [`EngineRun`](smm_telemetry::EngineRun) in vectors/sec.
+fn measure_run(
+    engine: &str,
+    m: &IntMatrix,
+    vectors_per_round: u64,
+    rounds: u64,
+    mut kernel: impl FnMut(),
+) -> smm_telemetry::EngineRun {
+    use std::time::Instant;
+    kernel(); // warm
+    let start = Instant::now();
+    for _ in 0..rounds {
+        kernel();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let vectors = rounds * vectors_per_round;
+    smm_telemetry::EngineRun {
+        engine: engine.to_string(),
+        rows: m.rows(),
+        cols: m.cols(),
+        density: m.nnz() as f64 / m.len() as f64,
+        vectors,
+        vectors_per_sec: if elapsed > 0.0 {
+            vectors as f64 / elapsed
+        } else {
+            0.0
+        },
+        stages: Vec::new(),
+    }
+}
+
+/// The recorded-trajectory pass: the dense kernel ladder
+/// (scalar/unrolled/blocked) at 256 and 512, CSR, and the two
+/// bit-serial batch engines, head-to-head in one `smm-bench-v1` report.
+fn emit_bench_report(path: &str) {
+    use smm_telemetry::BenchReport;
+
+    let mut report = BenchReport::new("bench-kernels", 10);
+    for &dim in &[256usize, 512] {
+        let mut rng = seeded(9000 + dim as u64);
+        let m = element_sparse_matrix(dim, dim, 8, 0.0, true, &mut rng).unwrap();
+        let a = random_vector(dim, 8, true, &mut rng).unwrap();
+        let mut out = vec![0i64; dim];
+        let rounds = 2000;
+        report.push(measure_run("dense_scalar", &m, 1, rounds, || {
+            vecmat_into_scalar(black_box(&a), &m, &mut out).unwrap()
+        }));
+        report.push(measure_run("dense_unrolled", &m, 1, rounds, || {
+            vecmat_into_unrolled(black_box(&a), &m, &mut out).unwrap()
+        }));
+        report.push(measure_run("dense_blocked", &m, 1, rounds, || {
+            vecmat_into(black_box(&a), &m, &mut out).unwrap()
+        }));
+    }
+    {
+        let mut rng = seeded(9900);
+        let m = element_sparse_matrix(256, 256, 8, 0.9, true, &mut rng).unwrap();
+        let a = random_vector(256, 8, true, &mut rng).unwrap();
+        let csr = Csr::from_dense(&m);
+        let mut out = vec![0i64; 256];
+        report.push(measure_run("csr", &m, 1, 2000, || {
+            csr.vecmat_into(black_box(&a), &mut out).unwrap()
+        }));
+    }
+    {
+        let dim = 32usize;
+        let mut rng = seeded(9950);
+        let m = element_sparse_matrix(dim, dim, 8, 0.9, true, &mut rng).unwrap();
+        let mul = FixedMatrixMultiplier::compile(&m, 8, WeightEncoding::Pn).unwrap();
+        let inputs: Vec<Vec<i32>> = (0..64)
+            .map(|_| random_vector(dim, 8, true, &mut rng).unwrap())
+            .collect();
+        let frames = FrameBlock::try_from(inputs.as_slice()).unwrap();
+        let mut out = vec![0i64; 64 * dim];
+        report.push(measure_run("bitserial_sliced", &m, 64, 20, || {
+            mul.run_frames_block(&frames, 0, 64, &mut out).unwrap()
+        }));
+        report.push(measure_run("bitserial_streamed", &m, 64, 20, || {
+            smm_bitserial::sim::run_stream_into_flat(
+                mul.circuit(),
+                &frames,
+                0,
+                64,
+                mul.input_bits(),
+                mul.output_bits(),
+                mul.batch_interval_cycles(),
+                &mut out,
+            )
+        }));
+    }
+
+    let json = report.to_json();
+    BenchReport::validate_json(&json).expect("bench report must match its own schema");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote kernel bench report to {path}");
+}
+
+fn main() {
+    benches();
+    if let Ok(path) = std::env::var("SMM_BENCH_JSON") {
+        emit_bench_report(&path);
+    }
+}

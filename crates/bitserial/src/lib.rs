@@ -36,6 +36,7 @@ pub mod multiplier;
 pub mod netlist;
 pub mod primitive;
 pub mod sim;
+pub mod slice;
 pub mod system;
 pub mod trace;
 pub mod verify;

@@ -287,14 +287,20 @@ impl FixedMatrixMultiplier {
     }
 
     /// The flat-batch form of [`FixedMatrixMultiplier::run_frames`]:
-    /// streams frames `start..end` of a
-    /// [`FrameBlock`](smm_core::block::FrameBlock) back-to-back
-    /// through one continuous framed simulation and decodes the results
+    /// simulates frames `start..end` of a
+    /// [`FrameBlock`](smm_core::block::FrameBlock) through the
+    /// **word-level bit-sliced** engine
+    /// ([`crate::slice::run_frames_block_sliced`]) — up to 64 frames
+    /// packed one-per-bit into machine words so a single gate
+    /// evaluation serves the whole shard — and decodes the results
     /// straight into a row-major `i64` slice of `(end - start) * cols()`
-    /// elements — no per-frame or per-row allocation at all.
+    /// elements. No per-frame or per-row allocation at all.
     ///
     /// Results are bit-identical to calling
-    /// [`FixedMatrixMultiplier::mul`] per frame.
+    /// [`FixedMatrixMultiplier::mul`] per frame (and to the framed
+    /// streaming path behind [`FixedMatrixMultiplier::run_frames`]);
+    /// only the schedule differs — a 64-lane chunk finishes in one
+    /// pipeline depth instead of one streaming interval per frame.
     pub fn run_frames_block(
         &self,
         frames: &smm_core::block::FrameBlock,
@@ -335,14 +341,13 @@ impl FixedMatrixMultiplier {
                 });
             }
         }
-        crate::sim::run_stream_into_flat(
+        crate::slice::run_frames_block_sliced(
             &self.circuit,
             frames,
             start,
             end,
             self.input_bits,
             self.out_width,
-            self.batch_interval_cycles(),
             out,
         );
         Ok(())
@@ -512,6 +517,47 @@ mod tests {
                     mul.mul(&inputs[frame]).unwrap().as_slice(),
                     "frame {frame} of shard {start}..{end}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn run_frames_block_bit_sliced_equals_framed_streaming() {
+        // The word-level bit-sliced engine behind `run_frames_block` and
+        // the framed back-to-back stream must produce the same bits as
+        // each other and as single-shot `mul` — across encodings and
+        // across the 64-lane word boundary.
+        use smm_core::block::FrameBlock;
+        let mut rng = seeded(111);
+        let v = element_sparse_matrix(6, 5, 8, 0.5, true, &mut rng).unwrap();
+        for encoding in [
+            WeightEncoding::Pn,
+            WeightEncoding::Csd {
+                policy: ChainPolicy::CoinFlip,
+                seed: 4,
+            },
+        ] {
+            let mul = FixedMatrixMultiplier::compile(&v, 8, encoding).unwrap();
+            let inputs: Vec<Vec<i32>> = (0..67)
+                .map(|_| random_vector(6, 8, true, &mut rng).unwrap())
+                .collect();
+            let frames = FrameBlock::try_from(inputs.as_slice()).unwrap();
+            let mut sliced = vec![-1i64; 67 * 5];
+            mul.run_frames_block(&frames, 0, 67, &mut sliced).unwrap();
+            let mut streamed = vec![-1i64; 67 * 5];
+            crate::sim::run_stream_into_flat(
+                mul.circuit(),
+                &frames,
+                0,
+                67,
+                mul.input_bits(),
+                mul.output_bits(),
+                mul.batch_interval_cycles(),
+                &mut streamed,
+            );
+            assert_eq!(sliced, streamed);
+            for (i, input) in inputs.iter().enumerate() {
+                assert_eq!(&sliced[i * 5..(i + 1) * 5], mul.mul(input).unwrap().as_slice());
             }
         }
     }

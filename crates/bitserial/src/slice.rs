@@ -1,0 +1,261 @@
+//! Word-level bit-sliced batch simulation: 64 frames per machine word.
+//!
+//! The scalar [`crate::sim::Simulator`] evaluates one `bool` per node
+//! per cycle. But every gate in the netlist is a *bitwise* function of
+//! its operands, so 64 independent simulations can share one pass by
+//! packing one frame per bit of a `u64`: a full adder over words is
+//! three XORs and three ANDs/ORs, and one gate evaluation then serves
+//! the whole [`FrameBlock`] shard at once.
+//!
+//! Lanes run in lockstep from cycle 0 — each lane is an independent
+//! single-vector simulation (the [`crate::sim::run_vecmat`] schedule),
+//! not the framed back-to-back stream — so a chunk of up to
+//! [`LANES`] frames finishes in `output_anchor + out_width` cycles
+//! total, where the streamed path pays an `interval` per frame.
+//! Results are bit-identical to [`crate::sim::run_vecmat`] per frame:
+//! identical netlist, identical per-lane register traces, identical
+//! two's-complement decode.
+
+use crate::builder::BuiltCircuit;
+use crate::netlist::{Netlist, NodeKind};
+use smm_core::block::FrameBlock;
+
+/// Frames simulated per machine word (one per bit of a `u64`).
+pub const LANES: usize = u64::BITS as usize;
+
+/// Bitwise full adder over 64 lanes at once.
+#[inline]
+fn word_full_adder(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let axb = a ^ b;
+    (axb ^ carry, (a & b) | (carry & axb))
+}
+
+/// 64 independent copies of the scalar simulator, one per bit lane.
+///
+/// Register semantics match [`crate::sim::Simulator::step`] exactly,
+/// applied bitwise: inputs are wires, every logic output is a register,
+/// subtractor carries preset to all-ones (the two's-complement
+/// negation trick, in every lane at once).
+#[derive(Debug, Clone)]
+struct WordSimulator<'a> {
+    net: &'a Netlist,
+    /// Value each node drives during the current cycle, 64 lanes wide.
+    val: Vec<u64>,
+    /// Scratch buffer for the next register values.
+    next: Vec<u64>,
+    /// Carry register per node (meaningful for adders/subtractors).
+    carry: Vec<u64>,
+}
+
+impl<'a> WordSimulator<'a> {
+    fn new(net: &'a Netlist) -> Self {
+        let n = net.len();
+        let mut sim = Self {
+            net,
+            val: vec![0; n],
+            next: vec![0; n],
+            carry: vec![0; n],
+        };
+        sim.reset();
+        sim
+    }
+
+    /// Returns every lane's registers to their power-on state.
+    fn reset(&mut self) {
+        self.val.fill(0);
+        self.next.fill(0);
+        for (i, node) in self.net.nodes().iter().enumerate() {
+            self.carry[i] = if matches!(node, NodeKind::Subtractor { .. }) {
+                !0
+            } else {
+                0
+            };
+        }
+    }
+
+    /// Advances one clock in every lane. `input_words[row]` packs the
+    /// bit each lane's input shift register presents during this cycle.
+    fn step(&mut self, input_words: &[u64]) {
+        let rows = self.net.num_rows();
+        debug_assert_eq!(input_words.len(), rows, "one input word per matrix row");
+        self.val[..rows].copy_from_slice(input_words);
+        for (i, node) in self.net.nodes().iter().enumerate().skip(rows) {
+            match *node {
+                NodeKind::Input { .. } => unreachable!("inputs precede logic nodes"),
+                NodeKind::Zero => self.next[i] = 0,
+                NodeKind::Adder { a, b } => {
+                    let (s, c) =
+                        word_full_adder(self.val[a.index()], self.val[b.index()], self.carry[i]);
+                    self.next[i] = s;
+                    self.carry[i] = c;
+                }
+                NodeKind::Subtractor { a, b } => {
+                    let (s, c) =
+                        word_full_adder(self.val[a.index()], !self.val[b.index()], self.carry[i]);
+                    self.next[i] = s;
+                    self.carry[i] = c;
+                }
+                NodeKind::Dff { d } => self.next[i] = self.val[d.index()],
+            }
+        }
+        self.val[rows..].copy_from_slice(&self.next[rows..]);
+    }
+}
+
+/// Simulates frames `start..end` of a [`FrameBlock`] through the
+/// circuit, [`LANES`] frames per pass, decoding every result straight
+/// into a row-major `i64` slice of `(end - start) * cols` elements —
+/// the engine behind
+/// [`FixedMatrixMultiplier::run_frames_block`](crate::multiplier::FixedMatrixMultiplier::run_frames_block).
+///
+/// Bit-identical to [`crate::sim::run_vecmat`] (and therefore to the
+/// framed streaming path) per frame; only the schedule differs.
+pub fn run_frames_block_sliced(
+    circuit: &BuiltCircuit,
+    frames: &FrameBlock,
+    start: usize,
+    end: usize,
+    input_bits: u32,
+    out_width: u32,
+    out: &mut [i64],
+) {
+    assert!(
+        start <= end && end <= frames.frames(),
+        "frame range {start}..{end} of {}",
+        frames.frames()
+    );
+    assert!(input_bits > 0, "input width must be non-zero");
+    assert!(out_width > 0, "output width must be non-zero");
+    let net = &circuit.netlist;
+    let rows = net.num_rows();
+    let cols = net.outputs().len();
+    assert_eq!(out.len(), (end - start) * cols, "one output row per frame");
+    out.fill(0);
+    if start == end {
+        return;
+    }
+    assert_eq!(frames.width(), rows, "one input element per matrix row");
+
+    let outputs = net.outputs();
+    let anchor = u64::from(circuit.output_anchor);
+    let total_cycles = anchor + u64::from(out_width);
+    let bits = input_bits as usize;
+    let mut sim = WordSimulator::new(net);
+    // packed[r * bits + j]: bit j of every lane's input element for row
+    // r (the whole transposed input chunk). Cycles beyond the operand
+    // width replay the top word — exactly the shift registers'
+    // sign extension.
+    let mut packed = vec![0u64; rows * bits];
+    let mut words = vec![0u64; rows];
+
+    let mut chunk = start;
+    while chunk < end {
+        let lanes = (end - chunk).min(LANES);
+        packed.fill(0);
+        for l in 0..lanes {
+            for (r, &a) in frames.frame(chunk + l).iter().enumerate() {
+                for (j, slot) in packed[r * bits..(r + 1) * bits].iter_mut().enumerate() {
+                    *slot |= u64::from(crate::bits::stream_bit(i64::from(a), input_bits, j as u32))
+                        << l;
+                }
+            }
+        }
+        let lane_mask = if lanes == LANES { !0u64 } else { (1u64 << lanes) - 1 };
+
+        sim.reset();
+        for t in 0..total_cycles {
+            let j = (t as usize).min(bits - 1);
+            for (r, word) in words.iter_mut().enumerate() {
+                *word = packed[r * bits + j];
+            }
+            sim.step(&words);
+            // After the edge, registers hold the values of cycle t + 1;
+            // bits k = 0..out_width of every live output stream past the
+            // capture window starting at the anchor cycle.
+            let now = t + 1;
+            if now >= anchor {
+                let k = now - anchor;
+                // Bit k of the two's-complement result: the final bit is
+                // the sign bit with weight −2^k (sign extension to 64).
+                let weight = if k == u64::from(out_width) - 1 {
+                    (!0i64) << k
+                } else {
+                    1i64 << k
+                };
+                for (col, o) in outputs.iter().enumerate() {
+                    if let Some(id) = o {
+                        let mut set = sim.val[id.index()] & lane_mask;
+                        while set != 0 {
+                            let l = set.trailing_zeros() as usize;
+                            out[(chunk - start + l) * cols + col] |= weight;
+                            set &= set - 1;
+                        }
+                    }
+                }
+            }
+        }
+        chunk += lanes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_circuit;
+    use smm_core::matrix::IntMatrix;
+    use smm_core::signsplit::split_pn;
+
+    fn sliced(matrix: &IntMatrix, inputs: &[Vec<i32>], input_bits: u32) -> Vec<Vec<i64>> {
+        let circuit = build_circuit(&split_pn(matrix)).unwrap();
+        let out_width =
+            crate::bits::result_width(input_bits, circuit.weight_bits, matrix.rows());
+        let frames = FrameBlock::try_from(inputs).unwrap();
+        let mut out = vec![-1i64; inputs.len() * matrix.cols()];
+        run_frames_block_sliced(
+            &circuit,
+            &frames,
+            0,
+            inputs.len(),
+            input_bits,
+            out_width,
+            &mut out,
+        );
+        out.chunks_exact(matrix.cols()).map(<[i64]>::to_vec).collect()
+    }
+
+    #[test]
+    fn matches_scalar_simulation_per_lane() {
+        let m = IntMatrix::from_vec(2, 2, vec![1, -2, 3, 4]).unwrap();
+        let inputs: Vec<Vec<i32>> = vec![vec![5, 6], vec![-7, 1], vec![0, 0], vec![127, -128]];
+        let circuit = build_circuit(&split_pn(&m)).unwrap();
+        let w = crate::bits::result_width(8, circuit.weight_bits, 2);
+        let got = sliced(&m, &inputs, 8);
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(
+                got[i],
+                crate::sim::run_vecmat(&circuit, input, 8, w),
+                "lane {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_than_one_word_of_frames() {
+        // 70 frames > 64 lanes: the second chunk must decode correctly.
+        let m = IntMatrix::from_vec(1, 1, vec![-3]).unwrap();
+        let inputs: Vec<Vec<i32>> = (0..70).map(|i| vec![i - 35]).collect();
+        let got = sliced(&m, &inputs, 8);
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(got[i], vec![-3 * i64::from(input[0])], "frame {i}");
+        }
+    }
+
+    #[test]
+    fn empty_range_zeroes_nothing_and_returns() {
+        let m = IntMatrix::identity(2).unwrap();
+        let circuit = build_circuit(&split_pn(&m)).unwrap();
+        let frames = FrameBlock::from_rows(&[vec![1, 2]]).unwrap();
+        let mut out: [i64; 0] = [];
+        run_frames_block_sliced(&circuit, &frames, 1, 1, 8, 8, &mut out);
+    }
+}

@@ -5,30 +5,119 @@
 //! each output element is the dot product of `a` with a column of `V`.
 //! These routines, accumulating in `i64`, are the functional ground truth
 //! that every circuit simulation and baseline kernel is checked against.
+//!
+//! # Kernel variants
+//!
+//! Three implementations of the same accumulation are exposed, all
+//! bit-identical (integer math — no rounding, no reassociation hazard):
+//!
+//! * [`vecmat_into_scalar`] — the plain nested loop. Ground truth for the
+//!   differential tests and the baseline the `kernels` bench measures
+//!   against.
+//! * [`vecmat_into_unrolled`] — rows processed four at a time with four
+//!   independent product terms per output lane and a 4-wide unrolled
+//!   column loop (the shape of the CLIF matmul exemplar: independent
+//!   accumulators so the compiler can keep them in SIMD registers),
+//!   with scalar tail loops for the row and column remainders.
+//! * [`vecmat_into`] — the production kernel: the unrolled loop applied
+//!   per cache-blocked column tile ([`COL_BLOCK`] wide), so the output
+//!   tile and the four active row segments stay L1-resident no matter
+//!   how wide the matrix is.
+//!
+//! Zero-skipping of input elements is *density-gated*: the production
+//! kernels run branch-free over dense inputs, and callers that know the
+//! input vector is mostly zeros opt into row skipping via
+//! [`vecmat_into_with`] with [`InputDensity::Sparse`].
 
 use crate::error::{Error, Result};
 use crate::matrix::IntMatrix;
+
+/// Column-tile width of the blocked kernel. An `i64` output tile
+/// (8 KiB) plus four `i32` row segments (16 KiB) stay L1-resident while
+/// every matrix element streams through exactly once.
+pub const COL_BLOCK: usize = 1024;
+
+/// Caller's knowledge about the input *vector*'s density, gating the
+/// zero-skip branch in the production kernels.
+///
+/// Skipping `a[i] == 0` rows saves a whole row traversal when most
+/// inputs are zero, but on dense inputs the data-dependent branch only
+/// obstructs the vectorized inner loop. Results are bit-identical
+/// either way (a zero input contributes exact zeros).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InputDensity {
+    /// Most input elements are non-zero (the serving default): run the
+    /// branch-free unrolled kernel over every row.
+    #[default]
+    Dense,
+    /// Most input elements are zero (sparse activations): skip whole
+    /// rows whose input element is zero.
+    Sparse,
+}
 
 /// Computes `o = aᵀV`: `o[j] = Σ_i a[i] · V[i][j]`.
 pub fn vecmat(a: &[i32], v: &IntMatrix) -> Result<Vec<i64>> {
     check_vecmat_dims(a, v)?;
     let mut out = vec![0i64; v.cols()];
-    accumulate_vecmat(a, v, &mut out);
+    accumulate_blocked(a, v.as_slice(), v.cols(), &mut out);
     Ok(out)
 }
 
 /// [`vecmat`] into a caller-owned output slice of exactly `v.cols()`
 /// elements — the allocation-free kernel behind the flat batch path.
 /// The slice is zeroed first, so stale contents are overwritten.
+///
+/// This is the production kernel: cache-blocked column tiles with the
+/// 4x-unrolled, four-independent-accumulator inner loop. For sparse
+/// input vectors see [`vecmat_into_with`].
 pub fn vecmat_into(a: &[i32], v: &IntMatrix, out: &mut [i64]) -> Result<()> {
-    check_vecmat_dims(a, v)?;
-    if out.len() != v.cols() {
-        return Err(Error::DimensionMismatch {
-            context: format!("output length {} vs matrix cols {}", out.len(), v.cols()),
-        });
-    }
+    check_vecmat_into_dims(a, v, out.len())?;
     out.fill(0);
-    accumulate_vecmat(a, v, out);
+    accumulate_blocked(a, v.as_slice(), v.cols(), out);
+    Ok(())
+}
+
+/// [`vecmat_into`] with the zero-skip branch gated by the caller's
+/// knowledge of the input vector's density. Bit-identical to
+/// [`vecmat_into`] for every input; only the traversal differs.
+pub fn vecmat_into_with(
+    a: &[i32],
+    v: &IntMatrix,
+    out: &mut [i64],
+    density: InputDensity,
+) -> Result<()> {
+    check_vecmat_into_dims(a, v, out.len())?;
+    out.fill(0);
+    match density {
+        InputDensity::Dense => accumulate_blocked(a, v.as_slice(), v.cols(), out),
+        InputDensity::Sparse => accumulate_blocked_skip_zeros(a, v.as_slice(), v.cols(), out),
+    }
+    Ok(())
+}
+
+/// The scalar reference kernel: one plain nested loop, no unrolling, no
+/// blocking, no zero skipping. Ground truth for the differential suite
+/// and the baseline of the `kernels` bench.
+pub fn vecmat_into_scalar(a: &[i32], v: &IntMatrix, out: &mut [i64]) -> Result<()> {
+    check_vecmat_into_dims(a, v, out.len())?;
+    out.fill(0);
+    for (i, &ai) in a.iter().enumerate() {
+        let ai = i64::from(ai);
+        for (o, &w) in out.iter_mut().zip(v.row(i)) {
+            *o += ai * i64::from(w);
+        }
+    }
+    Ok(())
+}
+
+/// The unrolled kernel without column blocking: rows four at a time,
+/// four independent products per output lane, full-width passes over
+/// `out`. Exposed so the `kernels` bench can price blocking separately
+/// from unrolling; [`vecmat_into`] is this loop per column tile.
+pub fn vecmat_into_unrolled(a: &[i32], v: &IntMatrix, out: &mut [i64]) -> Result<()> {
+    check_vecmat_into_dims(a, v, out.len())?;
+    out.fill(0);
+    accumulate_col_range(a, v.as_slice(), v.cols(), 0, v.cols(), out);
     Ok(())
 }
 
@@ -41,17 +130,139 @@ fn check_vecmat_dims(a: &[i32], v: &IntMatrix) -> Result<()> {
     Ok(())
 }
 
-/// Accumulates `aᵀV` into an already-zeroed `out` of `v.cols()` elements.
-fn accumulate_vecmat(a: &[i32], v: &IntMatrix, out: &mut [i64]) {
-    for (i, &ai) in a.iter().enumerate() {
-        if ai == 0 {
-            continue;
+fn check_vecmat_into_dims(a: &[i32], v: &IntMatrix, out_len: usize) -> Result<()> {
+    check_vecmat_dims(a, v)?;
+    if out_len != v.cols() {
+        return Err(Error::DimensionMismatch {
+            context: format!("output length {out_len} vs matrix cols {}", v.cols()),
+        });
+    }
+    Ok(())
+}
+
+/// The production accumulation: [`accumulate_col_range`] per
+/// [`COL_BLOCK`]-wide column tile of row-major `data` (`a.len()` rows ×
+/// `cols`), added into an already-zeroed `out` of `cols` elements.
+fn accumulate_blocked(a: &[i32], data: &[i32], cols: usize, out: &mut [i64]) {
+    let mut c0 = 0;
+    while c0 < cols {
+        let c1 = (c0 + COL_BLOCK).min(cols);
+        accumulate_col_range(a, data, cols, c0, c1, &mut out[c0..c1]);
+        c0 = c1;
+    }
+}
+
+/// [`accumulate_blocked`] with whole-row skipping for zero inputs — the
+/// [`InputDensity::Sparse`] traversal. The surviving rows still run the
+/// unrolled column loop.
+fn accumulate_blocked_skip_zeros(a: &[i32], data: &[i32], cols: usize, out: &mut [i64]) {
+    let mut c0 = 0;
+    while c0 < cols {
+        let c1 = (c0 + COL_BLOCK).min(cols);
+        let tile = &mut out[c0..c1];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            accumulate_axpy(i64::from(ai), &data[i * cols + c0..i * cols + c1], tile);
         }
-        let row = v.row(i);
-        let ai = i64::from(ai);
-        for (o, &w) in out.iter_mut().zip(row) {
-            *o += ai * i64::from(w);
-        }
+        c0 = c1;
+    }
+}
+
+/// Accumulates columns `c0..c1` of `aᵀV` into `out` (`c1 - c0`
+/// elements): rows four at a time through [`accumulate_quad`], with a
+/// per-row [`accumulate_axpy`] tail for the last `a.len() % 4` rows.
+fn accumulate_col_range(
+    a: &[i32],
+    data: &[i32],
+    cols: usize,
+    c0: usize,
+    c1: usize,
+    out: &mut [i64],
+) {
+    debug_assert_eq!(out.len(), c1 - c0);
+    let rows = a.len();
+    let mut i = 0;
+    while i + 4 <= rows {
+        let base = i * cols;
+        accumulate_quad(
+            [
+                i64::from(a[i]),
+                i64::from(a[i + 1]),
+                i64::from(a[i + 2]),
+                i64::from(a[i + 3]),
+            ],
+            [
+                &data[base + c0..base + c1],
+                &data[base + cols + c0..base + cols + c1],
+                &data[base + 2 * cols + c0..base + 2 * cols + c1],
+                &data[base + 3 * cols + c0..base + 3 * cols + c1],
+            ],
+            out,
+        );
+        i += 4;
+    }
+    while i < rows {
+        accumulate_axpy(i64::from(a[i]), &data[i * cols + c0..i * cols + c1], out);
+        i += 1;
+    }
+}
+
+/// The unrolled heart: four rows' segments accumulate into `out` in one
+/// pass, four output lanes per step, each lane a sum of four
+/// independent products — no lane or product depends on another, so the
+/// compiler is free to keep the whole step in vector registers (the
+/// CLIF exemplar's shape). Scalar tail for `out.len() % 4` columns.
+#[inline]
+fn accumulate_quad(a: [i64; 4], rows: [&[i32]; 4], out: &mut [i64]) {
+    let n = out.len();
+    let [r0, r1, r2, r3] = rows;
+    assert!(r0.len() == n && r1.len() == n && r2.len() == n && r3.len() == n);
+    let n4 = n - n % 4;
+    let mut j = 0;
+    while j < n4 {
+        out[j] += a[0] * i64::from(r0[j])
+            + a[1] * i64::from(r1[j])
+            + a[2] * i64::from(r2[j])
+            + a[3] * i64::from(r3[j]);
+        out[j + 1] += a[0] * i64::from(r0[j + 1])
+            + a[1] * i64::from(r1[j + 1])
+            + a[2] * i64::from(r2[j + 1])
+            + a[3] * i64::from(r3[j + 1]);
+        out[j + 2] += a[0] * i64::from(r0[j + 2])
+            + a[1] * i64::from(r1[j + 2])
+            + a[2] * i64::from(r2[j + 2])
+            + a[3] * i64::from(r3[j + 2]);
+        out[j + 3] += a[0] * i64::from(r0[j + 3])
+            + a[1] * i64::from(r1[j + 3])
+            + a[2] * i64::from(r2[j + 3])
+            + a[3] * i64::from(r3[j + 3]);
+        j += 4;
+    }
+    while j < n {
+        out[j] += a[0] * i64::from(r0[j])
+            + a[1] * i64::from(r1[j])
+            + a[2] * i64::from(r2[j])
+            + a[3] * i64::from(r3[j]);
+        j += 1;
+    }
+}
+
+/// One row's contribution, 4-wide unrolled: `out[j] += ai * row[j]`.
+#[inline]
+fn accumulate_axpy(ai: i64, row: &[i32], out: &mut [i64]) {
+    debug_assert_eq!(row.len(), out.len());
+    let mut o = out.chunks_exact_mut(4);
+    let mut w = row.chunks_exact(4);
+    for (o, w) in o.by_ref().zip(w.by_ref()) {
+        o[0] += ai * i64::from(w[0]);
+        o[1] += ai * i64::from(w[1]);
+        o[2] += ai * i64::from(w[2]);
+        o[3] += ai * i64::from(w[3]);
+    }
+    for (o, &w) in o.into_remainder().iter_mut().zip(w.remainder()) {
+        *o += ai * i64::from(w);
     }
 }
 
@@ -78,13 +289,38 @@ pub fn matvec(v: &IntMatrix, x: &[i32]) -> Result<Vec<i64>> {
 /// (`A: batch×R`, `V: R×C`, `O: batch×C`). This is the paper's
 /// "batching" workload, with the batch dimension borrowed from DNN
 /// terminology.
+///
+/// Computes through [`matmat_into`] over one flat buffer — the kernel
+/// performs a single allocation for the whole batch; the nested return
+/// rows are split out of it at the end. Callers on a hot path should
+/// use [`matmat_into`] directly with a reused buffer.
 pub fn matmat(a: &IntMatrix, v: &IntMatrix) -> Result<Vec<Vec<i64>>> {
+    let mut flat = vec![0i64; a.rows() * v.cols()];
+    matmat_into(a, v, &mut flat)?;
+    Ok(flat.chunks_exact(v.cols()).map(<[i64]>::to_vec).collect())
+}
+
+/// [`matmat`] into one caller-owned row-major slice of exactly
+/// `a.rows() * v.cols()` elements — the allocation-free batch kernel:
+/// each batch row lands via [`vecmat_into`], so the whole batch runs
+/// the blocked unrolled kernel with zero allocations.
+pub fn matmat_into(a: &IntMatrix, v: &IntMatrix, out: &mut [i64]) -> Result<()> {
     if a.cols() != v.rows() {
         return Err(Error::DimensionMismatch {
             context: format!("A cols {} vs V rows {}", a.cols(), v.rows()),
         });
     }
-    (0..a.rows()).map(|b| vecmat(a.row(b), v)).collect()
+    let cols = v.cols();
+    let expected = a.rows() * cols;
+    if out.len() != expected {
+        return Err(Error::DimensionMismatch {
+            context: format!("output length {} vs batch elements {expected}", out.len()),
+        });
+    }
+    for (b, row_out) in out.chunks_exact_mut(cols).enumerate() {
+        vecmat_into(a.row(b), v, row_out)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -131,6 +367,65 @@ mod tests {
         let mut out = vec![-99i64; 2];
         vecmat_into(&[5, 6], &v, &mut out).unwrap();
         assert_eq!(out, vec![23, 34]);
+    }
+
+    #[test]
+    fn kernel_variants_are_bit_identical() {
+        let mut rng = seeded(33);
+        // Dims straddle the unroll width (4), the tile width, and 1-row /
+        // 1-col degenerate shapes.
+        for (rows, cols) in [(1usize, 1usize), (1, 7), (5, 1), (7, 9), (33, 130), (4, 4)] {
+            let v = element_sparse_matrix(rows, cols, 8, 0.5, true, &mut rng).unwrap();
+            let a = random_vector(rows, 8, true, &mut rng).unwrap();
+            let mut reference = vec![0i64; cols];
+            vecmat_into_scalar(&a, &v, &mut reference).unwrap();
+            let mut got = vec![-1i64; cols];
+            vecmat_into(&a, &v, &mut got).unwrap();
+            assert_eq!(got, reference, "blocked {rows}x{cols}");
+            got.fill(-1);
+            vecmat_into_unrolled(&a, &v, &mut got).unwrap();
+            assert_eq!(got, reference, "unrolled {rows}x{cols}");
+            for density in [InputDensity::Dense, InputDensity::Sparse] {
+                got.fill(-1);
+                vecmat_into_with(&a, &v, &mut got, density).unwrap();
+                assert_eq!(got, reference, "{density:?} {rows}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_hint_skips_zero_rows_bit_identically() {
+        // A mostly-zero input vector: the skip path must produce the
+        // same bits as the branch-free path.
+        let mut rng = seeded(34);
+        let v = element_sparse_matrix(40, 23, 8, 0.3, true, &mut rng).unwrap();
+        let mut a = vec![0i32; 40];
+        a[3] = -17;
+        a[21] = 90;
+        let mut dense_out = vec![0i64; 23];
+        let mut sparse_out = vec![0i64; 23];
+        vecmat_into_with(&a, &v, &mut dense_out, InputDensity::Dense).unwrap();
+        vecmat_into_with(&a, &v, &mut sparse_out, InputDensity::Sparse).unwrap();
+        assert_eq!(dense_out, sparse_out);
+        let mut reference = vec![0i64; 23];
+        vecmat_into_scalar(&a, &v, &mut reference).unwrap();
+        assert_eq!(dense_out, reference);
+    }
+
+    #[test]
+    fn matmat_into_fills_flat_buffer() {
+        let mut rng = seeded(35);
+        let v = element_sparse_matrix(16, 9, 8, 0.4, true, &mut rng).unwrap();
+        let a = element_sparse_matrix(5, 16, 8, 0.0, true, &mut rng).unwrap();
+        let mut flat = vec![-1i64; 5 * 9];
+        matmat_into(&a, &v, &mut flat).unwrap();
+        for b in 0..5 {
+            assert_eq!(&flat[b * 9..(b + 1) * 9], vecmat(a.row(b), &v).unwrap().as_slice());
+        }
+        // Mis-sized buffers and mismatched dims are rejected.
+        assert!(matmat_into(&a, &v, &mut flat[..8]).is_err());
+        let wrong = IntMatrix::zeros(5, 7).unwrap();
+        assert!(matmat_into(&wrong, &v, &mut flat).is_err());
     }
 
     #[test]

@@ -362,10 +362,11 @@ impl GemvBackend for BitSerial {
         self.mul.run_frames(frames, out)
     }
 
-    /// The whole shard pipelines back-to-back through one continuous
-    /// simulation and decodes straight into the flat output slice
-    /// ([`FixedMatrixMultiplier::run_frames_block`]) — no per-frame or
-    /// per-row allocation.
+    /// The whole shard runs through the word-level bit-sliced engine
+    /// ([`FixedMatrixMultiplier::run_frames_block`]): up to 64 frames
+    /// packed one-per-bit into machine words, one gate evaluation
+    /// serving every lane, decoded straight into the flat output slice
+    /// — no per-frame or per-row allocation.
     fn run_rows(
         &self,
         frames: &FrameBlock,

@@ -196,13 +196,29 @@ impl Csr {
     }
 
     /// Accumulates `aᵀV` into an already-zeroed `out` of `cols` elements.
+    ///
+    /// The hot loop iterates `(col, val)` pairs straight off the CSR
+    /// arrays against a pre-checked `out` length: every constructor
+    /// (`from_coo` over bounds-validated COO triples, `from_raw_parts`
+    /// with its explicit column check) guarantees `col < self.cols`, so
+    /// with `out.len() == self.cols` asserted once up front the
+    /// per-element access is checked via `get_mut` with no panic path
+    /// inside the loop — the branch the optimizer can hoist, unlike the
+    /// old `out[c]` indexing whose unwind edge blocked vectorization.
     fn accumulate_vecmat(&self, a: &[i32], out: &mut [i64]) {
+        assert_eq!(out.len(), self.cols, "output length vs cols");
         for (r, &ar) in a.iter().enumerate() {
             if ar == 0 {
                 continue;
             }
-            for (c, v) in self.row(r) {
-                out[c] += i64::from(ar) * i64::from(v);
+            let ar = i64::from(ar);
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            for (&c, &v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
+                debug_assert!(c < out.len(), "CSR column invariant violated");
+                if let Some(o) = out.get_mut(c) {
+                    *o += ar * i64::from(v);
+                }
             }
         }
     }

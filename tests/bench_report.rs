@@ -35,6 +35,35 @@ fn committed_bench_reports_validate() {
 }
 
 #[test]
+fn bench_10_records_the_dense_kernel_ladder() {
+    let body = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_10.json"),
+    )
+    .expect("BENCH_10.json must be committed at the repo root");
+    BenchReport::validate_json(&body).unwrap();
+    // The kernel trajectory compares the scalar reference against the
+    // unrolled and blocked kernels (the bench emits them at 256 and
+    // 512), and pits the bit-sliced batch engine against the framed
+    // stream.
+    for engine in [
+        "dense_scalar",
+        "dense_unrolled",
+        "dense_blocked",
+        "bitserial_sliced",
+        "bitserial_streamed",
+    ] {
+        assert!(
+            body.contains(&format!("\"engine\": \"{engine}\"")),
+            "BENCH_10.json is missing a run for the {engine} kernel"
+        );
+    }
+    assert!(
+        body.contains("\"rows\": 256") && body.contains("\"rows\": 512"),
+        "BENCH_10.json must record the dense ladder at 256 and 512"
+    );
+}
+
+#[test]
 fn bench_6_covers_every_builtin_engine() {
     let body = std::fs::read_to_string(
         Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_6.json"),
